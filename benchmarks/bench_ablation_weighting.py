@@ -1,0 +1,52 @@
+"""Ablation — the weighting factors of eqs. 4 and 6.
+
+The paper folds task weights (importance / execution frequency) and
+machine weights into every measure "to make the measures more
+flexible".  This ablation exercises the knob on the CINT environment:
+concentrating the task weights onto one task type drives TDH down (one
+row dominates the difficulty profile) while leaving TMA untouched
+(weights are diagonal scalings, which the standard form absorbs —
+Theorem 1 again).
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures import characterize
+from repro.spec import cint2006rate
+
+CONCENTRATIONS = (1.0, 4.0, 16.0, 64.0)
+
+
+def _sweep():
+    env = cint2006rate()
+    rows = []
+    for w in CONCENTRATIONS:
+        weights = np.ones(env.n_tasks)
+        weights[0] = w  # pile weight onto perlbench
+        profile = characterize(env.with_weights(task_weights=weights))
+        rows.append((w, profile.mph, profile.tdh, profile.tma))
+    return rows
+
+
+def test_ablation_weighting(benchmark, write_result):
+    rows = benchmark(_sweep)
+    lines = [
+        "w(perlbench)  MPH      TDH      TMA    (uniform weights first)"
+    ]
+    for w, m, t, a in rows:
+        lines.append(f"{w:<12.0f}  {m:.4f}  {t:.4f}  {a:.4f}")
+    lines.append("")
+    lines.append(
+        "task weights reshape the difficulty profile (TDH falls as one "
+        "task dominates) but cannot move TMA — weighting is a diagonal "
+        "scaling and the standard form absorbs it (Theorem 1)"
+    )
+    write_result("ablation_weighting", "\n".join(lines))
+
+    tdh_values = [r[2] for r in rows]
+    tma_values = [r[3] for r in rows]
+    # TDH strictly degrades as the weight concentrates.
+    assert all(a > b for a, b in zip(tdh_values, tdh_values[1:]))
+    # TMA is invariant to the weighting.
+    assert max(tma_values) - min(tma_values) == pytest.approx(0.0, abs=1e-6)

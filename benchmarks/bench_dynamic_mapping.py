@@ -1,0 +1,61 @@
+"""E14 (extension) — online mapping policies across load regimes.
+
+Extends the heuristic-selection application to the dynamic setting the
+paper's references [5]/[18] study: Poisson arrivals over the CINT task
+mix, immediate-mode policies (MCT / MET / OLB / KPB / the
+heterogeneity-aware auto policy), swept across arrival rates.
+"""
+
+import numpy as np
+
+from repro.scheduling import (
+    expand_workload,
+    poisson_arrivals,
+    simulate_online,
+)
+from repro.spec import cint2006rate
+
+RATES = (0.002, 0.01, 0.05)
+POLICIES = ("mct", "met", "olb", "kpb", "auto")
+N_TASKS = 80
+
+
+def _sweep():
+    workload = expand_workload(cint2006rate(), total=N_TASKS, seed=0)
+    out = {}
+    for rate in RATES:
+        arrivals = poisson_arrivals(N_TASKS, rate=rate, seed=1)
+        out[rate] = {
+            policy: simulate_online(
+                workload, arrivals, policy=policy, k=0.4, seed=2
+            )
+            for policy in POLICIES
+        }
+    return out
+
+
+def test_dynamic_mapping_table(benchmark, write_result):
+    results = benchmark(_sweep)
+    lines = [
+        "rate     policy   makespan     mean-response  max-utilization"
+    ]
+    for rate, by_policy in results.items():
+        for policy, res in by_policy.items():
+            lines.append(
+                f"{rate:<7.3f}  {policy:<7}  {res.makespan:10.1f}  "
+                f"{res.mean_response:12.1f}   {res.utilization.max():.3f}"
+            )
+    write_result("dynamic_mapping", "\n".join(lines))
+
+    for rate, by_policy in results.items():
+        # MCT dominates queue-blind MET at every load level.
+        assert by_policy["mct"].makespan <= by_policy["met"].makespan
+        # The heterogeneity-aware policy never loses badly to MCT.
+        assert (
+            by_policy["auto"].makespan
+            <= 1.2 * by_policy["mct"].makespan
+        )
+    # Response time grows with load for every policy.
+    for policy in POLICIES:
+        responses = [results[r][policy].mean_response for r in RATES]
+        assert responses[0] < responses[-1]

@@ -1,0 +1,33 @@
+"""E1 — Paper Fig. 1: machine performance from ECS column sums.
+
+Regenerates the per-machine performance vector of the 4 × 3 example
+(machine 1's performance is 17) and times the MP/MPH kernel.
+"""
+
+import numpy as np
+
+from repro.measures import machine_performance, mph
+
+FIG1 = np.array(
+    [
+        [4.0, 8.0, 5.0],
+        [5.0, 9.0, 4.0],
+        [6.0, 5.0, 2.0],
+        [2.0, 1.0, 3.0],
+    ]
+)
+
+
+def test_fig1_table(benchmark, write_result):
+    mp = benchmark(machine_performance, FIG1)
+    np.testing.assert_allclose(mp, [17.0, 23.0, 14.0])
+    lines = ["machine  performance   (paper: m1 = 17)"]
+    for j, value in enumerate(mp, start=1):
+        lines.append(f"m{j}       {value:6.1f}")
+    lines.append(f"MPH = {mph(FIG1):.4f}")
+    write_result("fig1_machine_performance", "\n".join(lines))
+
+
+def test_fig1_mph_kernel(benchmark):
+    value = benchmark(mph, FIG1)
+    assert value == (14 / 17 + 17 / 23) / 2

@@ -1,0 +1,75 @@
+"""E2 — Paper Fig. 2: MPH vs R, G, COV on four 5-machine environments.
+
+Regenerates the full Fig. 2 table and asserts the paper's headline:
+only MPH produces the intuitive heterogeneity ordering
+env1 < env4 < env2 = env3 (in homogeneity terms), while R and G cannot
+separate any of the environments and COV breaks the env2/env3 tie.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures import (
+    average_adjacent_ratio,
+    coefficient_of_variation,
+    geometric_mean_ratio,
+    min_max_ratio,
+)
+
+ENVIRONMENTS = {
+    "env1": np.array([1.0, 2.0, 4.0, 8.0, 16.0]),
+    "env2": np.array([1.0, 1.0, 1.0, 1.0, 16.0]),
+    "env3": np.array([1.0, 16.0, 16.0, 16.0, 16.0]),
+    "env4": np.array([1.0, 4.0, 4.0, 4.0, 16.0]),
+}
+
+PAPER = {  # (MPH, R, G, COV) as printed in Fig. 2
+    "env1": (0.5, 0.06, 0.5, 0.88),
+    "env2": (0.77, 0.06, 0.5, 1.5),
+    "env3": (0.77, 0.06, 0.5, 0.46),
+    "env4": (0.63, 0.06, 0.5, 0.90),
+}
+
+
+def _row(perf):
+    return (
+        average_adjacent_ratio(perf),
+        min_max_ratio(perf),
+        geometric_mean_ratio(perf),
+        coefficient_of_variation(perf),
+    )
+
+
+def test_fig2_table(benchmark, write_result):
+    rows = benchmark(lambda: {k: _row(v) for k, v in ENVIRONMENTS.items()})
+    lines = [
+        "env    performances           MPH     R       G       COV"
+        "   (paper MPH/R/G/COV)"
+    ]
+    for name, perf in ENVIRONMENTS.items():
+        m, r, g, c = rows[name]
+        p = PAPER[name]
+        lines.append(
+            f"{name}   {np.array2string(perf, precision=0):22s}"
+            f" {m:.4f}  {r:.4f}  {g:.4f}  {c:.4f}"
+            f"   ({p[0]}/{p[1]}/{p[2]}/{p[3]})"
+        )
+        assert m == pytest.approx(p[0], abs=6e-3)
+        assert r == pytest.approx(p[1], abs=6e-3)
+        assert g == pytest.approx(p[2], abs=6e-3)
+        assert c == pytest.approx(p[3], abs=6e-3)
+    write_result("fig2_mph_vs_alternatives", "\n".join(lines))
+
+
+def test_fig2_only_mph_matches_intuition(benchmark):
+    mph_values = benchmark(
+        lambda: {k: _row(v)[0] for k, v in ENVIRONMENTS.items()}
+    )
+    assert mph_values["env1"] < mph_values["env4"] < mph_values["env2"]
+    assert mph_values["env2"] == pytest.approx(mph_values["env3"])
+    r_values = {k: _row(v)[1] for k, v in ENVIRONMENTS.items()}
+    g_values = {k: _row(v)[2] for k, v in ENVIRONMENTS.items()}
+    assert len({round(v, 9) for v in r_values.values()}) == 1
+    assert len({round(v, 9) for v in g_values.values()}) == 1
+    cov_values = {k: _row(v)[3] for k, v in ENVIRONMENTS.items()}
+    assert abs(cov_values["env2"] - cov_values["env3"]) > 0.5

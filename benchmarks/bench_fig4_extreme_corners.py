@@ -1,0 +1,74 @@
+"""E4 — Paper Fig. 4: eight extreme 2×2 matrices at the measure corners.
+
+Regenerates the (MPH, TDH, TMA) triple for each reconstructed matrix
+A–H and asserts the paper's statements: A–D have TMA = 1, E–H have
+TMA = 0, the MPH/TDH high-low pattern holds, and A, B, D converge (in
+the eq.-9 limit) to the standard form of C.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures import characterize
+from repro.normalize import standardize
+
+MATRICES = {
+    "A": np.array([[10.0, 0.0], [9.0, 1.0]]),
+    "B": np.array([[1.0, 0.0], [10.0, 100.0]]),
+    "C": np.array([[1.0, 0.0], [0.0, 1.0]]),
+    "D": np.array([[1.0, 0.0], [9.0, 10.0]]),
+    "E": np.array([[1.0, 10.0], [1.0, 10.0]]),
+    "F": np.array([[0.1, 1.0], [1.0, 10.0]]),
+    "G": np.array([[1.0, 1.0], [1.0, 1.0]]),
+    "H": np.array([[0.1, 0.1], [1.0, 1.0]]),
+}
+
+EXPECT = {  # (mph_high, tdh_high, tma_high) per the paper's text
+    "A": (False, True, True),
+    "B": (False, False, True),
+    "C": (True, True, True),
+    "D": (True, False, True),
+    "E": (False, True, False),
+    "F": (False, False, False),
+    "G": (True, True, False),
+    "H": (True, False, False),
+}
+
+
+def _profiles():
+    return {k: characterize(m) for k, m in MATRICES.items()}
+
+
+def test_fig4_corner_table(benchmark, write_result):
+    profiles = benchmark(_profiles)
+    lines = ["matrix  MPH     TDH     TMA     corner(paper)"]
+    for key, profile in profiles.items():
+        mph_high, tdh_high, tma_high = EXPECT[key]
+        lines.append(
+            f"{key}       {profile.mph:.4f}  {profile.tdh:.4f}  "
+            f"{profile.tma:.4f}  "
+            f"MPH{'↑' if mph_high else '↓'} TDH{'↑' if tdh_high else '↓'} "
+            f"TMA{'↑' if tma_high else '↓'}"
+        )
+        assert (profile.mph > 0.5) == mph_high, key
+        assert (profile.tdh > 0.5) == tdh_high, key
+        assert (profile.tma > 0.5) == tma_high, key
+    for key in "ABCD":
+        assert profiles[key].tma == pytest.approx(1.0, abs=1e-6)
+    for key in "EFGH":
+        assert profiles[key].tma == pytest.approx(0.0, abs=1e-6)
+    write_result("fig4_extreme_corners", "\n".join(lines))
+
+
+def test_fig4_abd_standard_form_convergence(benchmark):
+    target = standardize(MATRICES["C"]).matrix
+
+    def limits():
+        return {
+            key: standardize(MATRICES[key], zeros="limit").matrix
+            for key in "ABD"
+        }
+
+    results = benchmark(limits)
+    for key, matrix in results.items():
+        np.testing.assert_allclose(matrix, target, atol=1e-8)

@@ -1,0 +1,53 @@
+"""E15 (extension) — the Braun twelve-case suite in measure space.
+
+The paper's related-work section notes that the widely used ETC
+generation methods ([4], [6]) "do not deal with the problem of
+characterizing the heterogeneity of existing HC environments".  This
+benchmark closes that loop: every case of the Braun et al. benchmark
+suite is sampled and placed in (MPH, TDH, TMA) space, yielding the
+measure footprint the conventional hi/lo vocabulary never quantified.
+"""
+
+from repro.analysis import characterize_generator, describe_regime
+from repro.generate import BRAUN_CASES, braun_case
+from repro.measures import characterize
+
+
+def _footprints():
+    out = []
+    for case in BRAUN_CASES:
+        out.append(
+            characterize_generator(
+                case,
+                lambda s, c=case: braun_case(
+                    c, n_tasks=24, n_machines=8, seed=s
+                ),
+                samples=5,
+                seed=0,
+            )
+        )
+    return out
+
+
+def test_generator_regimes_table(benchmark, write_result):
+    footprints = benchmark(_footprints)
+    lines = ["case       footprint (mean ± std over 5 draws)      regime"]
+    by_name = {}
+    for fp in footprints:
+        env = braun_case(fp.name, n_tasks=24, n_machines=8, seed=0)
+        regime = describe_regime(characterize(env))
+        lines.append(f"{fp.row()}   [{regime}]")
+        by_name[fp.name] = fp
+    write_result("generator_regimes", "\n".join(lines))
+
+    # hi task range -> lower TDH than lo task range, at fixed rest.
+    assert by_name["hihi-i"].mean[1] < by_name["lohi-i"].mean[1]
+    assert by_name["hilo-i"].mean[1] < by_name["lolo-i"].mean[1]
+    # hi machine range -> lower MPH than lo machine range.
+    assert by_name["hihi-i"].mean[0] < by_name["hilo-i"].mean[0]
+    assert by_name["lohi-i"].mean[0] < by_name["lolo-i"].mean[0]
+    # consistency kills affinity within every het combination.
+    for het in ("hihi", "hilo", "lohi", "lolo"):
+        assert (
+            by_name[f"{het}-c"].mean[2] < by_name[f"{het}-i"].mean[2]
+        ), het

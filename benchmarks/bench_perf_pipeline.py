@@ -1,0 +1,52 @@
+"""E11 — throughput of the measurement pipeline across matrix sizes.
+
+Not a paper artifact: engineering benchmarks that keep the vectorized
+kernels honest.  Groups: Sinkhorn standardization, singular values, the
+full characterize() call, and the exact normalizability test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.measures import characterize, standard_singular_values
+from repro.normalize import standardize
+from repro.structure import is_normalizable
+
+SIZES = [(12, 5), (64, 16), (256, 32), (1024, 64)]
+
+
+def _matrix(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 10.0, size=shape)
+
+
+@pytest.mark.parametrize("shape", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_standardize_scaling(benchmark, shape):
+    matrix = _matrix(shape)
+    result = benchmark(standardize, matrix)
+    assert result.converged
+
+
+@pytest.mark.parametrize("shape", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_singular_values_scaling(benchmark, shape):
+    matrix = _matrix(shape)
+    values = benchmark(standard_singular_values, matrix)
+    assert values[0] == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("shape", SIZES[:3], ids=lambda s: f"{s[0]}x{s[1]}")
+def test_characterize_scaling(benchmark, shape):
+    matrix = _matrix(shape)
+    profile = benchmark(characterize, matrix)
+    assert 0 < profile.mph <= 1
+
+
+@pytest.mark.parametrize("shape", [(32, 16), (96, 48)],
+                         ids=lambda s: f"{s[0]}x{s[1]}")
+def test_normalizability_scaling(benchmark, shape):
+    rng = np.random.default_rng(1)
+    pattern = (rng.random(shape) < 0.25).astype(float)
+    pattern[~pattern.any(axis=1), 0] = 1.0
+    pattern[0, ~pattern.any(axis=0)] = 1.0
+    result = benchmark(is_normalizable, pattern)
+    assert result in (True, False)

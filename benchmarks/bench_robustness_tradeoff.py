@@ -1,0 +1,59 @@
+"""E16 (extension) — makespan vs robustness across heuristics.
+
+The authors' robustness line of work (paper refs. [7]/[11], FePIA):
+the best nominal makespan is not the whole story — a mapping that
+achieves it by loading one machine with many tasks near the limit has a
+small robustness radius against ETC estimation error.  This benchmark
+tabulates the (makespan, radius) trade-off of the batch heuristics on
+the CINT workload and across affinity regimes.
+"""
+
+from repro.generate import from_targets
+from repro.scheduling import robustness_comparison
+from repro.spec import cint2006rate
+
+
+def test_robustness_tradeoff_table(benchmark, write_result):
+    result = benchmark(
+        robustness_comparison, cint2006rate(), total=40, seed=0
+    )
+    lines = ["heuristic   makespan     radius   (beta = 1.2 x best)"]
+    for name, (makespan, radius) in sorted(
+        result.items(), key=lambda kv: -kv[1][1]
+    ):
+        lines.append(f"{name:<10}  {makespan:9.1f}  {radius:8.2f}")
+    write_result("robustness_tradeoff", "\n".join(lines))
+
+    # Queue-blind MET busts the common tolerance on this environment.
+    assert result["met"][1] == 0.0
+    # At least one batch heuristic stays strictly robust.
+    assert max(result[n][1] for n in ("min_min", "sufferage", "duplex")) > 0
+
+
+def test_robustness_vs_affinity(benchmark, write_result):
+    """Robustness of Min-min across generated affinity regimes."""
+
+    def sweep():
+        out = {}
+        for tma_target in (0.0, 0.3, 0.6):
+            env = from_targets(8, 5, (0.7, 0.8, tma_target), jitter=0.2,
+                               seed=1)
+            out[tma_target] = robustness_comparison(
+                env.to_etc(),
+                heuristics=("min_min", "sufferage", "mct"),
+                counts=[4] * 8,
+                seed=2,
+            )
+        return out
+
+    results = benchmark(sweep)
+    lines = ["TMA   heuristic   makespan   radius"]
+    for tma_target, comparison in results.items():
+        for name, (makespan, radius) in comparison.items():
+            lines.append(
+                f"{tma_target:.1f}   {name:<10}  {makespan:8.3f}  "
+                f"{radius:7.4f}"
+            )
+    write_result("robustness_vs_affinity", "\n".join(lines))
+    for comparison in results.values():
+        assert all(radius >= 0 for _, radius in comparison.values())

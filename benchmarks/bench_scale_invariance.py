@@ -1,0 +1,40 @@
+"""E10 — measure property 2: invariance under ETC unit changes.
+
+Regenerates the invariance table: every measure on every bundled
+environment is identical whether runtimes are expressed in
+milliseconds, seconds, minutes or hours.
+"""
+
+import pytest
+
+from repro.measures import characterize
+from repro.spec import cint2006rate, cfp2006rate
+
+FACTORS = {"ms": 1e-3, "s": 1.0, "min": 60.0, "h": 3600.0}
+
+
+def test_scale_invariance_table(benchmark, write_result):
+    envs = {"cint2006rate": cint2006rate(), "cfp2006rate": cfp2006rate()}
+
+    def sweep():
+        out = {}
+        for name, env in envs.items():
+            out[name] = {
+                unit: characterize(env.scaled(k))
+                for unit, k in FACTORS.items()
+            }
+        return out
+
+    results = benchmark(sweep)
+    lines = ["dataset        unit   MPH      TDH      TMA"]
+    for name, by_unit in results.items():
+        base = by_unit["s"]
+        for unit, profile in by_unit.items():
+            lines.append(
+                f"{name:<14} {unit:<5}  {profile.mph:.6f} {profile.tdh:.6f} "
+                f"{profile.tma:.6f}"
+            )
+            assert profile.mph == pytest.approx(base.mph, rel=1e-9)
+            assert profile.tdh == pytest.approx(base.tdh, rel=1e-9)
+            assert profile.tma == pytest.approx(base.tma, abs=1e-6)
+    write_result("scale_invariance", "\n".join(lines))

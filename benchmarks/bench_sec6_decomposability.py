@@ -1,0 +1,91 @@
+"""E8 — Paper Section VI: matrices whose standard form does not exist.
+
+Regenerates the eq. 10 → eq. 12 story: the 3 × 3 counterexample is
+decomposable, the iteration stalls, the exact Menon test rejects it and
+names the blocking entry, the block-form certificate reproduces the
+"move the last column to the front" permutation, and the diagonal
+matrix shows decomposability is not necessary for normalizability.
+Also reports the library's answer to the paper's future-work question
+(TMA of non-normalizable matrices) under both fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NotNormalizableError
+from repro.measures import tma
+from repro.normalize import sinkhorn_knopp, standardize
+from repro.structure import (
+    is_fully_indecomposable,
+    is_normalizable,
+    normalizability_report,
+    permute_to_block_form,
+)
+
+EQ10 = np.array(
+    [
+        [0.0, 0.0, 1.0],
+        [1.0, 0.0, 1.0],
+        [0.0, 1.0, 0.0],
+    ]
+)
+
+
+def test_sec6_eq10_analysis(benchmark, write_result):
+    def analyse():
+        return (
+            is_fully_indecomposable(EQ10),
+            normalizability_report(EQ10),
+            permute_to_block_form(EQ10),
+        )
+
+    indecomposable, report, form = benchmark(analyse)
+    assert not indecomposable
+    assert report.feasible and not report.normalizable
+    assert report.blocking_edges == ((1, 2),)
+    permuted = form.apply(EQ10)
+    assert not permuted[: form.block_size, form.block_size:].any()
+
+    with pytest.raises(NotNormalizableError):
+        standardize(EQ10)
+    stalled = sinkhorn_knopp(
+        EQ10, max_iterations=300, require_convergence=False
+    )
+    assert not stalled.converged
+
+    lines = [
+        "eq. 10 matrix:",
+        str(EQ10),
+        "",
+        f"fully indecomposable: {indecomposable} (paper: decomposable)",
+        f"normalizable (Menon test): {report.normalizable}",
+        f"blocking entry: {report.blocking_edges} "
+        "(the paper's 'four nonzero elements must equal 1' argument "
+        "pins exactly this entry)",
+        "",
+        "block form (eq. 12), rows x cols "
+        f"{form.row_order} x {form.col_order}:",
+        str(permuted),
+        "",
+        f"Sinkhorn after 300 iterations: residual {stalled.residual:.3e} "
+        "(never reaches 1e-8)",
+        "",
+        "diagonal matrix diag(3,7,2): decomposable = "
+        f"{not is_fully_indecomposable(np.diag([3.0, 7.0, 2.0]))}, "
+        f"normalizable = {is_normalizable(np.diag([3.0, 7.0, 2.0]))} "
+        "(paper: sufficiency, not necessity)",
+        "",
+        "future-work TMA of eq. 10: "
+        f"limit semantics = {tma(EQ10, zeros='limit'):.4f}, "
+        f"column method (eq. 5) = {tma(EQ10, method='column'):.4f}",
+    ]
+    write_result("sec6_decomposability", "\n".join(lines))
+
+
+def test_sec6_menon_test_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    pattern = (rng.random((40, 30)) < 0.3).astype(float)
+    pattern[~pattern.any(axis=1), 0] = 1.0
+    pattern[0, ~pattern.any(axis=0)] = 1.0
+    result = benchmark(is_normalizable, pattern)
+    assert result in (True, False)

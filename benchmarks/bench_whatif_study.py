@@ -1,0 +1,35 @@
+"""E13 — what-if studies on the SPEC environments (intro application).
+
+Regenerates the per-edit measure-shift tables: the effect of removing
+each machine from CINT, and of removing the Fig. 8 task types
+(cactusADM, soplex, and the heavy outlier rows) from CFP.
+"""
+
+from repro.analysis import whatif_drop_machines, whatif_drop_tasks
+from repro.spec import cfp2006rate, cint2006rate
+
+
+def test_whatif_machines_table(benchmark, write_result):
+    entries = benchmark(whatif_drop_machines, cint2006rate())
+    assert len(entries) == 5
+    lines = ["CINT2006Rate — effect of removing one machine:"]
+    lines += ["  " + e.summary() for e in entries]
+    # Dropping a machine never leaves the measures NaN/out of range.
+    for e in entries:
+        assert 0 < e.after.mph <= 1
+        assert 0 <= e.after.tma <= 1
+    write_result("whatif_machines", "\n".join(lines))
+
+
+def test_whatif_tasks_table(benchmark, write_result):
+    targets = ["436.cactusADM", "450.soplex", "470.lbm", "454.calculix"]
+    entries = benchmark(whatif_drop_tasks, cfp2006rate(), targets)
+    assert len(entries) == len(targets)
+    lines = ["CFP2006Rate — effect of removing one task type:"]
+    lines += ["  " + e.summary() for e in entries]
+    # cactusADM and soplex carry the injected Fig. 8(b) affinity, so
+    # removing either must lower the suite's TMA.
+    by_name = {e.description: e for e in entries}
+    assert by_name["drop task 436.cactusADM"].delta_tma < 0
+    assert by_name["drop task 450.soplex"].delta_tma < 0
+    write_result("whatif_tasks", "\n".join(lines))

@@ -1,0 +1,80 @@
+"""Affinity structure and online mapping: beyond the scalar TMA.
+
+TMA says *how much* task-machine affinity an environment has; this
+example digs into *which* tasks prefer *which* machines (spectral
+co-clustering on the standard-form singular vectors) and then shows the
+structure paying off in an online mapping simulation: the
+heterogeneity-aware ``auto`` policy reads the environment's affinity
+before choosing how selective to be about machines.  Run with::
+
+    python examples/affinity_structure.py
+"""
+
+import numpy as np
+
+from repro.measures import affinity_clusters, characterize
+from repro.scheduling import (
+    expand_workload,
+    poisson_arrivals,
+    simulate_online,
+)
+from repro.spec import cfp2006rate
+
+
+def main() -> None:
+    print("=== A CPU/GPU/FPGA shop with three affinity groups ===")
+    # Speeds: each workload family is ~20x faster on its own hardware.
+    ecs = np.array(
+        [
+            # cpu1  cpu2  gpu1  gpu2  fpga
+            [8.0, 7.5, 0.4, 0.5, 0.3],   # compile
+            [7.0, 8.0, 0.5, 0.4, 0.4],   # serve
+            [0.4, 0.5, 9.0, 8.5, 0.5],   # train
+            [0.5, 0.4, 8.0, 9.0, 0.4],   # render
+            [0.3, 0.4, 0.5, 0.4, 9.0],   # encode
+        ]
+    )
+    clusters = affinity_clusters(ecs)
+    names_t = ["compile", "serve", "train", "render", "encode"]
+    names_m = ["cpu1", "cpu2", "gpu1", "gpu2", "fpga"]
+    print(f"detected {clusters.n_clusters} groups, "
+          f"affinity strength (TMA) = {clusters.strength:.3f}")
+    for cid in range(clusters.n_clusters):
+        tasks = [names_t[i] for i in clusters.task_groups()[cid]]
+        machines = [names_m[j] for j in clusters.machine_groups()[cid]]
+        print(f"  group {cid}: {tasks}  <->  {machines}")
+    print()
+
+    print("=== The SPEC CFP environment's hidden structure ===")
+    cfp = cfp2006rate()
+    spec_clusters = affinity_clusters(cfp)
+    print(f"groups: {spec_clusters.n_clusters}, "
+          f"TMA = {spec_clusters.strength:.3f}")
+    for cid in range(spec_clusters.n_clusters):
+        tasks = [cfp.task_names[i] for i in spec_clusters.task_groups()[cid]]
+        machines = [
+            cfp.machine_names[j] for j in spec_clusters.machine_groups()[cid]
+        ]
+        print(f"  group {cid}: {tasks} <-> {machines}")
+    print(
+        "(the isolated soplex <-> m4 pair is exactly the Fig. 8(b) "
+        "affinity the paper highlights)"
+    )
+    print()
+
+    print("=== Online mapping with the structure exploited ===")
+    profile = characterize(cfp)
+    print(f"environment: MPH={profile.mph:.2f} TDH={profile.tdh:.2f} "
+          f"TMA={profile.tma:.2f}")
+    workload = expand_workload(cfp, total=60, seed=0)
+    arrivals = poisson_arrivals(60, rate=0.004, seed=1)
+    print("policy   makespan     mean-response")
+    for policy in ("mct", "met", "olb", "kpb", "auto"):
+        res = simulate_online(workload, arrivals, policy=policy, k=0.4,
+                              seed=2)
+        print(f"{res.policy:<12} {res.makespan:10.1f}  "
+              f"{res.mean_response:10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Generating ETC matrices that span the heterogeneity space.
+
+The paper's reference [2] application: simulation studies need
+environments "that span the entire range of heterogeneities".  This
+example shows the three generator families side by side —
+
+* the classic range-based method [4] (heterogeneity as uniform ranges),
+* the COV-based method (heterogeneity as gamma coefficients of
+  variation), and
+* the measure-driven generator, which hits requested (MPH, TDH, TMA)
+  values *exactly* by combining an affinity core with margin scaling
+  (TMA is invariant under the margin step by Theorem 1)
+
+— and demonstrates the independence of the three measures by sweeping
+TMA while MPH and TDH stay pinned.  Run with::
+
+    python examples/generate_ensembles.py
+"""
+
+import numpy as np
+
+from repro import characterize
+from repro.analysis import independence_study
+from repro.generate import cvb, from_targets, range_based
+
+
+def show(label: str, env) -> None:
+    profile = characterize(env)
+    print(
+        f"{label:<34} MPH={profile.mph:.3f}  TDH={profile.tdh:.3f}  "
+        f"TMA={profile.tma:.3f}"
+    )
+
+
+def main() -> None:
+    print("=== Classic generators (heterogeneity as distributions) ===")
+    show("range-based HiHi (3000/1000)", range_based(12, 6, seed=0))
+    show(
+        "range-based LoLo (10/5)",
+        range_based(12, 6, task_range=10, machine_range=5, seed=0),
+    )
+    show(
+        "range-based consistent",
+        range_based(12, 6, consistency="consistent", seed=0),
+    )
+    show("CVB high COV (0.9/0.6)", cvb(12, 6, task_cov=0.9,
+                                       machine_cov=0.6, seed=0))
+    print()
+
+    print("=== Measure-driven generation (exact targets) ===")
+    for targets in [(0.3, 0.9, 0.1), (0.9, 0.3, 0.1), (0.6, 0.6, 0.5)]:
+        env = from_targets(10, 6, targets, jitter=0.25, seed=1)
+        show(f"targets MPH/TDH/TMA = {targets}", env)
+    print()
+
+    print("=== Independence: sweep TMA, pin MPH = TDH = 0.7 ===")
+    result = independence_study(
+        "tma", n_tasks=8, n_machines=6, targets=np.linspace(0.1, 0.7, 7)
+    )
+    print("target-TMA   achieved-MPH  achieved-TDH  achieved-TMA")
+    for target, (m, t, a) in zip(result.targets, result.achieved):
+        print(f"   {target:.2f}        {m:.4f}       {t:.4f}       {a:.4f}")
+    print(
+        f"pinned-measure drift across the sweep: {result.max_drift():.2e} "
+        "— the standard form keeps the three measures independent"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Heuristic selection by heterogeneity regime (paper application [3]).
+
+The paper's introduction motivates the measures with "selecting
+appropriate heuristics to use in an HC environment based on its
+heterogeneity".  This example generates environments at the corners of
+the (MPH, TMA) plane with :func:`repro.generate.from_targets`, maps a
+batch of task instances with eight classic heuristics, and prints the
+makespan ratios — showing, e.g., how load-blind MET collapses exactly
+when machines are heterogeneous and affinity is low.  Run with::
+
+    python examples/heuristic_selection.py
+"""
+
+from repro.scheduling import selection_study
+
+
+def main() -> None:
+    results = selection_study(
+        n_tasks=8,
+        n_machines=5,
+        instances_per_type=4,
+        mph_values=(0.3, 0.9),
+        tdh_values=(0.6,),
+        tma_values=(0.0, 0.5),
+        jitter=0.2,
+        seed=0,
+    )
+
+    names = sorted(results[0].makespans)
+    header = "MPH   TMA   best        " + "  ".join(
+        f"{n:>9}" for n in names
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        ratios = r.ratios
+        print(
+            f"{r.spec.mph:.1f}   {r.spec.tma:.1f}   {r.best:<10}  "
+            + "  ".join(f"{ratios[n]:9.2f}" for n in names)
+        )
+    print()
+    print("ratios are makespan / best-makespan (1.00 = winner).")
+    print(
+        "reading: with heterogeneous machines and no affinity "
+        "(MPH=0.3, TMA=0.0) every task's fastest machine is the same "
+        "one, so MET floods it; once affinity appears (TMA=0.5) the "
+        "per-task best machines spread out and MET recovers — knowing "
+        "(MPH, TDH, TMA) before choosing a mapper is exactly the "
+        "paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Section V walkthrough: characterizing the SPEC-derived environments.
+
+Reproduces the paper's evaluation narrative on the bundled
+CINT2006Rate / CFP2006Rate tables: the full-suite measures (Figs. 6-7),
+the contrasting 2x2 submatrices of Fig. 8, and the what-if effect of
+removing the heavy floating-point task types.  Run with::
+
+    python examples/spec_characterization.py
+"""
+
+from repro import characterize
+from repro.analysis import comparison_table, format_table, whatif_drop_tasks
+from repro.spec import cfp2006rate, cint2006rate, figure8a, figure8b
+
+
+def main() -> None:
+    cint, cfp = cint2006rate(), cfp2006rate()
+
+    print("=== Full suites (paper Figs. 6 and 7) ===")
+    rows = comparison_table(
+        {"CINT2006Rate": cint, "CFP2006Rate": cfp},
+        columns=("mph", "tdh", "tma", "sinkhorn_iterations"),
+    )
+    print(format_table(rows))
+    print()
+    print(
+        "paper: CINT TDH=0.90 MPH=0.82 TMA=0.07 (6 iters); "
+        "CFP TDH=0.91 MPH=0.83, higher TMA (7 iters)"
+    )
+    print()
+
+    print("=== Extracted 2x2 environments (paper Fig. 8) ===")
+    for label, env in [("(a)", figure8a()), ("(b)", figure8b())]:
+        profile = characterize(env)
+        print(
+            f"{label} tasks={env.task_names} machines={env.machine_names}"
+        )
+        print(
+            f"    TDH={profile.tdh:.2f}  MPH={profile.mph:.2f}  "
+            f"TMA={profile.tma:.2f}"
+        )
+    print(
+        "paper: (a) near-zero affinity but very heterogeneous task "
+        "difficulty; (b) TMA = 0.60 because the two task types prefer "
+        "opposite machines"
+    )
+    print()
+
+    print("=== What-if: dropping the affinity-carrying CFP tasks ===")
+    for entry in whatif_drop_tasks(cfp, ["436.cactusADM", "450.soplex"]):
+        print("  " + entry.summary())
+    print()
+    print(
+        "both removals lower the suite's TMA — those two rows carry the "
+        "opposite-machine preference that Fig. 8(b) isolates"
+    )
+
+
+if __name__ == "__main__":
+    main()

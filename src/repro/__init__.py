@@ -1,0 +1,150 @@
+"""repro — heterogeneity measures for heterogeneous computing environments.
+
+A production-quality reproduction of
+
+    A. M. Al-Qawasmeh, A. A. Maciejewski, R. G. Roberts, H. J. Siegel,
+    "Characterizing Task-Machine Affinity in Heterogeneous Computing
+    Environments", IEEE IPDPS 2011.
+
+The library characterizes an HC environment — an ETC (estimated time to
+compute) matrix over task types and machines — with three independent,
+scale-invariant measures:
+
+* **MPH** machine performance homogeneity,
+* **TDH** task difficulty homogeneity,
+* **TMA** task-machine affinity (singular values of the standard-form
+  ECS matrix).
+
+Quickstart
+----------
+>>> from repro import ETCMatrix, characterize
+>>> etc = ETCMatrix([[10.0, 5.0], [4.0, 8.0]])
+>>> profile = characterize(etc)
+>>> 0 < profile.mph <= 1 and 0 <= profile.tma <= 1
+True
+
+Subpackages
+-----------
+``repro.core``
+    ETC/ECS matrix model, weights, CSV/JSON I/O.
+``repro.measures``
+    MPH, TDH, TMA and the Section II-D comparison statistics.
+``repro.normalize``
+    Sinkhorn standard form (Theorems 1–2), canonical ordering.
+``repro.structure``
+    Zero-pattern decomposability and exact normalizability (Section VI).
+``repro.generate``
+    ETC-matrix generators for simulation studies.
+``repro.spec``
+    SPEC CPU2006Rate-derived evaluation environments (Section V).
+``repro.scheduling``
+    Static mapping heuristics and heterogeneity-aware heuristic selection.
+``repro.analysis``
+    What-if studies, measure-independence experiments, reports.
+"""
+
+from .core import (
+    ECSMatrix,
+    ETCMatrix,
+    ecs_to_etc,
+    etc_to_ecs,
+    load_environment_json,
+    load_etc_csv,
+    save_environment_json,
+    save_etc_csv,
+)
+from .exceptions import (
+    ConvergenceError,
+    DatasetError,
+    EmptyRowColumnError,
+    GenerationError,
+    MatrixShapeError,
+    MatrixValueError,
+    NotNormalizableError,
+    ReproError,
+    SchedulingError,
+    WeightError,
+)
+from .measures import (
+    HeterogeneityProfile,
+    characterize,
+    coefficient_of_variation,
+    geometric_mean_ratio,
+    machine_performance,
+    min_max_ratio,
+    mph,
+    standard_singular_values,
+    task_difficulty,
+    tdh,
+    tma,
+)
+from .normalize import (
+    CanonicalFormResult,
+    NormalizationResult,
+    StandardFormResult,
+    canonical_form,
+    column_normalize,
+    sinkhorn_knopp,
+    standard_targets,
+    standardize,
+)
+from .structure import (
+    has_support,
+    has_total_support,
+    is_fully_indecomposable,
+    is_normalizable,
+    permute_to_block_form,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ETCMatrix",
+    "ECSMatrix",
+    "etc_to_ecs",
+    "ecs_to_etc",
+    "load_etc_csv",
+    "save_etc_csv",
+    "load_environment_json",
+    "save_environment_json",
+    # measures
+    "machine_performance",
+    "mph",
+    "task_difficulty",
+    "tdh",
+    "tma",
+    "standard_singular_values",
+    "min_max_ratio",
+    "geometric_mean_ratio",
+    "coefficient_of_variation",
+    "characterize",
+    "HeterogeneityProfile",
+    # normalize
+    "sinkhorn_knopp",
+    "standardize",
+    "standard_targets",
+    "column_normalize",
+    "canonical_form",
+    "NormalizationResult",
+    "StandardFormResult",
+    "CanonicalFormResult",
+    # structure
+    "has_support",
+    "has_total_support",
+    "is_fully_indecomposable",
+    "is_normalizable",
+    "permute_to_block_form",
+    # exceptions
+    "ReproError",
+    "MatrixShapeError",
+    "MatrixValueError",
+    "EmptyRowColumnError",
+    "WeightError",
+    "ConvergenceError",
+    "NotNormalizableError",
+    "DatasetError",
+    "SchedulingError",
+    "GenerationError",
+]

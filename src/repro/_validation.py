@@ -1,0 +1,175 @@
+"""Shared argument-validation helpers.
+
+These are internal: every public entry point funnels its array inputs
+through the functions here so that error messages are uniform and the
+numerical kernels can assume clean, C-contiguous ``float64`` data (a
+vectorization-friendly invariant; see the repo's DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from .exceptions import (
+    EmptyRowColumnError,
+    MatrixShapeError,
+    MatrixValueError,
+    WeightError,
+)
+
+__all__ = [
+    "as_float_matrix",
+    "as_ecs_array",
+    "as_etc_array",
+    "as_positive_vector",
+    "check_weights",
+    "check_probability",
+    "check_positive_scalar",
+    "check_positive_int",
+]
+
+
+def as_float_matrix(values, *, name: str = "matrix") -> np.ndarray:
+    """Coerce ``values`` to a 2-D C-contiguous float64 array.
+
+    Raises :class:`MatrixShapeError` for non-2D or empty input and
+    :class:`MatrixValueError` for NaN entries.  ``inf`` is allowed here
+    because ETC matrices use it for incompatible task/machine pairs.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 2:
+        raise MatrixShapeError(
+            f"{name} must be 2-D, got ndim={arr.ndim} (shape {arr.shape})"
+        )
+    if arr.size == 0:
+        raise MatrixShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    if np.isnan(arr).any():
+        raise MatrixValueError(f"{name} contains NaN entries")
+    return arr
+
+
+def as_ecs_array(values, *, name: str = "ECS matrix") -> np.ndarray:
+    """Validate an ECS (estimated computation speed) matrix.
+
+    ECS entries are finite and non-negative; zero marks an incompatible
+    task/machine pair.  All-zero rows or columns are rejected per
+    Section II-B of the paper.
+    """
+    arr = as_float_matrix(values, name=name)
+    if np.isinf(arr).any():
+        raise MatrixValueError(
+            f"{name} contains infinite entries; infinities belong in the "
+            "ETC representation (use zero ECS for incompatible pairs)"
+        )
+    if (arr < 0).any():
+        raise MatrixValueError(f"{name} contains negative entries")
+    _reject_empty_lines(arr, name=name)
+    return arr
+
+
+def as_etc_array(values, *, name: str = "ETC matrix") -> np.ndarray:
+    """Validate an ETC (estimated time to compute) matrix.
+
+    ETC entries are strictly positive; ``inf`` marks an incompatible
+    task/machine pair.  Rows or columns that are entirely ``inf`` are
+    rejected (they would become all-zero ECS rows/columns).
+    """
+    arr = as_float_matrix(values, name=name)
+    if (arr <= 0).any():
+        raise MatrixValueError(
+            f"{name} contains non-positive entries; execution times must be "
+            "> 0 (use inf for incompatible task/machine pairs)"
+        )
+    finite = np.isfinite(arr)
+    if not finite.any(axis=1).all():
+        raise EmptyRowColumnError(
+            f"{name} has a row of all-inf entries: a task type that no "
+            "machine can execute"
+        )
+    if not finite.any(axis=0).all():
+        raise EmptyRowColumnError(
+            f"{name} has a column of all-inf entries: a machine that can "
+            "execute no task type"
+        )
+    return arr
+
+
+def _reject_empty_lines(ecs: np.ndarray, *, name: str) -> None:
+    if not (ecs > 0).any(axis=1).all():
+        raise EmptyRowColumnError(
+            f"{name} has an all-zero row: a task type that no machine can "
+            "execute"
+        )
+    if not (ecs > 0).any(axis=0).all():
+        raise EmptyRowColumnError(
+            f"{name} has an all-zero column: a machine that can execute no "
+            "task type"
+        )
+
+
+def as_positive_vector(values, *, name: str = "vector") -> np.ndarray:
+    """Coerce to a 1-D float64 array of strictly positive finite values."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise MatrixShapeError(f"{name} must be a non-empty 1-D array")
+    if not np.isfinite(arr).all():
+        raise MatrixValueError(f"{name} contains non-finite entries")
+    if (arr <= 0).any():
+        raise MatrixValueError(f"{name} must be strictly positive")
+    return arr
+
+
+def check_weights(weights, length: int, *, name: str) -> np.ndarray:
+    """Validate a weighting-factor vector (paper eq. 4/6).
+
+    ``None`` means unweighted and returns a vector of ones so callers can
+    multiply unconditionally (branch-free inner kernels).
+    """
+    if weights is None:
+        return np.ones(length, dtype=np.float64)
+    arr = np.ascontiguousarray(weights, dtype=np.float64)
+    if arr.ndim != 1 or arr.shape[0] != length:
+        raise WeightError(
+            f"{name} must be a 1-D vector of length {length}, got shape "
+            f"{arr.shape}"
+        )
+    if not np.isfinite(arr).all() or (arr <= 0).any():
+        raise WeightError(f"{name} must contain strictly positive finite values")
+    return arr
+
+
+def check_probability(value, *, name: str) -> float:
+    """Validate a scalar in [0, 1]."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise MatrixValueError(f"{name} must be a real number in [0, 1]")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise MatrixValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_positive_scalar(value, *, name: str, allow_zero: bool = False) -> float:
+    """Validate a finite scalar > 0 (or >= 0 when ``allow_zero``)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise MatrixValueError(f"{name} must be a real number")
+    value = float(value)
+    if not np.isfinite(value):
+        raise MatrixValueError(f"{name} must be finite, got {value}")
+    if allow_zero:
+        if value < 0:
+            raise MatrixValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise MatrixValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate an integer >= 1."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise MatrixValueError(f"{name} must be an integer")
+    value = int(value)
+    if value < 1:
+        raise MatrixValueError(f"{name} must be >= 1, got {value}")
+    return value

@@ -1,0 +1,108 @@
+"""Tracking heterogeneity over a sequence of environment edits.
+
+Capacity planning rarely stops at one what-if: systems evolve through
+sequences of procurements, decommissions, and new workloads.
+:func:`track_evolution` applies an edit script step by step, measuring
+after each, so the measure trajectory — "the upgrade doubled affinity,
+the decommission restored machine homogeneity" — is explicit.
+
+An edit is a tuple:
+
+* ``("add_machine", name, column)``
+* ``("drop_machine", name_or_index)``
+* ``("add_task", name, row)``
+* ``("drop_task", name_or_index)``
+* ``("scale", factor)`` — a unit change, a built-in no-op check (the
+  measures must not move).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.environment import ECSMatrix, ETCMatrix
+from ..exceptions import MatrixValueError
+from ..measures.report import HeterogeneityProfile, characterize
+
+__all__ = ["EvolutionStep", "track_evolution"]
+
+_EDIT_KINDS = ("add_machine", "drop_machine", "add_task", "drop_task", "scale")
+
+
+@dataclass(frozen=True)
+class EvolutionStep:
+    """One point of the trajectory: the edit and the profile after it.
+
+    ``description`` is human-readable (``"add_machine accel"``); step 0
+    is the unedited baseline with description ``"baseline"``.
+    """
+
+    description: str
+    profile: HeterogeneityProfile
+
+    def row(self) -> str:
+        p = self.profile
+        return (
+            f"{self.description:<28} MPH={p.mph:.3f}  TDH={p.tdh:.3f}  "
+            f"TMA={p.tma:.3f}  ({p.n_tasks}x{p.n_machines})"
+        )
+
+
+def _apply(env, edit):
+    if not edit or edit[0] not in _EDIT_KINDS:
+        raise MatrixValueError(
+            f"unknown edit {edit!r}; kinds: {_EDIT_KINDS}"
+        )
+    kind = edit[0]
+    if kind == "add_machine":
+        _, name, column = edit
+        return env.add_machine(name, column), f"add_machine {name}"
+    if kind == "drop_machine":
+        _, target = edit
+        name = env.machine_names[env.machine_index(target)]
+        return env.drop_machines([target]), f"drop_machine {name}"
+    if kind == "add_task":
+        _, name, row = edit
+        return env.add_task(name, row), f"add_task {name}"
+    if kind == "drop_task":
+        _, target = edit
+        name = env.task_names[env.task_index(target)]
+        return env.drop_tasks([target]), f"drop_task {name}"
+    _, factor = edit
+    return env.scaled(factor), f"scale x{factor:g}"
+
+
+def track_evolution(
+    environment,
+    edits: Sequence[tuple],
+) -> list[EvolutionStep]:
+    """Apply ``edits`` in order, characterizing after every step.
+
+    Returns the trajectory including the baseline (``len(edits) + 1``
+    entries).  The input environment is never mutated (all core edits
+    are copy-on-write).
+
+    Examples
+    --------
+    >>> from repro import ECSMatrix
+    >>> env = ECSMatrix([[1.0, 1.0], [2.0, 2.0]])
+    >>> steps = track_evolution(env, [
+    ...     ("add_machine", "accel", [4.0, 0.5]),
+    ...     ("scale", 60.0),
+    ... ])
+    >>> [s.description for s in steps]
+    ['baseline', 'add_machine accel', 'scale x60']
+    >>> steps[1].profile.tma > steps[0].profile.tma   # accel adds affinity
+    True
+    >>> abs(steps[2].profile.tma - steps[1].profile.tma) < 1e-9
+    True
+    """
+    if not isinstance(environment, (ETCMatrix, ECSMatrix)):
+        environment = ECSMatrix(environment)
+    steps = [EvolutionStep("baseline", characterize(environment))]
+    current = environment
+    for edit in edits:
+        current, description = _apply(current, edit)
+        steps.append(EvolutionStep(description, characterize(current)))
+    return steps

@@ -1,0 +1,131 @@
+"""Full environment reports: one call, one human-readable document.
+
+:func:`environment_report` assembles everything the library knows about
+an HC environment into a Markdown document: the three measures with the
+Section II-D comparison statistics, the regime description, the
+affinity groups, per-edit what-if highlights, and the standard-form
+diagnostics.  This is the "downstream user" entry point — the function
+a capacity-planning script calls to turn an ETC matrix into a report a
+human can act on.
+"""
+
+from __future__ import annotations
+
+from ..core.environment import ECSMatrix, ETCMatrix
+from ..measures.clusters import affinity_clusters
+from ..measures.report import characterize
+from .regimes import describe_regime
+from .whatif import whatif_drop_machines, whatif_drop_tasks
+
+__all__ = ["environment_report"]
+
+
+def _wrap(matrix) -> ETCMatrix | ECSMatrix:
+    if isinstance(matrix, (ETCMatrix, ECSMatrix)):
+        return matrix
+    return ECSMatrix(matrix)
+
+
+def environment_report(
+    matrix,
+    *,
+    name: str = "environment",
+    include_whatif: bool = True,
+    max_whatif_rows: int = 5,
+) -> str:
+    """Produce a Markdown report for one HC environment.
+
+    Parameters
+    ----------
+    matrix : ETCMatrix, ECSMatrix or array-like
+        The environment (raw arrays are interpreted as ECS).
+    name : str
+        Heading for the report.
+    include_whatif : bool
+        Include the highest-impact removal entries (adds T + M
+        characterizations of sub-environments; disable for very large
+        matrices).
+    max_whatif_rows : int
+        How many removal entries to show per axis, ranked by total
+        absolute measure shift.
+
+    Examples
+    --------
+    >>> text = environment_report([[1.0, 4.0], [4.0, 1.0]], name="demo")
+    >>> "## Measures" in text and "demo" in text
+    True
+    """
+    env = _wrap(matrix)
+    profile = characterize(env)
+    lines = [f"# Heterogeneity report: {name}", ""]
+    lines.append(
+        f"{profile.n_tasks} task types x {profile.n_machines} machines — "
+        f"{describe_regime(profile)}."
+    )
+    lines.append("")
+
+    lines.append("## Measures")
+    lines.append("")
+    lines.append("| measure | value | comparison statistics |")
+    lines.append("|---|---|---|")
+    lines.append(
+        f"| MPH (machine performance homogeneity) | {profile.mph:.4f} | "
+        f"R={profile.machine_r:.4f}, G={profile.machine_g:.4f}, "
+        f"COV={profile.machine_cov:.4f} |"
+    )
+    lines.append(
+        f"| TDH (task difficulty homogeneity) | {profile.tdh:.4f} | "
+        f"R={profile.task_r:.4f}, G={profile.task_g:.4f}, "
+        f"COV={profile.task_cov:.4f} |"
+    )
+    lines.append(
+        f"| TMA (task-machine affinity) | {profile.tma:.4f} | "
+        f"{profile.tma_method} form |"
+    )
+    if profile.sinkhorn_iterations is not None:
+        lines.append("")
+        lines.append(
+            f"Standard form converged in {profile.sinkhorn_iterations} "
+            f"iterations (residual {profile.sinkhorn_residual:.2e})."
+        )
+    lines.append("")
+
+    lines.append("## Affinity structure")
+    lines.append("")
+    clusters = affinity_clusters(env)
+    if clusters.n_clusters == 1:
+        lines.append(
+            "No significant affinity groups: every machine ranks the task "
+            "types the same way."
+        )
+    else:
+        lines.append(
+            f"{clusters.n_clusters} affinity groups "
+            f"(strength = {clusters.strength:.4f}):"
+        )
+        lines.append("")
+        for cid in range(clusters.n_clusters):
+            tasks = [env.task_names[i] for i in clusters.task_groups()[cid]]
+            machines = [
+                env.machine_names[j] for j in clusters.machine_groups()[cid]
+            ]
+            lines.append(
+                f"* group {cid}: tasks {tasks} prefer machines {machines}"
+            )
+    lines.append("")
+
+    if include_whatif:
+        lines.append("## Highest-impact removals")
+        lines.append("")
+        entries = whatif_drop_tasks(env) + whatif_drop_machines(env)
+        entries.sort(
+            key=lambda e: abs(e.delta_mph)
+            + abs(e.delta_tdh)
+            + abs(e.delta_tma),
+            reverse=True,
+        )
+        for entry in entries[:max_whatif_rows]:
+            lines.append(f"* {entry.summary()}")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""What-if studies: heterogeneity impact of environment edits.
+
+Each function perturbs an environment (drop or add task types /
+machines), recomputes the three measures, and reports the deltas — the
+"what-if studies" application from the paper's introduction.  All
+functions leave the input untouched (the core matrix classes are
+copy-on-edit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.environment import ECSMatrix, ETCMatrix
+from ..measures.report import HeterogeneityProfile, characterize
+
+__all__ = [
+    "WhatIfEntry",
+    "whatif_drop_tasks",
+    "whatif_drop_machines",
+    "whatif_add_task",
+    "whatif_add_machine",
+]
+
+
+@dataclass(frozen=True)
+class WhatIfEntry:
+    """The measure shift caused by one hypothetical edit.
+
+    Attributes
+    ----------
+    description : str
+        Human-readable edit, e.g. ``"drop task 436.cactusADM"``.
+    before, after : HeterogeneityProfile
+        Full profiles around the edit.
+    """
+
+    description: str
+    before: HeterogeneityProfile
+    after: HeterogeneityProfile
+
+    @property
+    def delta_mph(self) -> float:
+        return self.after.mph - self.before.mph
+
+    @property
+    def delta_tdh(self) -> float:
+        return self.after.tdh - self.before.tdh
+
+    @property
+    def delta_tma(self) -> float:
+        return self.after.tma - self.before.tma
+
+    def summary(self) -> str:
+        return (
+            f"{self.description}: "
+            f"MPH {self.before.mph:.3f}→{self.after.mph:.3f} "
+            f"({self.delta_mph:+.3f}), "
+            f"TDH {self.before.tdh:.3f}→{self.after.tdh:.3f} "
+            f"({self.delta_tdh:+.3f}), "
+            f"TMA {self.before.tma:.3f}→{self.after.tma:.3f} "
+            f"({self.delta_tma:+.3f})"
+        )
+
+
+def _wrap(matrix) -> ETCMatrix | ECSMatrix:
+    if isinstance(matrix, (ETCMatrix, ECSMatrix)):
+        return matrix
+    return ECSMatrix(matrix)
+
+
+def whatif_drop_tasks(
+    matrix, tasks: Iterable[int | str] | None = None
+) -> list[WhatIfEntry]:
+    """Effect of removing each task type (one at a time).
+
+    ``tasks`` restricts the study to the given names/indices; the
+    default tries every task type.  Single-task environments cannot
+    drop anything and yield an empty list.
+    """
+    env = _wrap(matrix)
+    if env.n_tasks < 2:
+        return []
+    before = characterize(env)
+    candidates = list(tasks) if tasks is not None else list(env.task_names)
+    entries = []
+    for task in candidates:
+        name = env.task_names[env.task_index(task)]
+        after = characterize(env.drop_tasks([task]))
+        entries.append(
+            WhatIfEntry(
+                description=f"drop task {name}", before=before, after=after
+            )
+        )
+    return entries
+
+
+def whatif_drop_machines(
+    matrix, machines: Iterable[int | str] | None = None
+) -> list[WhatIfEntry]:
+    """Effect of removing each machine (one at a time)."""
+    env = _wrap(matrix)
+    if env.n_machines < 2:
+        return []
+    before = characterize(env)
+    candidates = (
+        list(machines) if machines is not None else list(env.machine_names)
+    )
+    entries = []
+    for machine in candidates:
+        name = env.machine_names[env.machine_index(machine)]
+        after = characterize(env.drop_machines([machine]))
+        entries.append(
+            WhatIfEntry(
+                description=f"drop machine {name}",
+                before=before,
+                after=after,
+            )
+        )
+    return entries
+
+
+def whatif_add_task(matrix, name: str, row: Sequence[float]) -> WhatIfEntry:
+    """Effect of adding one task type with the given matrix row.
+
+    The row is in the same representation as ``matrix`` (ETC row for an
+    ETC environment, ECS row otherwise).
+    """
+    env = _wrap(matrix)
+    return WhatIfEntry(
+        description=f"add task {name}",
+        before=characterize(env),
+        after=characterize(env.add_task(name, row)),
+    )
+
+
+def whatif_add_machine(matrix, name: str, column: Sequence[float]) -> WhatIfEntry:
+    """Effect of adding one machine with the given matrix column."""
+    env = _wrap(matrix)
+    return WhatIfEntry(
+        description=f"add machine {name}",
+        before=characterize(env),
+        after=characterize(env.add_machine(name, column)),
+    )

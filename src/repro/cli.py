@@ -1,0 +1,276 @@
+"""Command-line interface: ``repro-hc`` / ``python -m repro``.
+
+Subcommands
+-----------
+``measures FILE``
+    Compute MPH/TDH/TMA (and the comparison statistics) for an ETC CSV.
+``dataset NAME``
+    Print a bundled dataset's measures (``cint2006rate``,
+    ``cfp2006rate``) or list them with ``--list``.
+``generate``
+    Emit an ETC CSV hitting requested (MPH, TDH, TMA) targets.
+``whatif FILE``
+    Per-task/per-machine removal impact table for an ETC CSV.
+``schedule FILE``
+    Run mapping heuristics on an ETC CSV workload and print makespans.
+``cluster FILE``
+    Extract the task/machine affinity groups (spectral co-clustering on
+    the standard form).
+``sensitivity FILE``
+    Robustness of the measures under multiplicative estimation noise.
+``report FILE``
+    Full Markdown heterogeneity report (measures, regime, affinity
+    groups, highest-impact removals).
+``recommend FILE``
+    Measure-driven mapping-heuristic recommendation (and optionally the
+    measured makespan ranking to check it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from . import __version__
+from .analysis.whatif import whatif_drop_machines, whatif_drop_tasks
+from .core.io import load_etc_csv, save_etc_csv
+from .exceptions import ReproError
+from .generate.target_driven import from_targets
+from .measures.report import characterize
+from .scheduling.selection import compare_heuristics
+from .spec.datasets import list_datasets, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-hc`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hc",
+        description="Heterogeneity measures for HC environments "
+        "(MPH / TDH / TMA, IPDPS 2011 reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measures", help="characterize an ETC CSV file")
+    p.add_argument("file", help="labelled ETC CSV (see repro.core.io)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("dataset", help="characterize a bundled dataset")
+    p.add_argument("name", nargs="?", help="dataset name")
+    p.add_argument("--list", action="store_true", help="list dataset names")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("generate", help="generate an ETC CSV with target measures")
+    p.add_argument("--tasks", type=int, required=True)
+    p.add_argument("--machines", type=int, required=True)
+    p.add_argument("--mph", type=float, default=0.7)
+    p.add_argument("--tdh", type=float, default=0.7)
+    p.add_argument("--tma", type=float, default=0.2)
+    p.add_argument("--jitter", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("-o", "--output", required=True, help="output CSV path")
+
+    p = sub.add_parser("whatif", help="removal impact study for an ETC CSV")
+    p.add_argument("file")
+    p.add_argument(
+        "--axis",
+        choices=("tasks", "machines", "both"),
+        default="both",
+        help="which removals to study",
+    )
+
+    p = sub.add_parser("schedule", help="run mapping heuristics on an ETC CSV")
+    p.add_argument("file")
+    p.add_argument("--total", type=int, default=None,
+                   help="task instances to draw (default: one per type)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--heuristics",
+        default=None,
+        help="comma-separated registry names (default: all but ga)",
+    )
+
+    p = sub.add_parser(
+        "cluster", help="extract task/machine affinity groups"
+    )
+    p.add_argument("file")
+    p.add_argument("--clusters", type=int, default=None,
+                   help="group count (default: from the singular spectrum)")
+
+    p = sub.add_parser(
+        "sensitivity", help="measure robustness under estimation noise"
+    )
+    p.add_argument("file")
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument(
+        "--noise",
+        default="0.01,0.05,0.1,0.2",
+        help="comma-separated log-space sigma levels",
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report", help="full Markdown heterogeneity report")
+    p.add_argument("file")
+    p.add_argument("--name", default=None, help="report heading")
+    p.add_argument("--no-whatif", action="store_true",
+                   help="skip the removal-impact section")
+
+    p = sub.add_parser(
+        "recommend", help="measure-driven mapping-heuristic recommendation"
+    )
+    p.add_argument("file")
+    p.add_argument("--check", action="store_true",
+                   help="also run every heuristic and show the ranking")
+    p.add_argument("--total", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _print_profile(profile, as_json: bool) -> None:
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "n_tasks": profile.n_tasks,
+                    "n_machines": profile.n_machines,
+                    "mph": profile.mph,
+                    "tdh": profile.tdh,
+                    "tma": profile.tma,
+                    "tma_method": profile.tma_method,
+                    "machine_r": profile.machine_r,
+                    "machine_g": profile.machine_g,
+                    "machine_cov": profile.machine_cov,
+                    "task_r": profile.task_r,
+                    "task_g": profile.task_g,
+                    "task_cov": profile.task_cov,
+                    "sinkhorn_iterations": profile.sinkhorn_iterations,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(profile.summary())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "measures":
+            _print_profile(characterize(load_etc_csv(args.file)), args.json)
+        elif args.command == "dataset":
+            if args.list or not args.name:
+                for name in list_datasets():
+                    print(name)
+            else:
+                _print_profile(characterize(load_dataset(args.name)), args.json)
+        elif args.command == "generate":
+            env = from_targets(
+                args.tasks,
+                args.machines,
+                (args.mph, args.tdh, args.tma),
+                jitter=args.jitter,
+                seed=args.seed,
+            )
+            save_etc_csv(env.to_etc(), args.output)
+            profile = characterize(env)
+            print(f"wrote {args.output}")
+            print(profile.summary())
+        elif args.command == "whatif":
+            env = load_etc_csv(args.file)
+            entries = []
+            if args.axis in ("tasks", "both"):
+                entries += whatif_drop_tasks(env)
+            if args.axis in ("machines", "both"):
+                entries += whatif_drop_machines(env)
+            for entry in entries:
+                print(entry.summary())
+        elif args.command == "schedule":
+            env = load_etc_csv(args.file)
+            names = (
+                [n.strip() for n in args.heuristics.split(",")]
+                if args.heuristics
+                else None
+            )
+            comparison = compare_heuristics(
+                env, heuristics=names, total=args.total, seed=args.seed
+            )
+            width = max(len(n) for n in comparison.makespans)
+            for name, value in sorted(
+                comparison.makespans.items(), key=lambda kv: kv[1]
+            ):
+                print(f"{name.ljust(width)}  makespan={value:.2f}")
+            print(f"best: {comparison.best}")
+        elif args.command == "cluster":
+            from .measures.clusters import affinity_clusters
+
+            env = load_etc_csv(args.file)
+            clusters = affinity_clusters(env, n_clusters=args.clusters)
+            print(
+                f"{clusters.n_clusters} affinity group(s), "
+                f"strength (TMA) = {clusters.strength:.4f}"
+            )
+            for cid in range(clusters.n_clusters):
+                tasks = [
+                    env.task_names[i] for i in clusters.task_groups()[cid]
+                ]
+                machines = [
+                    env.machine_names[j]
+                    for j in clusters.machine_groups()[cid]
+                ]
+                print(f"group {cid}: tasks={tasks} machines={machines}")
+        elif args.command == "sensitivity":
+            from .analysis.sensitivity import sensitivity_study
+
+            env = load_etc_csv(args.file)
+            levels = tuple(
+                float(x) for x in args.noise.split(",") if x.strip()
+            )
+            result = sensitivity_study(
+                env, noise_levels=levels, trials=args.trials, seed=args.seed
+            )
+            print(result.table())
+        elif args.command == "report":
+            from .analysis.reporting import environment_report
+
+            env = load_etc_csv(args.file)
+            print(
+                environment_report(
+                    env,
+                    name=args.name or args.file,
+                    include_whatif=not args.no_whatif,
+                )
+            )
+        elif args.command == "recommend":
+            from .scheduling.selection import recommend_heuristic
+
+            env = load_etc_csv(args.file)
+            name, reason = recommend_heuristic(env)
+            print(f"recommended: {name}")
+            print(f"reason: {reason}")
+            if args.check:
+                comparison = compare_heuristics(
+                    env, total=args.total, seed=args.seed
+                )
+                for h, ratio in sorted(
+                    comparison.ratios.items(), key=lambda kv: kv[1]
+                ):
+                    marker = "  <- recommended" if h == name else ""
+                    print(f"  {h:<10} ratio={ratio:.2f}{marker}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Core environment model: ETC and ECS matrices.
+
+A heterogeneous computing (HC) environment is represented either by an
+*estimated time to compute* (ETC) matrix — entry ``(i, j)`` is the time
+task type ``i`` takes on machine ``j`` when run alone — or by its
+element-wise reciprocal, the *estimated computation speed* (ECS) matrix
+(paper eq. 1).  :class:`ETCMatrix` and :class:`ECSMatrix` wrap the raw
+arrays with task/machine labels, optional weighting factors (paper
+eqs. 4 and 6), compatibility handling (``inf`` ETC ⇔ ``0`` ECS), and
+what-if editing operations (add/remove task types and machines).
+"""
+
+from .environment import ECSMatrix, ETCMatrix, etc_to_ecs, ecs_to_etc
+from .io import (
+    load_etc_csv,
+    save_etc_csv,
+    load_environment_json,
+    save_environment_json,
+)
+
+__all__ = [
+    "ETCMatrix",
+    "ECSMatrix",
+    "etc_to_ecs",
+    "ecs_to_etc",
+    "load_etc_csv",
+    "save_etc_csv",
+    "load_environment_json",
+    "save_environment_json",
+]

@@ -1,0 +1,141 @@
+"""Serialization for HC environments.
+
+Two formats:
+
+* **CSV** — a plain rectangular table with machine names in the header
+  row and task names in the first column, matching the layout of the
+  paper's Figs. 6 and 7.  Incompatible ETC entries are written as
+  ``inf``.
+* **JSON** — a self-describing document that also carries the
+  weighting-factor vectors and the matrix kind ("etc" or "ecs").
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import MatrixShapeError, MatrixValueError
+from .environment import ECSMatrix, ETCMatrix
+
+__all__ = [
+    "load_etc_csv",
+    "save_etc_csv",
+    "load_environment_json",
+    "save_environment_json",
+]
+
+_PathLike = Union[str, os.PathLike]
+
+
+def save_etc_csv(etc: ETCMatrix, path: _PathLike) -> None:
+    """Write an :class:`ETCMatrix` as a labelled CSV table."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["task", *etc.machine_names])
+        for name, row in zip(etc.task_names, etc.values):
+            writer.writerow([name, *[repr(float(v)) for v in row]])
+
+
+def load_etc_csv(path: _PathLike) -> ETCMatrix:
+    """Read a labelled CSV table written by :func:`save_etc_csv`.
+
+    The header row must be ``task,<machine names...>``; each body row is
+    ``<task name>,<times...>`` where a time may be ``inf`` for an
+    incompatible pair.
+    """
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise MatrixShapeError(f"{path}: empty CSV file") from None
+        if len(header) < 2:
+            raise MatrixShapeError(
+                f"{path}: header must contain at least one machine column"
+            )
+        machine_names = [h.strip() for h in header[1:]]
+        task_names: list[str] = []
+        rows: list[list[float]] = []
+        for lineno, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(header):
+                raise MatrixShapeError(
+                    f"{path}:{lineno}: expected {len(header)} cells, got "
+                    f"{len(row)}"
+                )
+            task_names.append(row[0].strip())
+            try:
+                rows.append([float(cell) for cell in row[1:]])
+            except ValueError as exc:
+                raise MatrixValueError(f"{path}:{lineno}: {exc}") from None
+    if not rows:
+        raise MatrixShapeError(f"{path}: no data rows")
+    return ETCMatrix(
+        np.asarray(rows, dtype=np.float64),
+        task_names=task_names,
+        machine_names=machine_names,
+    )
+
+
+def save_environment_json(
+    matrix: ETCMatrix | ECSMatrix, path: _PathLike
+) -> None:
+    """Write an environment (either representation) as JSON.
+
+    The document records the matrix kind, labels, values, and both
+    weighting-factor vectors, so a round trip is lossless.
+    """
+    kind = "etc" if isinstance(matrix, ETCMatrix) else "ecs"
+    values = [
+        [("inf" if np.isinf(v) else float(v)) for v in row]
+        for row in matrix.values
+    ]
+    doc = {
+        "kind": kind,
+        "task_names": list(matrix.task_names),
+        "machine_names": list(matrix.machine_names),
+        "task_weights": [float(w) for w in matrix.task_weights],
+        "machine_weights": [float(w) for w in matrix.machine_weights],
+        "values": values,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def load_environment_json(path: _PathLike) -> ETCMatrix | ECSMatrix:
+    """Read an environment written by :func:`save_environment_json`."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    for key in ("kind", "values", "task_names", "machine_names"):
+        if key not in doc:
+            raise MatrixValueError(f"{path}: missing {key!r} field")
+    values = np.asarray(
+        [
+            [np.inf if v == "inf" else float(v) for v in row]
+            for row in doc["values"]
+        ],
+        dtype=np.float64,
+    )
+    cls: type[ETCMatrix] | type[ECSMatrix]
+    if doc["kind"] == "etc":
+        cls = ETCMatrix
+    elif doc["kind"] == "ecs":
+        cls = ECSMatrix
+    else:
+        raise MatrixValueError(
+            f"{path}: kind must be 'etc' or 'ecs', got {doc['kind']!r}"
+        )
+    return cls(
+        values,
+        task_names=doc["task_names"],
+        machine_names=doc["machine_names"],
+        task_weights=doc.get("task_weights"),
+        machine_weights=doc.get("machine_weights"),
+    )

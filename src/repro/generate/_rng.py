@@ -1,0 +1,20 @@
+"""Seed/generator handling shared by every stochastic routine.
+
+All generators in this library take a ``seed`` argument that accepts an
+``int``, ``numpy.random.Generator``, or ``None`` and is resolved through
+:func:`resolve_rng`.  Determinism contract: the same seed always yields
+the same environment on the same numpy version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resolve_rng"]
+
+
+def resolve_rng(seed) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,326 @@
+"""Measure-driven ETC generation: hit exact (MPH, TDH, TMA) targets.
+
+The paper's reference [2] motivates generating environments "that span
+the entire range of heterogeneities".  With the standard form in hand
+this can be done *constructively* rather than by rejection sampling:
+
+1. **TMA** — build an affinity core by blending a flat matrix (zero
+   affinity) with a block task→machine assignment pattern (maximal
+   affinity) and bisect the blend weight until the standardized core's
+   TMA hits the target.  Optionally a random positive matrix is mixed
+   in for ensemble variety.
+2. **MPH / TDH** — geometric margin vectors with common ratio equal to
+   the target homogeneity have an average adjacent ratio *exactly*
+   equal to that target.  Imposing them with
+   :func:`repro.normalize.scale_to_margins` fixes MPH and TDH exactly
+   while — by Theorem 1's uniqueness of the standard form —
+   **leaving TMA unchanged**, because any two matrices related by
+   diagonal scalings share the same standard form.
+
+The result is an ECS matrix whose three measures equal the requested
+targets up to the Sinkhorn/bisection tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..core.environment import ECSMatrix
+from ..exceptions import GenerationError
+from ..measures.affinity import tma as _tma
+from ..normalize.sinkhorn import scale_to_margins
+from ._rng import resolve_rng
+
+__all__ = [
+    "TargetSpec",
+    "margins_for_homogeneity",
+    "affinity_core",
+    "from_targets",
+]
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """A requested (MPH, TDH, TMA) triple for a T × M environment."""
+
+    mph: float
+    tdh: float
+    tma: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("mph", self.mph), ("tdh", self.tdh)):
+            if not 0.0 < value <= 1.0:
+                raise GenerationError(
+                    f"{name} target must be in (0, 1], got {value}"
+                )
+        if not 0.0 <= self.tma < 1.0:
+            raise GenerationError(
+                f"tma target must be in [0, 1), got {self.tma} (exactly 1 "
+                "requires zero entries and is shape-dependent)"
+            )
+
+
+def margins_for_homogeneity(
+    count: int, homogeneity: float, *, total: float = 1.0
+) -> np.ndarray:
+    """Ascending geometric margin vector with exact adjacent-ratio mean.
+
+    Returns ``v`` with ``v[k] = ratio ** (count - 1 - k)`` scaled to sum
+    to ``total``; every adjacent ratio ``v[k] / v[k+1]`` equals
+    ``homogeneity``, so the MPH/TDH of any matrix with these column/row
+    sums is exactly ``homogeneity``.
+
+    Examples
+    --------
+    >>> margins_for_homogeneity(3, 0.5, total=7.0)
+    array([1., 2., 4.])
+    """
+    count = check_positive_int(count, name="count")
+    if not 0.0 < homogeneity <= 1.0:
+        raise GenerationError(
+            f"homogeneity must be in (0, 1], got {homogeneity}"
+        )
+    v = homogeneity ** np.arange(count - 1, -1, -1, dtype=np.float64)
+    return v * (total / v.sum())
+
+
+def _assignment_pattern(n_tasks: int, n_machines: int) -> np.ndarray:
+    """Balanced 0/1 task→machine block pattern (the max-affinity anchor).
+
+    Task ``i`` is assigned to machine ``i * M // T`` when ``T >= M``
+    (contiguous near-equal groups); when ``T < M``, machines are grouped
+    onto tasks symmetrically.  The standardized pattern's non-maximum
+    singular values approach 1, i.e. the TMA → 1 corner.
+    """
+    pattern = np.zeros((n_tasks, n_machines), dtype=np.float64)
+    if n_tasks >= n_machines:
+        owners = (np.arange(n_tasks) * n_machines) // n_tasks
+        pattern[np.arange(n_tasks), owners] = 1.0
+    else:
+        owners = (np.arange(n_machines) * n_tasks) // n_machines
+        pattern[owners, np.arange(n_machines)] = 1.0
+    return pattern
+
+
+def affinity_core(
+    n_tasks: int,
+    n_machines: int,
+    theta: float,
+    *,
+    jitter: float = 0.0,
+    seed=None,
+) -> np.ndarray:
+    """Blend the flat and block anchors: ``(1-θ)·base + θ·K``.
+
+    ``θ = 0`` gives a flat (plus optional random jitter) matrix with
+    near-zero TMA; ``θ → 1`` approaches the block assignment pattern
+    with TMA near 1.  ``jitter`` in [0, 1) mixes a positive random
+    matrix into the flat anchor for ensemble diversity.
+    """
+    n_tasks = check_positive_int(n_tasks, name="n_tasks")
+    n_machines = check_positive_int(n_machines, name="n_machines")
+    theta = check_probability(theta, name="theta")
+    jitter = check_probability(jitter, name="jitter")
+    base = np.ones((n_tasks, n_machines), dtype=np.float64)
+    if jitter > 0.0:
+        rng = resolve_rng(seed)
+        noise = rng.uniform(0.2, 1.8, size=base.shape)
+        base = (1.0 - jitter) * base + jitter * noise
+    base /= base.mean()
+    block = _assignment_pattern(n_tasks, n_machines) * (
+        n_tasks * n_machines / _assignment_pattern(n_tasks, n_machines).sum()
+    )
+    core = (1.0 - theta) * base + theta * block
+    if theta >= 1.0:
+        # Pure pattern has zeros; keep strict positivity for Sinkhorn.
+        core = np.maximum(core, 1e-12)
+    return core
+
+
+def _bisect_theta(
+    n_tasks: int,
+    n_machines: int,
+    target: float,
+    jitter: float,
+    seed,
+    *,
+    tol: float,
+    max_steps: int = 60,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Find the blend weight whose core TMA equals ``target``.
+
+    ``mask`` marks incompatible (forced-zero) entries; it is applied to
+    every candidate core, so the bisection optimizes the TMA *of the
+    masked environment* and the achievable range shifts accordingly
+    (a zero pattern carries affinity of its own).
+    """
+    rng = resolve_rng(seed)
+    # One fixed jittered base per call: re-seeding inside the loop would
+    # change the function being bisected.
+    state = rng.integers(0, 2**63 - 1)
+
+    def apply_mask(core: np.ndarray) -> np.ndarray:
+        if mask is not None:
+            core = np.where(mask, 0.0, core)
+        return core
+
+    def core_at(theta: float) -> np.ndarray:
+        return apply_mask(
+            affinity_core(
+                n_tasks,
+                n_machines,
+                theta,
+                jitter=jitter,
+                seed=np.random.default_rng(int(state)),
+            )
+        )
+
+    def f(theta: float) -> float:
+        return _tma(core_at(theta), method="standard")
+
+    # With forced zeros the θ→1 corner combines the mask with the
+    # near-zero off-block blend, which makes σ₂ → 1 and Sinkhorn
+    # arbitrarily slow; capping θ keeps every evaluation cheap at the
+    # cost of a slightly smaller achievable TMA range.
+    lo, hi = 0.0, (0.995 if mask is not None else 1.0 - 1e-9)
+    f_lo, f_hi = f(lo), f(hi)
+    if target <= f_lo:
+        if f_lo - target <= tol or (jitter == 0.0 and mask is None):
+            return core_at(lo)
+        if jitter == 0.0:
+            raise GenerationError(
+                f"the zero pattern alone forces TMA >= {f_lo:.4f}, above "
+                f"the target {target:.4f}"
+            )
+        # The jittered base already exceeds the target: fade the jitter
+        # toward the flat matrix instead (TMA → 0 as phi → 0).
+        flat = np.ones((n_tasks, n_machines), dtype=np.float64)
+
+        def faded(phi: float) -> np.ndarray:
+            return apply_mask((1.0 - phi) * flat + phi * core_at(0.0))
+
+        p_lo, p_hi = 0.0, 1.0
+        f_flat = _tma(faded(0.0), method="standard")
+        if target < f_flat - max(tol, 1e-6):
+            raise GenerationError(
+                f"the zero pattern alone forces TMA >= {f_flat:.4f}, "
+                f"above the target {target:.4f}"
+            )
+        for _ in range(max_steps):
+            mid = 0.5 * (p_lo + p_hi)
+            f_mid = _tma(faded(mid), method="standard")
+            if abs(f_mid - target) <= tol:
+                return faded(mid)
+            if f_mid < target:
+                p_lo = mid
+            else:
+                p_hi = mid
+        return faded(0.5 * (p_lo + p_hi))
+    if target >= f_hi:
+        if target - f_hi > max(tol, 5e-3):
+            raise GenerationError(
+                f"TMA target {target:.4f} exceeds the maximum achievable "
+                f"{f_hi:.4f} for shape ({n_tasks}, {n_machines})"
+            )
+        return core_at(hi)
+    for _ in range(max_steps):
+        mid = 0.5 * (lo + hi)
+        f_mid = f(mid)
+        if abs(f_mid - target) <= tol:
+            return core_at(mid)
+        if f_mid < target:
+            lo = mid
+        else:
+            hi = mid
+    return core_at(0.5 * (lo + hi))
+
+
+def from_targets(
+    n_tasks: int,
+    n_machines: int,
+    targets: TargetSpec | tuple[float, float, float],
+    *,
+    jitter: float = 0.0,
+    seed=None,
+    tma_tol: float = 1e-6,
+    zero_pattern=None,
+) -> ECSMatrix:
+    """Generate an ECS matrix whose (MPH, TDH, TMA) equal ``targets``.
+
+    Parameters
+    ----------
+    n_tasks, n_machines : int
+        Environment dimensions.
+    targets : TargetSpec or (mph, tdh, tma) tuple
+        Requested measure values; MPH/TDH in (0, 1], TMA in [0, 1).
+    jitter : float
+        Randomness blended into the affinity core for ensemble variety
+        (0 gives the deterministic canonical construction).  Large
+        jitter can raise the minimum achievable TMA.
+    seed : int, Generator or None
+        Randomness source (only used when ``jitter > 0``).
+    tma_tol : float
+        Bisection tolerance on the achieved TMA.
+    zero_pattern : array-like of bool, optional
+        Incompatible (task, machine) pairs to force to zero speed.  The
+        pattern must admit a standard form
+        (:func:`repro.structure.is_normalizable`), and it carries
+        affinity of its own, so the minimum achievable TMA rises with
+        it (an unreachable low target raises
+        :class:`~repro.exceptions.GenerationError`).
+
+    Returns
+    -------
+    ECSMatrix
+        MPH and TDH are exact (geometric margins); TMA is within
+        ``tma_tol`` of the target.
+
+    Examples
+    --------
+    >>> from repro.measures import mph, tdh, tma
+    >>> env = from_targets(6, 4, (0.7, 0.9, 0.3))
+    >>> round(mph(env), 6), round(tdh(env), 6)
+    (0.7, 0.9)
+    >>> abs(tma(env) - 0.3) < 1e-4
+    True
+    """
+    if not isinstance(targets, TargetSpec):
+        targets = TargetSpec(*targets)
+    n_tasks = check_positive_int(n_tasks, name="n_tasks")
+    n_machines = check_positive_int(n_machines, name="n_machines")
+    if (n_tasks == 1 or n_machines == 1) and targets.tma > 0.0:
+        raise GenerationError(
+            "a single-row or single-column matrix always has TMA = 0"
+        )
+    mask = None
+    if zero_pattern is not None:
+        mask = np.asarray(zero_pattern, dtype=bool)
+        if mask.shape != (n_tasks, n_machines):
+            raise GenerationError(
+                f"zero_pattern must have shape ({n_tasks}, {n_machines}), "
+                f"got {mask.shape}"
+            )
+        if mask.any():
+            from ..structure import is_normalizable
+
+            if not is_normalizable(~mask):
+                raise GenerationError(
+                    "zero_pattern admits no standard form (it is "
+                    "decomposable in the Section-VI sense); repair it "
+                    "first — see repro.structure.suggest_repairs"
+                )
+        else:
+            mask = None
+    core = _bisect_theta(
+        n_tasks, n_machines, targets.tma, jitter, seed, tol=tma_tol,
+        mask=mask,
+    )
+    total = float(n_tasks * n_machines)
+    row_margins = margins_for_homogeneity(n_tasks, targets.tdh, total=total)
+    col_margins = margins_for_homogeneity(n_machines, targets.mph, total=total)
+    scaled = scale_to_margins(core, row_margins, col_margins, tol=1e-12)
+    return ECSMatrix(scaled.matrix)

@@ -1,0 +1,135 @@
+"""Task-machine affinity (paper Sections II-E and III-D).
+
+TMA captures the aspect of heterogeneity MPH and TDH miss: different
+sets of task types being better suited to different sets of machines.
+Geometrically it is column correlation — identical column directions
+(zero affinity) collapse the non-maximum singular values to 0, while
+orthogonal affinity structure pushes them up toward σ1.
+
+Two computation methods:
+
+* ``method="standard"`` (default, eq. 8): standardize the ECS matrix
+  (rows sum to ``sqrt(M/T)``, columns to ``sqrt(T/M)``) so σ1 = 1
+  exactly (Theorem 2), then ::
+
+      TMA = sum_{i=2}^{min(T,M)} σ_i / (min(T,M) - 1)
+
+  This is the paper's contribution: with the standard form, TMA is
+  independent of both MPH and TDH.
+
+* ``method="column"`` (eq. 5, the precursor [2]): 1-norm column
+  normalization only, with the explicit ``1/σ1`` factor.  Available for
+  comparison and as a fallback for matrices whose zero pattern admits
+  no standard form (Section VI).
+
+TMA lies in ``[0, 1]``; matrices with a single row or column have no
+non-maximum singular values and TMA is defined as 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..exceptions import MatrixValueError
+from ..normalize.standard_form import (
+    DEFAULT_TOL,
+    column_normalize,
+    standardize,
+)
+
+__all__ = ["tma", "task_machine_affinity", "standard_singular_values"]
+
+
+def standard_singular_values(
+    matrix,
+    *,
+    tol: float = DEFAULT_TOL,
+    max_iterations: int = 100_000,
+    zeros: str = "strict",
+) -> np.ndarray:
+    """Singular values of the standard-form ECS matrix, descending.
+
+    By Theorem 2 the first value is 1 up to the normalization
+    tolerance; the remainder are the raw material of TMA (eq. 8).
+    ``scipy.linalg.svdvals`` is used — values only, no singular vectors,
+    the economical call the guides recommend for this access pattern.
+    ``zeros`` selects the Section-VI handling (see
+    :func:`repro.normalize.standardize`).
+    """
+    standard = standardize(
+        matrix, tol=tol, max_iterations=max_iterations, zeros=zeros
+    )
+    return scipy.linalg.svdvals(standard.matrix)
+
+
+def tma(
+    matrix,
+    *,
+    method: str = "standard",
+    tol: float = DEFAULT_TOL,
+    max_iterations: int = 100_000,
+    zeros: str = "strict",
+) -> float:
+    """Task-machine affinity (paper eq. 8, or eq. 5 for ``"column"``).
+
+    Parameters
+    ----------
+    matrix : ECSMatrix, ETCMatrix or array-like
+        The environment.  ECSMatrix weighting factors are applied before
+        normalization; ETC inputs are converted through eq. 1.
+    method : {"standard", "column"}
+        ``"standard"`` — eq. 8 on the standard-form matrix (requires the
+        zero pattern to be normalizable; raises
+        :class:`~repro.exceptions.NotNormalizableError` otherwise).
+        ``"column"`` — eq. 5 on the column-normalized matrix (always
+        defined).
+    tol, max_iterations
+        Sinkhorn controls for the standard form (ignored for
+        ``"column"``).
+    zeros : {"strict", "limit"}
+        Section-VI zero handling for the standard form; ``"limit"``
+        evaluates TMA on the eq.-9 limit (the paper's Fig. 4 semantics
+        for matrices A, B, D).  Ignored for ``method="column"``.
+
+    Returns
+    -------
+    float in [0, 1]
+
+    Examples
+    --------
+    Identical columns — no affinity:
+
+    >>> round(tma([[2.0, 2.0], [1.0, 1.0]]), 9)
+    0.0
+
+    A task type that runs on only one machine — total affinity
+    (paper Fig. 4, matrices A-D):
+
+    >>> round(tma([[1.0, 0.0], [0.0, 1.0]]), 9)
+    1.0
+    """
+    if method == "standard":
+        values = standard_singular_values(
+            matrix, tol=tol, max_iterations=max_iterations, zeros=zeros
+        )
+        if values.shape[0] < 2:
+            return 0.0
+        # sigma_1 == 1 by Theorem 2 (up to tol); eq. 8 drops the 1/sigma_1.
+        raw = float(values[1:].sum() / (values.shape[0] - 1))
+    elif method == "column":
+        normalized = column_normalize(matrix)
+        values = scipy.linalg.svdvals(normalized)
+        if values.shape[0] < 2:
+            return 0.0
+        raw = float(values[1:].sum() / ((values.shape[0] - 1) * values[0]))
+    else:
+        raise MatrixValueError(
+            f"method must be 'standard' or 'column', got {method!r}"
+        )
+    # Clamp tiny numerical excursions (|error| ~ tol) into the range.
+    return float(min(max(raw, 0.0), 1.0))
+
+
+#: Long-form alias for :func:`tma`.
+task_machine_affinity = tma

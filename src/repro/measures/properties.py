@@ -1,0 +1,102 @@
+"""Verification helpers for the paper's three measure properties.
+
+Section I lists the properties a heterogeneity measure must satisfy:
+
+1. match intuition about heterogeneity,
+2. be invariant under scaling the ETC matrix by a constant (a change of
+   time units must not change the measured heterogeneity),
+3. be as independent as possible of the other measures in use.
+
+These helpers turn properties 2 and 3 into executable checks that the
+test suite (and downstream users validating custom measures) can run
+against any callable with the ``measure(ecs_matrix) -> float``
+signature.  Property 1 is exercised by the Fig. 2 / Fig. 4 experiment
+benchmarks instead — intuition is checked against the paper's stated
+orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import as_ecs_array, check_positive_scalar
+
+__all__ = [
+    "verify_scale_invariance",
+    "verify_range",
+    "verify_independence_shift",
+]
+
+Measure = Callable[[np.ndarray], float]
+
+
+def verify_scale_invariance(
+    measure: Measure,
+    matrix,
+    *,
+    factors: Sequence[float] = (0.001, 0.5, 3.0, 60.0, 1e6),
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> bool:
+    """Check property 2: ``measure(k * ECS) == measure(ECS)`` for all k.
+
+    Scaling the ETC matrix by ``k`` scales the ECS matrix by ``1/k``, so
+    invariance under positive scalings of the ECS matrix is the same
+    property.  Returns True when every factor agrees within tolerance.
+    """
+    ecs = as_ecs_array(matrix)
+    baseline = measure(ecs)
+    for factor in factors:
+        factor = check_positive_scalar(factor, name="factor")
+        if not np.isclose(
+            measure(ecs * factor), baseline, rtol=rtol, atol=atol
+        ):
+            return False
+    return True
+
+
+def verify_range(
+    measure: Measure,
+    matrices: Sequence,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+    atol: float = 1e-9,
+) -> bool:
+    """Check that ``measure`` stays within ``[low, high]`` on a corpus.
+
+    MPH and TDH live in ``(0, 1]`` and TMA in ``[0, 1]``; pass the
+    appropriate bounds.
+    """
+    for matrix in matrices:
+        value = measure(as_ecs_array(matrix))
+        if value < low - atol or value > high + atol:
+            return False
+    return True
+
+
+def verify_independence_shift(
+    measure: Measure,
+    matrix,
+    transform: Callable[[np.ndarray], np.ndarray],
+    *,
+    rtol: float = 1e-6,
+    atol: float = 1e-8,
+) -> bool:
+    """Check property 3 in its operational form: ``transform`` is
+    supposed to change *other* measures while leaving ``measure`` fixed.
+
+    Example: multiplying every column of the ECS matrix by a distinct
+    positive constant changes MPH at will but must not move TMA
+    (the standard form absorbs any diagonal column scaling) — that is
+    exactly what the Theorem-1 construction guarantees.
+
+    Returns True when ``measure`` is unchanged by ``transform`` within
+    tolerance.
+    """
+    ecs = as_ecs_array(matrix)
+    before = measure(ecs)
+    after = measure(as_ecs_array(transform(ecs.copy())))
+    return bool(np.isclose(before, after, rtol=rtol, atol=atol))

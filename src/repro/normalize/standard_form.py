@@ -1,0 +1,215 @@
+"""The standard ECS matrix (paper Section III-C, Theorems 1 and 2).
+
+A *standard* ECS matrix has every row summing to ``sqrt(M/T)`` and
+every column summing to ``sqrt(T/M)``.  By Theorem 2 its largest
+singular value is exactly 1, which
+
+* makes TMA independent of MPH (all column sums equal) and of TDH (all
+  row sums equal), and
+* removes the ``1/σ1`` factor from the TMA formula (eq. 5 → eq. 8).
+
+:func:`standardize` accepts a raw array or an :class:`~repro.core.ECSMatrix`
+(whose weighting factors are applied first, per eqs. 4/6) and runs the
+Sinkhorn iteration of :mod:`repro.normalize.sinkhorn` with those targets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_ecs_array
+from ..core.environment import ECSMatrix, ETCMatrix
+from ..exceptions import MatrixValueError, NotNormalizableError
+from .sinkhorn import NormalizationResult, sinkhorn_knopp
+
+__all__ = [
+    "StandardFormResult",
+    "standard_targets",
+    "standardize",
+    "column_normalize",
+    "is_standard",
+]
+
+#: Paper's stopping rule: max row/column-sum error below 1e-8 (Section V).
+DEFAULT_TOL = 1e-8
+
+
+def standard_targets(n_tasks: int, n_machines: int) -> tuple[float, float]:
+    """The Theorem-2 target sums ``(row_target, col_target)``.
+
+    Rows sum to ``sqrt(M/T)`` and columns to ``sqrt(T/M)``; this is
+    Theorem 1 with ``k = 1/sqrt(T*M)`` and forces ``σ1 = 1``.
+    """
+    if n_tasks < 1 or n_machines < 1:
+        raise ValueError("matrix dimensions must be positive")
+    return (
+        math.sqrt(n_machines / n_tasks),
+        math.sqrt(n_tasks / n_machines),
+    )
+
+
+@dataclass(frozen=True)
+class StandardFormResult:
+    """A standardized ECS matrix plus the iteration diagnostics.
+
+    Attributes
+    ----------
+    matrix : numpy.ndarray
+        The standard ECS matrix (rows sum to ``sqrt(M/T)``, columns to
+        ``sqrt(T/M)``; largest singular value 1 by Theorem 2).
+    normalization : NormalizationResult
+        Full Sinkhorn diagnostics (scaling diagonals, residual history).
+    zeroed_entries : tuple of (int, int)
+        Entries that were zeroed to reach the Sinkhorn *limit* (only
+        non-empty under ``zeros="limit"``; see :func:`standardize`).
+    """
+
+    matrix: np.ndarray
+    normalization: NormalizationResult
+    zeroed_entries: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def iterations(self) -> int:
+        """Full column+row iterations used (paper reports 6/7 for SPEC)."""
+        return self.normalization.iterations
+
+    @property
+    def converged(self) -> bool:
+        return self.normalization.converged
+
+    @property
+    def residual(self) -> float:
+        return self.normalization.residual
+
+
+def _coerce_ecs(matrix) -> np.ndarray:
+    """Accept ECSMatrix (weights applied), ETCMatrix (converted), or array."""
+    if isinstance(matrix, ECSMatrix):
+        return as_ecs_array(matrix.weighted_values())
+    if isinstance(matrix, ETCMatrix):
+        return as_ecs_array(matrix.to_ecs().weighted_values())
+    return as_ecs_array(matrix)
+
+
+def standardize(
+    matrix,
+    *,
+    tol: float = DEFAULT_TOL,
+    max_iterations: int = 100_000,
+    require_convergence: bool = True,
+    zeros: str = "strict",
+) -> StandardFormResult:
+    """Convert an ECS matrix to standard form.
+
+    Parameters
+    ----------
+    matrix : ECSMatrix, ETCMatrix or array-like
+        The environment.  An :class:`~repro.core.ECSMatrix` has its
+        weighting factors folded in first; an
+        :class:`~repro.core.ETCMatrix` is converted through eq. (1).
+    tol, max_iterations, require_convergence
+        Passed to :func:`repro.normalize.sinkhorn_knopp`.
+    zeros : {"strict", "limit"}
+        How to treat zero patterns for which no exact scaling
+        ``D1 (ECS) D2`` with the required sums exists (Section VI):
+
+        * ``"strict"`` — raise
+          :class:`~repro.exceptions.NotNormalizableError` (the exact
+          Menon-theorem test runs *before* iterating, so the failure is
+          immediate instead of a 10⁴-iteration stall).
+        * ``"limit"`` — return the limit that paper eq. (9) converges
+          to.  For a matrix with support but not total support, the
+          Sinkhorn–Knopp iterates converge (sub-linearly) to a matrix
+          whose entries outside the usable pattern are zero; this mode
+          zeroes those *blocking entries* analytically (via
+          :func:`repro.structure.normalizability_report`) and
+          standardizes the rest in a handful of iterations.  This is
+          the semantics under which the paper's Fig. 4 matrices A, B
+          and D "converge to the standard form of C".  Matrices whose
+          margins are infeasible outright still raise.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> res = standardize(np.array([[1.0, 0.0], [0.0, 3.0]]))
+    >>> np.round(res.matrix, 6)
+    array([[1., 0.],
+           [0., 1.]])
+
+    Fig. 4 matrix A under the limit semantics:
+
+    >>> res = standardize([[10.0, 0.0], [9.0, 1.0]], zeros="limit")
+    >>> np.round(res.matrix, 6)
+    array([[1., 0.],
+           [0., 1.]])
+    >>> res.zeroed_entries
+    ((1, 0),)
+    """
+    ecs = _coerce_ecs(matrix)
+    if zeros not in ("strict", "limit"):
+        raise MatrixValueError(
+            f"zeros must be 'strict' or 'limit', got {zeros!r}"
+        )
+    zeroed: tuple[tuple[int, int], ...] = ()
+    if (ecs == 0).any():
+        from ..structure import normalizability_report
+
+        report = normalizability_report(ecs)
+        if not report.feasible:
+            raise NotNormalizableError(
+                "no standard form exists and eq. 9 has no limit: the zero "
+                "pattern admits no matrix with equal row sums and equal "
+                "column sums at all"
+            )
+        if report.blocking_edges:
+            if zeros == "strict":
+                raise NotNormalizableError(
+                    "no standard form exists: the matrix's zero pattern is "
+                    "decomposable (paper Section VI, e.g. its eq. 10); use "
+                    "zeros='limit' for the eq.-9 limit or TMA with "
+                    "method='column'"
+                )
+            ecs = ecs.copy()
+            rows, cols = zip(*report.blocking_edges)
+            ecs[list(rows), list(cols)] = 0.0
+            zeroed = report.blocking_edges
+    n_tasks, n_machines = ecs.shape
+    row_target, col_target = standard_targets(n_tasks, n_machines)
+    norm = sinkhorn_knopp(
+        ecs,
+        row_target=row_target,
+        col_target=col_target,
+        tol=tol,
+        max_iterations=max_iterations,
+        require_convergence=require_convergence,
+    )
+    return StandardFormResult(
+        matrix=norm.matrix, normalization=norm, zeroed_entries=zeroed
+    )
+
+
+def column_normalize(matrix) -> np.ndarray:
+    """Scale every column of an ECS matrix to sum to 1 (1-norm).
+
+    This is the normalization used in the paper's precursor [2] and in
+    TMA eq. (5).  The MPH of the result is 1 by construction; row sums
+    are *not* equalized, which is exactly why this paper introduces the
+    full standard form once TDH joins the measure set.
+    """
+    ecs = _coerce_ecs(matrix)
+    return ecs / ecs.sum(axis=0, keepdims=True)
+
+
+def is_standard(
+    matrix, *, tol: float = 1e-6
+) -> bool:
+    """True when the matrix already has the Theorem-2 row/column sums."""
+    ecs = _coerce_ecs(matrix)
+    row_target, col_target = standard_targets(*ecs.shape)
+    return (
+        np.abs(ecs.sum(axis=1) - row_target).max() <= tol
+        and np.abs(ecs.sum(axis=0) - col_target).max() <= tol
+    )

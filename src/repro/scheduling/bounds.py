@@ -1,0 +1,137 @@
+"""Makespan bounds for static mappings.
+
+Certifying heuristic quality needs reference points that do not depend
+on any heuristic.  Two classical lower bounds and one trivial upper
+bound, all computable directly from the per-instance ETC array:
+
+* ``max_i min_j ETC[i, j]`` — some task must run somewhere, and it
+  cannot beat its own best machine;
+* ``(Σ_i min_j ETC[i, j]) / M`` — even perfectly divisible best-case
+  work shared by all machines takes this long (a valid relaxation even
+  under heterogeneity, since every task is credited its fastest time);
+* serial upper bound ``Σ_i max_j ETC[i, j]`` — the worst machine for
+  every task, all on one queue.
+
+``optimal_makespan`` solves small instances exactly by branch and
+bound (used by the test suite to certify Min-min & friends on
+paper-scale matrices).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+from .workload import Workload
+
+__all__ = [
+    "makespan_lower_bound",
+    "makespan_upper_bound",
+    "optimal_makespan",
+]
+
+
+def _coerce(etc) -> np.ndarray:
+    if isinstance(etc, Workload):
+        etc = etc.etc_instances
+    arr = np.asarray(etc, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise SchedulingError("per-instance ETC must be a non-empty 2-D array")
+    if np.isinf(arr).all(axis=1).any():
+        raise SchedulingError(
+            "some task instance is incompatible with every machine"
+        )
+    return arr
+
+
+def makespan_lower_bound(etc) -> float:
+    """The larger of the two classical lower bounds (module docstring).
+
+    Examples
+    --------
+    >>> makespan_lower_bound([[4.0, 9.0], [1.0, 1.0], [1.0, 1.0]])
+    4.0
+    >>> makespan_lower_bound([[2.0, 2.0], [2.0, 2.0], [2.0, 2.0],
+    ...                       [2.0, 2.0]])
+    4.0
+    """
+    arr = _coerce(etc)
+    best = np.where(np.isfinite(arr), arr, np.inf).min(axis=1)
+    return float(max(best.max(), best.sum() / arr.shape[1]))
+
+
+def makespan_upper_bound(etc) -> float:
+    """Serial worst-machine schedule: valid for any assignment.
+
+    Incompatible entries are excluded (the bound uses each task's worst
+    *compatible* machine).
+    """
+    arr = _coerce(etc)
+    worst = np.where(np.isfinite(arr), arr, -np.inf).max(axis=1)
+    return float(worst.sum())
+
+
+#: Guard for the exact solver: branch-and-bound explores up to M^N
+#: assignments in the worst case.
+_MAX_EXACT_CELLS = 10**7
+
+
+def optimal_makespan(etc) -> float:
+    """Exact minimum makespan by depth-first branch and bound.
+
+    Tasks are ordered by decreasing best execution time (strong
+    branching), machines are pruned with the running best makespan and
+    the remaining-best-work relaxation.  Intended for the small
+    instances the test oracles use; raises for problems whose
+    worst-case search would be unreasonable.
+
+    Examples
+    --------
+    >>> optimal_makespan([[3.0, 1.0], [2.0, 4.0]])
+    2.0
+    """
+    arr = _coerce(etc)
+    n_tasks, n_machines = arr.shape
+    if n_machines**n_tasks > _MAX_EXACT_CELLS:
+        raise SchedulingError(
+            f"exact search infeasible for {n_tasks} tasks on "
+            f"{n_machines} machines; use the heuristics instead"
+        )
+    best_times = np.where(np.isfinite(arr), arr, np.inf).min(axis=1)
+    order = np.argsort(-best_times, kind="stable")
+    ordered = arr[order]
+    suffix_best = np.concatenate(
+        [np.cumsum(best_times[order][::-1])[::-1], [0.0]]
+    )
+
+    from .heuristics import min_min
+
+    incumbent = min_min(arr).makespan  # warm start
+    loads = np.zeros(n_machines)
+
+    def dfs(idx: int, current_max: float) -> None:
+        nonlocal incumbent
+        if idx == n_tasks:
+            incumbent = min(incumbent, current_max)
+            return
+        # Relaxation: remaining best work shared perfectly.
+        relaxed = max(
+            current_max,
+            (loads.sum() + suffix_best[idx]) / n_machines,
+        )
+        if relaxed >= incumbent - 1e-12:
+            return
+        row = ordered[idx]
+        candidates = np.argsort(loads + np.where(np.isfinite(row), row, np.inf))
+        for machine in candidates:
+            time = row[machine]
+            if not np.isfinite(time):
+                continue
+            new_max = max(current_max, loads[machine] + time)
+            if new_max >= incumbent - 1e-12:
+                continue
+            loads[machine] += time
+            dfs(idx + 1, new_max)
+            loads[machine] -= time
+    dfs(0, 0.0)
+    return float(incumbent)

@@ -1,0 +1,348 @@
+"""Dynamic (online) mapping simulation.
+
+The batch heuristics of :mod:`repro.scheduling.heuristics` assume all
+tasks are known up front.  Real HC systems map tasks *as they arrive*;
+this module provides the standard event-driven model from the dynamic
+matching-and-scheduling literature the paper builds on (its refs. [5],
+[18]): tasks arrive over time, each is assigned to a machine the moment
+it arrives, and machines execute their queues in FIFO order.
+
+Immediate-mode policies:
+
+* ``"mct"`` — minimum completion time given current queues,
+* ``"met"`` — minimum execution time (queue-blind),
+* ``"olb"`` — earliest-ready machine (ETC-blind),
+* ``"kpb"`` — k-percent best: restrict to the task's best ``k`` fraction
+  of machines by ETC, then pick minimum completion time among them
+  (Maheswaran et al.'s compromise between MET and MCT),
+* ``"auto"`` — heterogeneity-aware: measures the environment's TMA once
+  and picks KPB's ``k`` from it (high affinity → each task has a small
+  set of good machines worth insisting on; low affinity → fall back to
+  plain MCT).  This operationalizes the paper's "select heuristics by
+  heterogeneity" application in the online setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_scalar, check_probability
+from ..exceptions import SchedulingError
+from ..generate._rng import resolve_rng
+from .workload import Workload
+
+__all__ = [
+    "OnlineResult",
+    "poisson_arrivals",
+    "simulate_online",
+    "simulate_batch_mode",
+    "ONLINE_POLICIES",
+    "BATCH_SELECT_RULES",
+]
+
+ONLINE_POLICIES = ("mct", "met", "olb", "kpb", "auto")
+BATCH_SELECT_RULES = ("min", "max", "sufferage")
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Outcome of one online-mapping simulation.
+
+    Attributes
+    ----------
+    assignment : numpy.ndarray of int, shape (N,)
+        Machine chosen for each task, in arrival order.
+    start_times, completion_times : numpy.ndarray, shape (N,)
+        FIFO execution windows on the chosen machines.
+    makespan : float
+        Latest completion.
+    mean_response : float
+        Mean of (completion - arrival): the user-visible latency.
+    utilization : numpy.ndarray, shape (M,)
+        Busy time of each machine divided by the makespan.
+    policy : str
+        Policy name (``"auto"`` resolves to ``auto[k=...]``).
+    """
+
+    assignment: np.ndarray
+    start_times: np.ndarray
+    completion_times: np.ndarray
+    makespan: float
+    mean_response: float
+    utilization: np.ndarray
+    policy: str
+
+    def __post_init__(self) -> None:
+        self.assignment.setflags(write=False)
+        self.start_times.setflags(write=False)
+        self.completion_times.setflags(write=False)
+        self.utilization.setflags(write=False)
+
+
+def poisson_arrivals(count: int, rate: float, *, seed=None) -> np.ndarray:
+    """Arrival times of a Poisson process with the given rate (tasks per
+    unit time), starting at the first inter-arrival gap.
+
+    Examples
+    --------
+    >>> times = poisson_arrivals(100, rate=2.0, seed=0)
+    >>> times.shape, bool((np.diff(times) >= 0).all())
+    ((100,), True)
+    """
+    if count < 1:
+        raise SchedulingError("count must be >= 1")
+    rate = check_positive_scalar(rate, name="rate")
+    rng = resolve_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate, size=count))
+
+
+def _kpb_candidates(etc_row: np.ndarray, k: float) -> np.ndarray:
+    """Indices of the best ``ceil(k * compatible)`` machines by ETC."""
+    compatible = np.nonzero(np.isfinite(etc_row))[0]
+    keep = max(1, int(np.ceil(k * compatible.size)))
+    order = compatible[np.argsort(etc_row[compatible], kind="stable")]
+    return order[:keep]
+
+
+def simulate_online(
+    workload,
+    arrival_times,
+    *,
+    policy: str = "mct",
+    k: float = 0.25,
+    seed=None,
+) -> OnlineResult:
+    """Run the event-driven online mapping simulation.
+
+    Parameters
+    ----------
+    workload : Workload or array-like, shape (N, M)
+        Per-instance ETC rows in arrival order (``inf`` marks
+        incompatible machines).
+    arrival_times : array-like, shape (N,)
+        Non-decreasing arrival instants (e.g. from
+        :func:`poisson_arrivals`).
+    policy : {"mct", "met", "olb", "kpb", "auto"}
+        Immediate-mode assignment rule (see module docstring).
+    k : float
+        KPB's best-fraction (0 < k <= 1); ignored by other policies.
+    seed : int, Generator or None
+        Used only to break OLB ties randomly like the literature does.
+
+    Examples
+    --------
+    >>> etc = [[1.0, 5.0], [5.0, 1.0], [1.0, 5.0], [5.0, 1.0]]
+    >>> res = simulate_online(etc, [0.0, 0.0, 0.0, 0.0], policy="mct")
+    >>> res.makespan
+    2.0
+    """
+    if isinstance(workload, Workload):
+        etc = workload.etc_instances
+    else:
+        etc = np.asarray(workload, dtype=np.float64)
+    if etc.ndim != 2 or etc.size == 0:
+        raise SchedulingError("workload must be a non-empty (N, M) array")
+    if np.isinf(etc).all(axis=1).any():
+        raise SchedulingError(
+            "some task instance is incompatible with every machine"
+        )
+    arrivals = np.asarray(arrival_times, dtype=np.float64).reshape(-1)
+    if arrivals.shape[0] != etc.shape[0]:
+        raise SchedulingError(
+            f"need one arrival time per task ({etc.shape[0]}), got "
+            f"{arrivals.shape[0]}"
+        )
+    if (np.diff(arrivals) < 0).any():
+        raise SchedulingError("arrival times must be non-decreasing")
+    if (arrivals < 0).any():
+        raise SchedulingError("arrival times must be non-negative")
+    k = check_probability(k, name="k")
+    if policy not in ONLINE_POLICIES:
+        raise SchedulingError(
+            f"unknown policy {policy!r}; available: {ONLINE_POLICIES}"
+        )
+
+    label = policy
+    if policy == "auto":
+        # Measure the environment once (its distinct task-type rows)
+        # and translate affinity into KPB's selectivity: high TMA means
+        # a task's few best machines matter, so keep the candidate set
+        # small; low TMA degenerates to plain MCT (k = 1).
+        from ..measures.affinity import tma as _tma
+
+        finite = np.where(np.isfinite(etc), etc, 0.0)
+        with np.errstate(divide="ignore"):
+            ecs = np.where(finite > 0, 1.0 / np.where(finite > 0, finite, 1.0), 0.0)
+        unique_rows = np.unique(ecs, axis=0)
+        affinity = (
+            _tma(unique_rows, method="column")
+            if unique_rows.shape[0] > 1
+            else 0.0
+        )
+        k = float(np.clip(1.0 - affinity, 0.25, 1.0))
+        policy = "mct" if k >= 1.0 else "kpb"
+        label = f"auto[k={k:.2f}]"
+
+    rng = resolve_rng(seed)
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    busy = np.zeros(n_machines)
+    assignment = np.empty(n_tasks, dtype=np.intp)
+    starts = np.empty(n_tasks)
+    completions = np.empty(n_tasks)
+
+    for i in range(n_tasks):
+        row = etc[i]
+        compatible = np.isfinite(row)
+        if policy == "met":
+            choice = int(np.argmin(np.where(compatible, row, np.inf)))
+        elif policy == "olb":
+            candidates = np.where(compatible, ready, np.inf)
+            best = np.nonzero(candidates == candidates.min())[0]
+            choice = int(best[0] if best.size == 1 else rng.choice(best))
+        elif policy == "kpb":
+            cands = _kpb_candidates(row, k)
+            finish = np.maximum(ready[cands], arrivals[i]) + row[cands]
+            choice = int(cands[np.argmin(finish)])
+        else:  # mct
+            finish = np.where(
+                compatible, np.maximum(ready, arrivals[i]) + row, np.inf
+            )
+            choice = int(np.argmin(finish))
+        start = max(ready[choice], arrivals[i])
+        end = start + row[choice]
+        ready[choice] = end
+        busy[choice] += row[choice]
+        assignment[i] = choice
+        starts[i] = start
+        completions[i] = end
+
+    makespan = float(completions.max())
+    return OnlineResult(
+        assignment=assignment,
+        start_times=starts,
+        completion_times=completions,
+        makespan=makespan,
+        mean_response=float(np.mean(completions - arrivals)),
+        utilization=busy / makespan if makespan > 0 else busy,
+        policy=label,
+    )
+
+
+def simulate_batch_mode(
+    workload,
+    arrival_times,
+    *,
+    interval: float,
+    rule: str = "min",
+) -> OnlineResult:
+    """Batch-mode dynamic mapping with fixed regeneration intervals.
+
+    The other classic dynamic strategy (Maheswaran et al.): instead of
+    committing each task the instant it arrives, arrivals accumulate
+    and, every ``interval`` time units, the whole pending batch is
+    mapped together with a Min-min-family heuristic seeded with the
+    machines' current ready times.  Batching lets the mapper see
+    same-epoch tasks jointly — the reason batch heuristics beat
+    immediate ones under bursty load — at the cost of queueing delay
+    for early arrivals in each epoch.
+
+    Parameters
+    ----------
+    workload : Workload or array-like, shape (N, M)
+        Per-instance ETC rows in arrival order.
+    arrival_times : array-like, shape (N,)
+        Non-decreasing arrival instants.
+    interval : float
+        Regeneration period; every multiple of it, pending tasks are
+        mapped (a final regeneration after the last arrival drains the
+        queue).
+    rule : {"min", "max", "sufferage"}
+        Which Braun-family batch selector maps each epoch's batch.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> etc = [[1.0, 5.0], [5.0, 1.0], [1.0, 5.0], [5.0, 1.0]]
+    >>> res = simulate_batch_mode(etc, [0.0, 0.1, 0.2, 0.3], interval=1.0)
+    >>> res.policy
+    'batch[min, interval=1]'
+    >>> res.makespan
+    3.0
+    """
+    from .heuristics import _batch_kernel
+
+    if isinstance(workload, Workload):
+        etc = workload.etc_instances
+    else:
+        etc = np.asarray(workload, dtype=np.float64)
+    if etc.ndim != 2 or etc.size == 0:
+        raise SchedulingError("workload must be a non-empty (N, M) array")
+    if np.isinf(etc).all(axis=1).any():
+        raise SchedulingError(
+            "some task instance is incompatible with every machine"
+        )
+    arrivals = np.asarray(arrival_times, dtype=np.float64).reshape(-1)
+    if arrivals.shape[0] != etc.shape[0]:
+        raise SchedulingError(
+            f"need one arrival time per task ({etc.shape[0]}), got "
+            f"{arrivals.shape[0]}"
+        )
+    if (np.diff(arrivals) < 0).any() or (arrivals < 0).any():
+        raise SchedulingError(
+            "arrival times must be non-negative and non-decreasing"
+        )
+    interval = check_positive_scalar(interval, name="interval")
+    if rule not in BATCH_SELECT_RULES:
+        raise SchedulingError(
+            f"unknown rule {rule!r}; available: {BATCH_SELECT_RULES}"
+        )
+
+    n_tasks, n_machines = etc.shape
+    ready = np.zeros(n_machines)
+    busy = np.zeros(n_machines)
+    assignment = np.empty(n_tasks, dtype=np.intp)
+    starts = np.empty(n_tasks)
+    completions = np.empty(n_tasks)
+
+    # Epoch boundaries: the first multiple of `interval` at/after each
+    # arrival (tasks arriving exactly on a boundary map at it).
+    epochs = np.ceil(arrivals / interval) * interval
+    epochs = np.where(np.isclose(epochs, arrivals), arrivals, epochs)
+    mapped = 0
+    for boundary in np.unique(epochs):
+        batch = np.nonzero(epochs == boundary)[0]
+        sub_etc = etc[batch]
+        # Machines cannot start epoch work before the boundary.
+        seed_loads = np.maximum(ready, boundary)
+        local = _batch_kernel(sub_etc, rule, initial_loads=seed_loads)
+        # Replay the batch assignment in Min-min commit order is not
+        # tracked; FIFO-replay within the batch per machine keeps the
+        # completion bookkeeping simple and matches the kernel's loads.
+        for offset, task in enumerate(batch):
+            machine = int(local[offset])
+            start = max(ready[machine], boundary)
+            end = start + sub_etc[offset, machine]
+            ready[machine] = end
+            busy[machine] += sub_etc[offset, machine]
+            assignment[task] = machine
+            starts[task] = start
+            completions[task] = end
+        mapped += batch.size
+    assert mapped == n_tasks
+
+    makespan = float(completions.max())
+    interval_label = (
+        f"{interval:g}" if interval != int(interval) else f"{int(interval)}"
+    )
+    return OnlineResult(
+        assignment=assignment,
+        start_times=starts,
+        completion_times=completions,
+        makespan=makespan,
+        mean_response=float(np.mean(completions - arrivals)),
+        utilization=busy / makespan if makespan > 0 else busy,
+        policy=f"batch[{rule}, interval={interval_label}]",
+    )

@@ -1,0 +1,97 @@
+"""Task→machine assignments and their quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+
+__all__ = ["Mapping", "evaluate_mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A static assignment of task instances to machines.
+
+    Attributes
+    ----------
+    assignment : numpy.ndarray of int, shape (N,)
+        ``assignment[k]`` is the machine index running task instance
+        ``k``.
+    machine_loads : numpy.ndarray, shape (M,)
+        Total execution time assigned to each machine.
+    makespan : float
+        ``machine_loads.max()`` — the batch completion time, the metric
+        the mapping-heuristic literature minimizes.
+    flowtime : float
+        Sum of per-task completion times under in-assignment-order
+        execution on each machine (a secondary quality metric).
+    heuristic : str
+        Name of the heuristic that produced the mapping.
+    """
+
+    assignment: np.ndarray
+    machine_loads: np.ndarray
+    makespan: float
+    flowtime: float
+    heuristic: str
+
+    def __post_init__(self) -> None:
+        self.assignment.setflags(write=False)
+        self.machine_loads.setflags(write=False)
+
+
+def evaluate_mapping(
+    etc_instances: np.ndarray, assignment, *, heuristic: str = "custom"
+) -> Mapping:
+    """Build a :class:`Mapping` (with metrics) from a raw assignment.
+
+    Parameters
+    ----------
+    etc_instances : numpy.ndarray, shape (N, M)
+        Per-instance execution times (``inf`` marks incompatibility).
+    assignment : array-like of int, shape (N,)
+        Machine index per task instance.
+    heuristic : str
+        Label recorded on the mapping.
+
+    Raises
+    ------
+    SchedulingError
+        If any task is assigned to an incompatible machine or the
+        assignment is malformed.
+    """
+    etc_instances = np.asarray(etc_instances, dtype=np.float64)
+    assignment = np.asarray(assignment, dtype=np.intp).reshape(-1)
+    n_tasks, n_machines = etc_instances.shape
+    if assignment.shape[0] != n_tasks:
+        raise SchedulingError(
+            f"assignment length {assignment.shape[0]} != {n_tasks} tasks"
+        )
+    if ((assignment < 0) | (assignment >= n_machines)).any():
+        raise SchedulingError("assignment contains out-of-range machine indices")
+    times = etc_instances[np.arange(n_tasks), assignment]
+    if not np.isfinite(times).all():
+        bad = int(np.nonzero(~np.isfinite(times))[0][0])
+        raise SchedulingError(
+            f"task {bad} assigned to machine {int(assignment[bad])} it "
+            "cannot execute on"
+        )
+    loads = np.bincount(assignment, weights=times, minlength=n_machines)
+    # Flowtime: tasks on one machine run in assignment order, so task k's
+    # completion is the cumulative time of earlier tasks on its machine.
+    order_loads = np.zeros(n_machines)
+    flowtime = 0.0
+    for k in range(n_tasks):
+        m = assignment[k]
+        order_loads[m] += times[k]
+        flowtime += order_loads[m]
+    return Mapping(
+        assignment=assignment.copy(),
+        machine_loads=loads,
+        makespan=float(loads.max()),
+        flowtime=float(flowtime),
+        heuristic=heuristic,
+    )

@@ -1,0 +1,163 @@
+"""Mapping robustness against ETC estimation error (FePIA-style).
+
+The authors' research program pairs heterogeneity characterization with
+*robust* resource allocation (paper refs. [7], [11]; the robustness
+radius formulation of Ali, Maciejewski, Siegel & Kim).  Given a static
+mapping, the system-level performance feature is the makespan; the
+perturbation parameters are the actual task execution times, which may
+deviate from their ETC estimates.  The **robustness radius** of a
+machine is the smallest (ℓ₂) deviation of its tasks' execution times
+that pushes the makespan past a tolerance `β`; the **robustness
+metric** of the mapping is the smallest radius over machines:
+
+    r_j = (β − L_j) / sqrt(n_j)        (n_j tasks mapped to machine j)
+    robustness(mapping, β) = min_j r_j
+
+A mapping that achieves its makespan by loading one machine with many
+tasks right at the limit is fragile (small radius) even if its nominal
+makespan is good — the trade-off :func:`robustness_comparison`
+tabulates for the batch heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_scalar
+from ..exceptions import SchedulingError
+from .heuristics import HEURISTICS, run_heuristic
+from .mapping import Mapping
+from .workload import Workload, expand_workload
+
+__all__ = [
+    "RobustnessReport",
+    "robustness_radius",
+    "robustness_comparison",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Robustness of one mapping at tolerance ``beta``.
+
+    Attributes
+    ----------
+    radius : float
+        The robustness metric: the smallest per-machine radius.  Larger
+        is more robust; 0 means some machine is already at the limit.
+    per_machine : numpy.ndarray, shape (M,)
+        Individual machine radii (``inf`` for idle machines — they
+        cannot violate the constraint).
+    critical_machine : int
+        The machine attaining the minimum.
+    beta : float
+        The makespan tolerance the radii are measured against.
+    """
+
+    radius: float
+    per_machine: np.ndarray
+    critical_machine: int
+    beta: float
+
+    def __post_init__(self) -> None:
+        self.per_machine.setflags(write=False)
+
+
+def robustness_radius(
+    mapping: Mapping,
+    *,
+    beta: float | None = None,
+    slack: float = 1.2,
+) -> RobustnessReport:
+    """FePIA robustness radius of a static mapping.
+
+    Parameters
+    ----------
+    mapping : Mapping
+        The assignment to analyse (its ``machine_loads`` are the
+        nominal feature values).
+    beta : float, optional
+        Absolute makespan tolerance.  Default: ``slack * makespan``.
+    slack : float
+        Relative tolerance used when ``beta`` is omitted (1.2 = the
+        conventional "120 % of the nominal makespan").
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.scheduling import evaluate_mapping
+    >>> etc = np.array([[2.0, 9.0], [2.0, 9.0], [9.0, 4.0]])
+    >>> mapping = evaluate_mapping(etc, [0, 0, 1])
+    >>> report = robustness_radius(mapping, beta=6.0)
+    >>> round(report.radius, 4)                 # machine 0: (6-4)/sqrt(2)
+    1.4142
+    >>> report.critical_machine
+    0
+    """
+    if beta is None:
+        slack = check_positive_scalar(slack, name="slack")
+        if slack <= 1.0:
+            raise SchedulingError("slack must exceed 1 (beta > makespan)")
+        beta = slack * mapping.makespan
+    beta = check_positive_scalar(beta, name="beta")
+    if beta < mapping.makespan:
+        raise SchedulingError(
+            f"beta ({beta:g}) must be >= the nominal makespan "
+            f"({mapping.makespan:g}); the constraint is already violated"
+        )
+    counts = np.bincount(
+        mapping.assignment, minlength=mapping.machine_loads.shape[0]
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        radii = np.where(
+            counts > 0,
+            (beta - mapping.machine_loads) / np.sqrt(np.maximum(counts, 1)),
+            np.inf,
+        )
+    critical = int(np.argmin(radii))
+    return RobustnessReport(
+        radius=float(radii[critical]),
+        per_machine=radii,
+        critical_machine=critical,
+        beta=float(beta),
+    )
+
+
+def robustness_comparison(
+    etc,
+    *,
+    heuristics: Sequence[str] | None = None,
+    slack: float = 1.2,
+    counts=None,
+    total: int | None = None,
+    seed=None,
+) -> dict[str, tuple[float, float]]:
+    """Makespan vs robustness trade-off across heuristics.
+
+    Runs each heuristic on the same expanded workload and reports
+    ``{name: (makespan, robustness_radius)}`` where every radius is
+    measured against a *common* tolerance ``beta = slack * best
+    makespan`` so the numbers are comparable (heuristics whose nominal
+    makespan already exceeds the common beta get radius 0 — they are
+    fragile by construction).
+    """
+    if heuristics is None:
+        heuristics = tuple(name for name in HEURISTICS if name != "ga")
+    workload = expand_workload(etc, counts=counts, total=total, seed=seed)
+    mappings = {
+        name: run_heuristic(name, workload, seed=seed)
+        for name in heuristics
+    }
+    best = min(m.makespan for m in mappings.values())
+    beta = slack * best
+    out = {}
+    for name, mapping in mappings.items():
+        if mapping.makespan > beta:
+            out[name] = (mapping.makespan, 0.0)
+        else:
+            report = robustness_radius(mapping, beta=beta)
+            out[name] = (mapping.makespan, report.radius)
+    return out

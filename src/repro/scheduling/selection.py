@@ -1,0 +1,189 @@
+"""Heterogeneity-aware heuristic selection (paper application [3]).
+
+:func:`compare_heuristics` scores every registered heuristic on one
+environment; :func:`selection_study` sweeps a grid of generated
+environments and records which heuristic wins in each heterogeneity
+regime — the study that motivates measuring MPH/TDH/TMA before picking
+a mapper (benchmark E12 regenerates its table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..generate.ensembles import heterogeneity_grid
+from ..generate.target_driven import TargetSpec
+from .heuristics import HEURISTICS, run_heuristic
+from .workload import expand_workload
+
+__all__ = [
+    "HeuristicComparison",
+    "compare_heuristics",
+    "selection_study",
+    "recommend_heuristic",
+]
+
+
+@dataclass(frozen=True)
+class HeuristicComparison:
+    """Makespans of several heuristics on one environment.
+
+    ``makespans`` maps heuristic name → makespan; ``best`` is the
+    winning name and ``ratios`` normalizes every makespan by the best
+    (1.0 = winner), the presentation used in the Braun et al. study.
+    """
+
+    makespans: dict[str, float]
+    spec: TargetSpec | None = None
+
+    @property
+    def best(self) -> str:
+        return min(self.makespans, key=self.makespans.get)
+
+    @property
+    def ratios(self) -> dict[str, float]:
+        floor = min(self.makespans.values())
+        return {name: value / floor for name, value in self.makespans.items()}
+
+
+def compare_heuristics(
+    etc,
+    *,
+    heuristics: Sequence[str] | None = None,
+    counts=None,
+    total: int | None = None,
+    seed=None,
+) -> HeuristicComparison:
+    """Run a set of heuristics on one environment and collect makespans.
+
+    Parameters
+    ----------
+    etc : ETCMatrix, ECSMatrix or array-like
+        The environment (task types × machines).
+    heuristics : sequence of str, optional
+        Registry names; defaults to every registered heuristic except
+        the expensive ``ga``.
+    counts, total, seed
+        Passed to :func:`repro.scheduling.expand_workload`; the same
+        expanded workload is fed to every heuristic.
+    """
+    if heuristics is None:
+        heuristics = tuple(name for name in HEURISTICS if name != "ga")
+    workload = expand_workload(etc, counts=counts, total=total, seed=seed)
+    makespans = {
+        name: run_heuristic(name, workload, seed=seed).makespan
+        for name in heuristics
+    }
+    return HeuristicComparison(makespans=makespans)
+
+
+def selection_study(
+    *,
+    n_tasks: int = 10,
+    n_machines: int = 6,
+    instances_per_type: int = 5,
+    mph_values: Iterable[float] = (0.3, 0.9),
+    tdh_values: Iterable[float] = (0.3, 0.9),
+    tma_values: Iterable[float] = (0.0, 0.5),
+    heuristics: Sequence[str] | None = None,
+    jitter: float = 0.2,
+    seed=0,
+) -> list[HeuristicComparison]:
+    """Sweep generated environments and score heuristics in each regime.
+
+    Returns one :class:`HeuristicComparison` per grid point, each
+    carrying the :class:`~repro.generate.TargetSpec` it was generated
+    for, so callers can tabulate winner-vs-heterogeneity.
+
+    Notes
+    -----
+    The qualitative expectation from the literature (and what the E12
+    benchmark asserts): load-blind MET collapses when machine
+    performance is heterogeneous *and* affinity is low (every task
+    chases the one fast machine), while it becomes competitive in
+    high-affinity regimes where "each task's best machine" spreads
+    across the machine set; Min-min/Sufferage stay near the front
+    throughout.
+    """
+    rng = np.random.default_rng(seed)
+    results: list[HeuristicComparison] = []
+    for member in heterogeneity_grid(
+        n_tasks,
+        n_machines,
+        mph_values=tuple(mph_values),
+        tdh_values=tuple(tdh_values),
+        tma_values=tuple(tma_values),
+        jitter=jitter,
+        seed=seed,
+    ):
+        counts = np.full(n_tasks, instances_per_type, dtype=np.intp)
+        comparison = compare_heuristics(
+            member.ecs.to_etc(),
+            heuristics=heuristics,
+            counts=counts,
+            seed=int(rng.integers(0, 2**63 - 1)),
+        )
+        results.append(
+            HeuristicComparison(makespans=comparison.makespans, spec=member.spec)
+        )
+    return results
+
+
+def recommend_heuristic(profile_or_env) -> tuple[str, str]:
+    """Rule-based mapper recommendation from the heterogeneity measures.
+
+    Distills the selection_study regularities (and the Braun et al.
+    findings they reproduce) into a decision rule:
+
+    * homogeneous machines and tasks → load balancing is the whole
+      game: MCT (OLB-like behaviour with ETC awareness);
+    * significant affinity → Sufferage (its best/second-best gap is
+      precisely an affinity signal);
+    * heterogeneous machines without affinity → Min-min (committing
+      cheap work first protects the scarce fast machines);
+    * very heterogeneous task difficulty → Duplex (Max-min's
+      long-task-first complements Min-min when a few giants dominate).
+
+    Returns ``(heuristic_name, reason)``.  The paper's application [3]
+    in one call: measure first, then map.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> recommend_heuristic(np.ones((4, 4)))[0]
+    'mct'
+    """
+    from ..measures.report import HeterogeneityProfile, characterize
+
+    if isinstance(profile_or_env, HeterogeneityProfile):
+        profile = profile_or_env
+    else:
+        profile = characterize(profile_or_env)
+    if profile.tma >= 0.25:
+        return (
+            "sufferage",
+            f"significant task-machine affinity (TMA={profile.tma:.2f}): "
+            "the sufferage gap identifies the tasks that must win their "
+            "preferred machines",
+        )
+    if profile.mph >= 0.8 and profile.tdh >= 0.8:
+        return (
+            "mct",
+            f"near-homogeneous environment (MPH={profile.mph:.2f}, "
+            f"TDH={profile.tdh:.2f}): immediate load balancing is "
+            "sufficient and cheapest",
+        )
+    if profile.tdh < 0.4:
+        return (
+            "duplex",
+            f"a few dominant task types (TDH={profile.tdh:.2f}): Max-min's "
+            "long-task-first placement can beat Min-min, so run both",
+        )
+    return (
+        "min_min",
+        f"heterogeneous machines (MPH={profile.mph:.2f}) without strong "
+        "affinity: Min-min protects the fast machines",
+    )

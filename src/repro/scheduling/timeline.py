@@ -1,0 +1,105 @@
+"""Text timelines (Gantt-style) for simulation results.
+
+Turning an :class:`~repro.scheduling.OnlineResult` into something a
+human can eyeball: one row per machine, time binned into fixed-width
+character cells, each busy cell showing the running task's label.  Used
+by the examples and handy when debugging policies; pure presentation,
+no numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SchedulingError
+from .dynamic import OnlineResult
+
+__all__ = ["gantt_text"]
+
+
+def gantt_text(
+    result: OnlineResult,
+    *,
+    width: int = 72,
+    machine_names=None,
+    task_labels=None,
+) -> str:
+    """Render a simulation result as a fixed-width text Gantt chart.
+
+    Parameters
+    ----------
+    result : OnlineResult
+        From :func:`~repro.scheduling.simulate_online` or
+        :func:`~repro.scheduling.simulate_batch_mode`.
+    width : int
+        Character cells spanning [0, makespan].
+    machine_names : sequence of str, optional
+        Row labels (default ``m1..mM``).
+    task_labels : sequence of str, optional
+        One character is taken per task (default: digits/letters cycling
+        by task index).
+
+    Returns
+    -------
+    str
+        One row per machine plus a time axis.  A cell shows the label
+        of the task occupying the majority of that time slice, ``.`` for
+        idle time.
+
+    Examples
+    --------
+    >>> from repro.scheduling import simulate_online
+    >>> res = simulate_online([[2.0, 9.0], [9.0, 2.0]], [0.0, 0.0])
+    >>> print(gantt_text(res, width=8))
+    m1 | 00000000
+    m2 | 11111111
+    t = 0 .. 2
+    """
+    if width < 4:
+        raise SchedulingError("width must be at least 4 characters")
+    n_machines = result.utilization.shape[0]
+    if machine_names is None:
+        machine_names = [f"m{j + 1}" for j in range(n_machines)]
+    machine_names = [str(m) for m in machine_names]
+    if len(machine_names) != n_machines:
+        raise SchedulingError(
+            f"need {n_machines} machine names, got {len(machine_names)}"
+        )
+    n_tasks = result.assignment.shape[0]
+    alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+    if task_labels is None:
+        task_labels = [alphabet[k % len(alphabet)] for k in range(n_tasks)]
+    task_labels = [str(t)[0] if str(t) else "?" for t in task_labels]
+    if len(task_labels) != n_tasks:
+        raise SchedulingError(
+            f"need {n_tasks} task labels, got {len(task_labels)}"
+        )
+
+    makespan = result.makespan
+    if makespan <= 0:  # pragma: no cover - empty schedules are rejected
+        raise SchedulingError("empty schedule")
+    edges = np.linspace(0.0, makespan, width + 1)
+    rows = []
+    label_width = max(len(m) for m in machine_names)
+    for machine in range(n_machines):
+        cells = []
+        mask = result.assignment == machine
+        starts = result.start_times[mask]
+        ends = result.completion_times[mask]
+        labels = [task_labels[k] for k in np.nonzero(mask)[0]]
+        for c in range(width):
+            lo, hi = edges[c], edges[c + 1]
+            # Task covering the majority of this slice, if any.
+            overlap = np.minimum(ends, hi) - np.maximum(starts, lo)
+            if overlap.size and overlap.max() > 0.5 * (hi - lo):
+                cells.append(labels[int(np.argmax(overlap))])
+            elif overlap.size and overlap.max() > 0:
+                cells.append(labels[int(np.argmax(overlap))])
+            else:
+                cells.append(".")
+        rows.append(
+            f"{machine_names[machine].ljust(label_width)} | "
+            + "".join(cells)
+        )
+    rows.append(f"t = 0 .. {makespan:g}")
+    return "\n".join(rows)

@@ -1,0 +1,120 @@
+"""Workloads: from task *types* to task *instances*.
+
+The paper distinguishes a task type (an executable program) from a task
+(one execution of it).  Mapping heuristics operate on task instances;
+:func:`expand_workload` turns a T × M ETC matrix plus per-type instance
+counts — or the type weighting factors interpreted as execution
+frequencies, one of the interpretations eq. 4 mentions — into the
+N × M per-instance ETC array the heuristics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.environment import ECSMatrix, ETCMatrix
+from ..exceptions import SchedulingError
+from ..generate._rng import resolve_rng
+
+__all__ = ["Workload", "expand_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A batch of task instances over a machine set.
+
+    Attributes
+    ----------
+    etc_instances : numpy.ndarray, shape (N, M)
+        Per-instance execution-time rows (``inf`` = incompatible).
+    type_of : numpy.ndarray of int, shape (N,)
+        Task-type index of each instance.
+    machine_names : tuple of str
+    """
+
+    etc_instances: np.ndarray
+    type_of: np.ndarray
+    machine_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.etc_instances.setflags(write=False)
+        self.type_of.setflags(write=False)
+
+    @property
+    def n_instances(self) -> int:
+        return self.etc_instances.shape[0]
+
+    @property
+    def n_machines(self) -> int:
+        return self.etc_instances.shape[1]
+
+
+def expand_workload(
+    etc,
+    counts=None,
+    *,
+    total: int | None = None,
+    shuffle: bool = True,
+    seed=None,
+) -> Workload:
+    """Expand a task-type ETC matrix into a batch of task instances.
+
+    Parameters
+    ----------
+    etc : ETCMatrix, ECSMatrix or array-like
+        The environment (arrays are interpreted as ETC).
+    counts : array-like of int, optional
+        Instances per task type.  Default: when ``total`` is given,
+        instances are drawn with probabilities proportional to the
+        matrix's task weights (eq. 4's frequency interpretation);
+        otherwise one instance per type.
+    total : int, optional
+        Total batch size for the weighted-draw default.
+    shuffle : bool
+        Shuffle instance order (heuristics like OLB/MCT are
+        order-sensitive; the literature maps batches in arrival order).
+    seed : int, Generator or None
+
+    Examples
+    --------
+    >>> w = expand_workload([[1.0, 2.0], [3.0, 1.0]], counts=[2, 3])
+    >>> w.n_instances, w.n_machines
+    (5, 2)
+    """
+    if isinstance(etc, ECSMatrix):
+        etc = etc.to_etc()
+    if isinstance(etc, ETCMatrix):
+        matrix = etc
+    else:
+        matrix = ETCMatrix(etc)
+    rng = resolve_rng(seed)
+    n_types = matrix.n_tasks
+    if counts is None:
+        if total is None:
+            counts = np.ones(n_types, dtype=np.intp)
+        else:
+            if total < 1:
+                raise SchedulingError("total must be >= 1")
+            probs = matrix.task_weights / matrix.task_weights.sum()
+            counts = np.bincount(
+                rng.choice(n_types, size=int(total), p=probs),
+                minlength=n_types,
+            )
+    counts = np.asarray(counts, dtype=np.intp).reshape(-1)
+    if counts.shape[0] != n_types:
+        raise SchedulingError(
+            f"counts must have one entry per task type ({n_types}), got "
+            f"{counts.shape[0]}"
+        )
+    if (counts < 0).any() or counts.sum() == 0:
+        raise SchedulingError("counts must be non-negative and not all zero")
+    type_of = np.repeat(np.arange(n_types, dtype=np.intp), counts)
+    if shuffle:
+        rng.shuffle(type_of)
+    return Workload(
+        etc_instances=matrix.values[type_of, :].copy(),
+        type_of=type_of,
+        machine_names=matrix.machine_names,
+    )

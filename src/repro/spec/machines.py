@@ -1,0 +1,98 @@
+"""Machine metadata for the paper's five SPEC systems (Fig. 5).
+
+The paper chose processors "that have different architectures and are
+produced by different manufacturers" — an x86 Xeon, a SPARC, a consumer
+Core i7, an Opteron, and a POWER system — precisely so that the
+benchmark suites would exhibit task-machine affinity.  The metadata
+here reproduces that Fig. 5 line-up for reports and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DatasetError
+
+__all__ = ["MachineInfo", "machine_info", "MACHINE_INFO"]
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """One machine of the paper's evaluation line-up.
+
+    Attributes
+    ----------
+    key : str
+        Short column label (``m1`` .. ``m5``).
+    system : str
+        Full system name as the paper's Fig. 5 lists it.
+    vendor : str
+    processor : str
+    architecture : str
+        Instruction-set family (the diversity driving the affinity).
+    """
+
+    key: str
+    system: str
+    vendor: str
+    processor: str
+    architecture: str
+
+
+#: Fig. 5's five machines, in column order.
+MACHINE_INFO: tuple[MachineInfo, ...] = (
+    MachineInfo(
+        key="m1",
+        system="ASUS TS100-E6 (P7F-X) server system",
+        vendor="ASUS",
+        processor="Intel Xeon X3470",
+        architecture="x86-64 (Nehalem)",
+    ),
+    MachineInfo(
+        key="m2",
+        system="Fujitsu SPARC Enterprise M3000",
+        vendor="Fujitsu",
+        processor="SPARC64 VII",
+        architecture="SPARC V9",
+    ),
+    MachineInfo(
+        key="m3",
+        system="CELSIUS W280",
+        vendor="Fujitsu",
+        processor="Intel Core i7-870",
+        architecture="x86-64 (Nehalem)",
+    ),
+    MachineInfo(
+        key="m4",
+        system="ProLiant SL165z G7",
+        vendor="HP",
+        processor="AMD Opteron 6174 (2.2 GHz)",
+        architecture="x86-64 (Magny-Cours)",
+    ),
+    MachineInfo(
+        key="m5",
+        system="IBM Power 750 Express (3.55 GHz, 32 core, SLES)",
+        vendor="IBM",
+        processor="POWER7",
+        architecture="Power ISA",
+    ),
+)
+
+_BY_KEY = {info.key: info for info in MACHINE_INFO}
+
+
+def machine_info(key: str) -> MachineInfo:
+    """Look up one machine by its short column label.
+
+    Examples
+    --------
+    >>> machine_info("m5").vendor
+    'IBM'
+    """
+    try:
+        return _BY_KEY[key.lower()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown machine {key!r}; valid keys: "
+            f"{', '.join(sorted(_BY_KEY))}"
+        ) from None

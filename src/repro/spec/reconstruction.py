@@ -1,0 +1,304 @@
+"""Deterministic reconstruction of the SPEC-like evaluation tables.
+
+The procedure (run once; its rounded output is frozen in
+:mod:`repro.spec.data`, and the test suite asserts the regeneration
+matches bit-for-bit):
+
+1. **Measure-exact cores.**  :func:`repro.generate.from_targets` builds
+   12 × 5 and 17 × 5 ECS matrices whose (MPH, TDH, TMA) equal the
+   values the paper reports for CINT and CFP, with randomized
+   (seeded) margin ratios and affinity jitter so the tables look like
+   data rather than geometry.
+2. **Fig. 8(b) affinity injection.**  The 2 × 2 TMA of a submatrix
+   depends only on its multiplicative cross ratio, which full-matrix
+   row/column scalings cannot change; the cactusADM/soplex × m1/m4
+   cross ratio is therefore set *before* the final margin scaling so
+   that the submatrix TMA is 0.60 while the full-matrix margins stay
+   measure-exact.
+3. **Margin scaling.**  Row/column margins with exact adjacent-ratio
+   means (0.90/0.82 for CINT, 0.91/0.83 for CFP) are imposed by
+   :func:`repro.normalize.scale_to_margins`; by Theorem 1 this leaves
+   every cross ratio — and hence TMA — untouched.
+4. **Unit calibration.**  Each ECS matrix is converted to ETC and
+   scaled (one global factor per suite, which changes no measure) into
+   the second-scale range of real SPEC CPU2006 rate peak runtimes; the
+   CFP factor is chosen so that the Fig. 8(a) task-difficulty ratio is
+   the paper's 0.16.
+5. **Fig. 8(a) affinity trim.**  A final multiplicative tweak to
+   omnetpp's m4/m5 pair pins the Fig. 8(a) cross ratio to TMA = 0.05
+   (a one-row perturbation; the CINT measures move by < 0.005 and the
+   achieved values are what EXPERIMENTS.md reports).
+6. **Rounding.**  Runtimes are rounded to 0.1 s like published SPEC
+   tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..generate._rng import resolve_rng
+from ..generate.target_driven import _bisect_theta, affinity_core
+from ..normalize.sinkhorn import scale_to_margins
+
+__all__ = [
+    "reconstruct_cint",
+    "reconstruct_cfp",
+    "reconstruct_tables",
+    "CINT_SEED",
+    "CFP_SEED",
+]
+
+#: Frozen seeds of the shipped tables (see repro.spec.data).
+CINT_SEED = 20110516
+CFP_SEED = 20110517
+
+#: Paper-reported targets (Figs. 6-8).
+CINT_TARGETS = {"mph": 0.82, "tdh": 0.90, "tma": 0.07}
+CFP_TARGETS = {"mph": 0.83, "tdh": 0.91, "tma": 0.12}
+FIG8B_TMA = 0.60
+FIG8A_TMA = 0.05
+FIG8A_TDH = 0.16
+#: The paper states Fig. 8(a)'s task types are *more* homogeneous than
+#: Fig. 8(b)'s, so TDH(b) must land below 0.16.
+FIG8B_TDH = 0.10
+
+#: Row/column indices used by the Fig. 8 constraints.
+_CINT_OMNETPP = 9   # row in the CINT table
+_CFP_CACTUS = 5     # rows in the CFP table
+_CFP_SOPLEX = 9
+_M1, _M4, _M5 = 0, 3, 4
+
+
+def _margins_with_mean_ratio(
+    count: int, mean_ratio: float, rng, *, spread: float = 0.35
+) -> np.ndarray:
+    """Ascending margins whose adjacent ratios *average* ``mean_ratio``.
+
+    Unlike the geometric margins of
+    :func:`repro.generate.margins_for_homogeneity`, the individual
+    ratios are randomized (then one of them adjusted to restore the
+    exact mean) so that the resulting performance/difficulty profile
+    looks like measured data while MPH/TDH stay exact.
+    """
+    if count == 1:
+        return np.ones(1)
+    ratios = np.clip(
+        mean_ratio + rng.uniform(-spread, spread, size=count - 1) * (1 - mean_ratio),
+        0.05,
+        1.0,
+    )
+    # Repair the mean exactly by shifting the ratio with the most slack.
+    for _ in range(64):
+        err = ratios.mean() - mean_ratio
+        if abs(err) < 1e-15:
+            break
+        adjust = err * (count - 1)
+        order = np.argsort(ratios) if err < 0 else np.argsort(-ratios)
+        for idx in order:
+            lo, hi = 0.05, 1.0
+            room = (ratios[idx] - lo) if adjust > 0 else (hi - ratios[idx])
+            step = np.clip(adjust, -room, room) if adjust < 0 else min(adjust, room)
+            ratios[idx] -= step
+            adjust -= step
+            if abs(adjust) < 1e-18:
+                break
+    values = np.ones(count)
+    for k in range(count - 2, -1, -1):
+        values[k] = values[k + 1] * ratios[k]
+    return values
+
+
+def _cross_ratio(ecs: np.ndarray, rows, cols) -> float:
+    """Multiplicative cross ratio ``(a*d)/(b*c)`` of a 2×2 submatrix."""
+    (r1, r2), (c1, c2) = rows, cols
+    return float(
+        (ecs[r1, c1] * ecs[r2, c2]) / (ecs[r1, c2] * ecs[r2, c1])
+    )
+
+
+def cross_ratio_for_tma(target_tma: float) -> float:
+    """Cross ratio that yields a 2×2 standard-form TMA of ``target_tma``.
+
+    The standard form of a positive 2×2 matrix is
+    ``[[a, 1-a], [1-a, a]]`` whose non-maximum singular value is
+    ``|2a - 1|``; solving for the cross ratio gives
+    ``((1 + t) / (1 - t)) ** 2``.
+    """
+    if not 0.0 <= target_tma < 1.0:
+        raise ValueError("2x2 TMA target must be in [0, 1)")
+    return ((1.0 + target_tma) / (1.0 - target_tma)) ** 2
+
+
+def _inject_cross_ratio(
+    ecs: np.ndarray, rows, cols, target_ratio: float
+) -> None:
+    """Scale the four submatrix entries so their cross ratio hits the
+    target, spreading the adjustment evenly to limit the disturbance."""
+    current = _cross_ratio(ecs, rows, cols)
+    factor = (target_ratio / current) ** 0.25
+    (r1, r2), (c1, c2) = rows, cols
+    ecs[r1, c1] *= factor
+    ecs[r2, c2] *= factor
+    ecs[r1, c2] /= factor
+    ecs[r2, c1] /= factor
+
+
+def _build_suite(
+    n_tasks: int,
+    targets: dict,
+    seed: int,
+    inject: list | None = None,
+    row_shift: dict | None = None,
+) -> np.ndarray:
+    """Steps 1-3: affinity core + optional injections + exact margins.
+
+    ``inject`` is a list of ``(rows, cols, cross_ratio)`` constraints;
+    ``row_shift`` maps ``row -> (cols, factor)`` and multiplies the
+    row's core entries at those columns by the factor.  A row shift
+    redistributes a task's speed *within* its row, which the margin
+    scaling cannot see (row sums are re-imposed) and which preserves
+    every 2×2 cross ratio whose rows it scales uniformly — the knob
+    used to pin the Fig. 8(b) restricted task-difficulty ratio.
+    """
+    rng = resolve_rng(seed)
+    core = _bisect_theta(
+        n_tasks, 5, targets["tma"], jitter=0.45,
+        seed=int(rng.integers(0, 2**63 - 1)), tol=1e-9,
+    )
+    if inject:
+        for rows, cols, ratio in inject:
+            _inject_cross_ratio(core, rows, cols, ratio)
+    if row_shift:
+        for row, (cols, factor) in row_shift.items():
+            core[row, list(cols)] *= factor
+    total = float(n_tasks * 5)
+    row_margins = _margins_with_mean_ratio(n_tasks, targets["tdh"], rng)
+    col_margins = _margins_with_mean_ratio(5, targets["mph"], rng)
+    row_margins *= total / row_margins.sum()
+    col_margins *= total / col_margins.sum()
+    # Shuffle margins so performance is not monotone in machine index
+    # (real machine line-ups are not sorted by speed).
+    rng.shuffle(row_margins)
+    rng.shuffle(col_margins)
+    matrix = scale_to_margins(core, row_margins, col_margins, tol=1e-12).matrix
+    return matrix, row_margins, col_margins
+
+
+def _cfp_stage() -> np.ndarray:
+    """CFP ECS matrix (unscaled): exact margins, Fig. 8(b) TMA cross
+    ratio injected, and the within-row shift bisected so the restricted
+    cactusADM/soplex difficulty ratio equals ``FIG8B_TDH``."""
+    inject = [
+        (
+            (_CFP_CACTUS, _CFP_SOPLEX),
+            (_M1, _M4),
+            cross_ratio_for_tma(FIG8B_TMA),
+        )
+    ]
+
+    def build(lam: float) -> tuple[float, np.ndarray]:
+        shift = {
+            _CFP_CACTUS: ((_M1, _M4), lam),
+            _CFP_SOPLEX: ((_M1, _M4), 1.0 / lam),
+        }
+        ecs, _, _ = _build_suite(
+            17, CFP_TARGETS, CFP_SEED, inject=inject, row_shift=shift
+        )
+        restricted = ecs[[_CFP_CACTUS, _CFP_SOPLEX]][:, [_M1, _M4]]
+        sums = restricted.sum(axis=1)
+        return float(sums.min() / sums.max()), ecs
+
+    lo, hi = 0.02, 1.0
+    ecs = None
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        value, ecs = build(mid)
+        if abs(value - FIG8B_TDH) < 1e-9:
+            break
+        if value > FIG8B_TDH:
+            hi = mid
+        else:
+            lo = mid
+    return ecs
+
+
+def _finalize(tau: float, cfp_ecs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Steps 4-5 as a joint fixpoint.
+
+    Builds the CINT suite with affinity level ``tau``, then alternates
+
+    a. the CFP global scalar that pins Fig. 8(a)'s TDH to 0.16,
+    b. a task-difficulty-preserving redistribution of omnetpp's m4/m5
+       speeds that pins Fig. 8(a)'s cross ratio (TMA = 0.05), and
+    c. re-imposition of the exact CINT margins (which step b disturbs
+       only through the m4/m5 column sums),
+
+    until the Fig. 8(a) cross ratio is stationary.  MPH/TDH of both
+    suites stay exact throughout; only the full-matrix CINT TMA drifts
+    with the trim, which is what the outer bisection on ``tau``
+    compensates.
+    """
+    cint_ecs, row_m, col_m = _build_suite(
+        12, {**CINT_TARGETS, "tma": tau}, CINT_SEED
+    )
+    # Fold the realism scale into the margins: median peak runtime of
+    # the suite ~420 s (a global factor changes no measure).
+    beta = np.median(1.0 / cint_ecs) / 420.0
+    cint_ecs = cint_ecs * beta
+    row_m = row_m * beta
+    col_m = col_m * beta
+
+    cfp_etc = 1.0 / cfp_ecs
+    target_cr = cross_ratio_for_tma(FIG8A_TMA)
+    for _ in range(80):
+        # (a) CFP scalar: Fig. 8(a) TDH (cactus vs omnetpp over m4/m5).
+        om_speed = cint_ecs[_CINT_OMNETPP, _M4] + cint_ecs[_CINT_OMNETPP, _M5]
+        ca_speed = 1.0 / cfp_etc[_CFP_CACTUS, _M4] + 1.0 / cfp_etc[
+            _CFP_CACTUS, _M5
+        ]
+        cfp_etc *= ca_speed / (FIG8A_TDH * om_speed)
+
+        # (b) omnetpp trim: Fig. 8(a) cross ratio, preserving om's TD.
+        s4 = cint_ecs[_CINT_OMNETPP, _M4]
+        s5 = cint_ecs[_CINT_OMNETPP, _M5]
+        ca4 = 1.0 / cfp_etc[_CFP_CACTUS, _M4]
+        ca5 = 1.0 / cfp_etc[_CFP_CACTUS, _M5]
+        current = (s4 * ca5) / (s5 * ca4)
+        # Both target_cr and 1/target_cr give the same 2x2 TMA; use the
+        # branch nearer the current ratio to minimise the disturbance.
+        goal = target_cr if current >= 1.0 else 1.0 / target_cr
+        if abs(np.log(current / goal)) < 1e-12:
+            break
+        q = (s4 / s5) * (goal / current)   # required s4'/s5'
+        s5_new = (s4 + s5) / (1.0 + q)
+        cint_ecs = cint_ecs.copy()
+        cint_ecs[_CINT_OMNETPP, _M4] = q * s5_new
+        cint_ecs[_CINT_OMNETPP, _M5] = s5_new
+
+        # (c) exact margins back onto CINT.
+        cint_ecs = scale_to_margins(cint_ecs, row_m, col_m, tol=1e-13).matrix
+    return 1.0 / cint_ecs, cfp_etc
+
+
+def reconstruct_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Full pipeline: the (CINT, CFP) ETC tables shipped in data.py.
+
+    The outer bisection tunes the CINT core affinity so the *final*
+    full-matrix TMA (after the Fig. 8(a) trim) equals the paper's 0.07.
+    """
+    cfp_ecs = _cfp_stage()
+    from ..measures.affinity import tma as _tma_measure
+
+    lo, hi = 0.005, 0.15
+    cint_etc = cfp_etc = None
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        cint_etc, cfp_etc = _finalize(mid, cfp_ecs)
+        achieved = _tma_measure(1.0 / cint_etc)
+        if abs(achieved - CINT_TARGETS["tma"]) < 1e-7:
+            break
+        if achieved < CINT_TARGETS["tma"]:
+            lo = mid
+        else:
+            hi = mid
+    return np.round(cint_etc, 1), np.round(cfp_etc, 1)

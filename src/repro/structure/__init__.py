@@ -1,0 +1,56 @@
+"""Zero-pattern structure analysis (paper Section VI).
+
+When an ECS matrix contains zeros (incompatible task/machine pairs) the
+standard form of Section III may not exist: the paper exhibits a 3 × 3
+matrix (eq. 10) that no combination of row and column scalings can
+normalize, and cites Marshall & Olkin's sufficient condition — *full
+indecomposability* — for normalizability.
+
+This package provides the exact combinatorial machinery:
+
+* :func:`has_support` / :func:`has_total_support` — positive-diagonal
+  structure (Sinkhorn–Knopp's classical conditions for square matrices).
+* :func:`is_fully_indecomposable` — no ``k × (n-k)`` all-zero submatrix
+  under any row/column permutation (eq. 11's block form is impossible);
+  rectangular matrices use the paper's every-square-submatrix definition.
+* :func:`is_normalizable` — the *exact* (necessary and sufficient)
+  normalizability test via Menon's theorem, reduced to a transportation
+  feasibility + edge-usability check on the zero pattern.  Handles the
+  paper's diagonal-matrix caveat (decomposable yet normalizable).
+* :func:`find_zero_block` / :func:`permute_to_block_form` — construct
+  the certificate of decomposability (the paper's eq. 10 → eq. 12 move).
+"""
+
+from .patterns import (
+    support_pattern,
+    has_support,
+    has_total_support,
+    total_support_pattern,
+)
+from .decomposability import (
+    is_fully_indecomposable,
+    find_zero_block,
+    permute_to_block_form,
+    BlockForm,
+)
+from .normalizability import is_normalizable, normalizability_report, NormalizabilityReport
+from .components import IndecomposableComponents, fully_indecomposable_components
+from .repair import RepairPlan, suggest_repairs
+
+__all__ = [
+    "support_pattern",
+    "has_support",
+    "has_total_support",
+    "total_support_pattern",
+    "is_fully_indecomposable",
+    "find_zero_block",
+    "permute_to_block_form",
+    "BlockForm",
+    "is_normalizable",
+    "normalizability_report",
+    "NormalizabilityReport",
+    "IndecomposableComponents",
+    "fully_indecomposable_components",
+    "RepairPlan",
+    "suggest_repairs",
+]

@@ -1,0 +1,85 @@
+"""Tests for measure-trajectory tracking over edit scripts."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, MatrixValueError
+from repro.analysis import track_evolution
+from repro.spec import cint2006rate
+
+
+class TestTrackEvolution:
+    def test_baseline_plus_one_per_edit(self):
+        steps = track_evolution(
+            cint2006rate(),
+            [("drop_machine", "m2"), ("drop_task", "403.gcc")],
+        )
+        assert len(steps) == 3
+        assert steps[0].description == "baseline"
+        assert steps[1].description == "drop_machine m2"
+        assert steps[2].description == "drop_task 403.gcc"
+
+    def test_dimensions_track_edits(self):
+        steps = track_evolution(
+            cint2006rate(),
+            [
+                ("add_machine", "accel", np.full(12, 100.0)),
+                ("drop_task", 0),
+            ],
+        )
+        assert steps[0].profile.n_machines == 5
+        assert steps[1].profile.n_machines == 6
+        assert steps[2].profile.n_tasks == 11
+
+    def test_matches_direct_characterization(self):
+        from repro.measures import characterize
+
+        env = cint2006rate()
+        steps = track_evolution(env, [("drop_machine", "m4")])
+        direct = characterize(env.drop_machines(["m4"]))
+        assert steps[1].profile.mph == pytest.approx(direct.mph)
+        assert steps[1].profile.tma == pytest.approx(direct.tma, abs=1e-9)
+
+    def test_scale_is_measure_noop(self):
+        steps = track_evolution(cint2006rate(), [("scale", 3600.0)])
+        assert steps[1].profile.mph == pytest.approx(steps[0].profile.mph)
+        assert steps[1].profile.tma == pytest.approx(
+            steps[0].profile.tma, abs=1e-6
+        )
+
+    def test_input_untouched(self):
+        env = cint2006rate()
+        track_evolution(env, [("drop_machine", "m1")])
+        assert env.n_machines == 5
+
+    def test_accepts_raw_ecs(self):
+        steps = track_evolution(
+            np.ones((3, 3)), [("add_task", "new", [1.0, 1.0, 1.0])]
+        )
+        assert steps[1].profile.n_tasks == 4
+
+    def test_edits_compose(self):
+        """Add then drop the same machine: back to the baseline
+        measures."""
+        env = ECSMatrix(np.random.default_rng(0).uniform(1, 5, (5, 4)))
+        steps = track_evolution(
+            env,
+            [
+                ("add_machine", "tmp", np.full(5, 9.0)),
+                ("drop_machine", "tmp"),
+            ],
+        )
+        assert steps[2].profile.mph == pytest.approx(steps[0].profile.mph)
+        assert steps[2].profile.tma == pytest.approx(
+            steps[0].profile.tma, abs=1e-9
+        )
+
+    def test_unknown_edit_rejected(self):
+        with pytest.raises(MatrixValueError):
+            track_evolution(np.ones((2, 2)), [("paint", "blue")])
+
+    def test_row_renders(self):
+        steps = track_evolution(cint2006rate(), [("drop_machine", 0)])
+        text = steps[1].row()
+        assert "drop_machine m1" in text
+        assert "MPH=" in text and "12x4" in text

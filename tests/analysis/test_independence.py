@@ -1,0 +1,70 @@
+"""Tests for the measure-independence experiments (property 3)."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixValueError
+from repro.analysis import independence_study, measure_correlations
+
+
+class TestIndependenceStudy:
+    @pytest.mark.parametrize("swept", ["mph", "tdh", "tma"])
+    def test_swept_measure_tracks_targets(self, swept):
+        result = independence_study(
+            swept, n_tasks=6, n_machines=5,
+            targets=np.linspace(0.2, 0.8, 5),
+        )
+        assert result.sweep_error() < 1e-3
+
+    @pytest.mark.parametrize("swept", ["mph", "tdh", "tma"])
+    def test_pinned_measures_do_not_drift(self, swept):
+        """Property 3 in action: sweeping one measure across its range
+        moves the other two by (numerically) nothing."""
+        result = independence_study(
+            swept, n_tasks=6, n_machines=5,
+            targets=np.linspace(0.2, 0.8, 5),
+        )
+        assert result.max_drift() < 1e-3
+
+    def test_fixed_overrides(self):
+        result = independence_study(
+            "tma",
+            n_tasks=5,
+            n_machines=4,
+            targets=[0.1, 0.4],
+            fixed={"mph": 0.35, "tdh": 0.9},
+        )
+        assert result.fixed == {"mph": 0.35, "tdh": 0.9}
+        np.testing.assert_allclose(result.achieved[:, 0], 0.35, atol=1e-6)
+        np.testing.assert_allclose(result.achieved[:, 1], 0.9, atol=1e-6)
+
+    def test_default_target_grid(self):
+        result = independence_study("mph", n_tasks=4, n_machines=4)
+        assert result.targets.shape[0] == 9
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(MatrixValueError):
+            independence_study("cov")
+
+    def test_achieved_shape(self):
+        result = independence_study("tdh", targets=[0.3, 0.6, 0.9])
+        assert result.achieved.shape == (3, 3)
+
+
+class TestMeasureCorrelations:
+    @pytest.fixture(scope="class")
+    def corr(self):
+        return measure_correlations(samples=120, seed=0)
+
+    def test_shape_and_diagonal(self, corr):
+        assert corr.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_symmetric(self, corr):
+        np.testing.assert_allclose(corr, corr.T)
+
+    def test_not_totally_correlated(self, corr):
+        """The paper's criterion for keeping all three measures: unlike
+        std-vs-variance, no pair is (anti)correlated to |r| ~ 1."""
+        off = np.abs(corr[np.triu_indices(3, k=1)])
+        assert (off < 0.8).all()

@@ -1,0 +1,121 @@
+"""Tests for regime naming and generator footprints."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RegimeThresholds,
+    characterize_generator,
+    describe_regime,
+)
+from repro.generate import braun_case
+from repro.measures import characterize
+from repro.spec import cint2006rate
+
+
+class TestDescribeRegime:
+    def test_flat_environment(self):
+        assert describe_regime(np.ones((4, 4))) == (
+            "homogeneous machines, homogeneous tasks, no significant "
+            "affinity"
+        )
+
+    def test_diagonal_extreme(self):
+        text = describe_regime(np.diag([1.0, 100.0]) + 0.01)
+        assert "heterogeneous machines" in text
+        assert "strong task-machine affinity" in text
+
+    def test_moderate_affinity_band(self):
+        from repro.generate import from_targets
+
+        env = from_targets(6, 5, (0.8, 0.8, 0.2))
+        assert "moderate task-machine affinity" in describe_regime(env)
+
+    def test_accepts_profile(self):
+        profile = characterize(cint2006rate())
+        assert describe_regime(profile) == describe_regime(cint2006rate())
+
+    def test_spec_cint_regime(self):
+        text = describe_regime(cint2006rate())
+        assert text == (
+            "homogeneous machines, homogeneous tasks, no significant "
+            "affinity"
+        )
+
+    def test_custom_thresholds(self):
+        strict = RegimeThresholds(machine=0.95, task=0.95, affinity=0.01)
+        text = describe_regime(cint2006rate(), thresholds=strict)
+        assert "heterogeneous machines" in text
+        assert "heterogeneous tasks" in text
+
+
+class TestCharacterizeGenerator:
+    @pytest.fixture(scope="class")
+    def footprint(self):
+        return characterize_generator(
+            "hihi-i",
+            lambda s: braun_case("hihi-i", n_tasks=16, n_machines=6, seed=s),
+            samples=5,
+            seed=0,
+        )
+
+    def test_shapes(self, footprint):
+        assert footprint.samples.shape == (5, 3)
+        assert footprint.mean.shape == (3,)
+        assert footprint.std.shape == (3,)
+
+    def test_statistics_consistent(self, footprint):
+        np.testing.assert_allclose(
+            footprint.mean, footprint.samples.mean(axis=0)
+        )
+        np.testing.assert_allclose(
+            footprint.std, footprint.samples.std(axis=0)
+        )
+
+    def test_row_renders(self, footprint):
+        text = footprint.row()
+        assert "hihi-i" in text and "MPH" in text and "±" in text
+
+    def test_deterministic(self):
+        a = characterize_generator(
+            "x",
+            lambda s: braun_case("lolo-c", n_tasks=8, n_machines=4, seed=s),
+            samples=3,
+            seed=1,
+        )
+        b = characterize_generator(
+            "x",
+            lambda s: braun_case("lolo-c", n_tasks=8, n_machines=4, seed=s),
+            samples=3,
+            seed=1,
+        )
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_braun_orderings(self):
+        """High-range cases land lower on the homogeneity axes."""
+
+        def footprint_of(case):
+            return characterize_generator(
+                case,
+                lambda s: braun_case(case, n_tasks=24, n_machines=8, seed=s),
+                samples=4,
+                seed=2,
+            )
+
+        hihi = footprint_of("hihi-i")
+        lolo = footprint_of("lolo-i")
+        assert hihi.mean[0] < lolo.mean[0]  # MPH
+        assert hihi.mean[1] < lolo.mean[1]  # TDH
+
+    def test_consistency_kills_affinity(self):
+        def footprint_of(case):
+            return characterize_generator(
+                case,
+                lambda s: braun_case(case, n_tasks=24, n_machines=8, seed=s),
+                samples=4,
+                seed=3,
+            )
+
+        consistent = footprint_of("hihi-c")
+        inconsistent = footprint_of("hihi-i")
+        assert consistent.mean[2] < inconsistent.mean[2]  # TMA

@@ -1,0 +1,93 @@
+"""Tests for the Markdown environment report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import environment_report
+from repro.spec import cint2006rate
+
+
+class TestEnvironmentReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return environment_report(cint2006rate(), name="CINT")
+
+    def test_sections_present(self, report):
+        assert "# Heterogeneity report: CINT" in report
+        assert "## Measures" in report
+        assert "## Affinity structure" in report
+        assert "## Highest-impact removals" in report
+
+    def test_measures_reported(self, report):
+        assert "0.8200" in report  # MPH
+        assert "0.9000" in report  # TDH
+        assert "0.0700" in report  # TMA
+
+    def test_regime_line(self, report):
+        assert "homogeneous machines" in report
+
+    def test_whatif_rows_capped(self):
+        report = environment_report(
+            cint2006rate(), max_whatif_rows=2
+        )
+        assert report.count("* drop") == 2
+
+    def test_whatif_optional(self):
+        report = environment_report(cint2006rate(), include_whatif=False)
+        assert "Highest-impact removals" not in report
+
+    def test_affinity_groups_listed_for_block_env(self):
+        block = np.array(
+            [[9.0, 9.0, 0.1], [9.0, 9.0, 0.1], [0.1, 0.1, 9.0]]
+        )
+        report = environment_report(block, include_whatif=False)
+        assert "affinity groups" in report
+        assert "group 0" in report and "group 1" in report
+
+    def test_flat_environment_no_groups(self):
+        report = environment_report(np.ones((3, 3)), include_whatif=False)
+        assert "No significant affinity groups" in report
+
+    def test_accepts_raw_arrays(self):
+        report = environment_report([[1.0, 2.0], [2.0, 1.0]])
+        assert report.startswith("# Heterogeneity report")
+
+    def test_removals_ranked_by_impact(self, report):
+        lines = [l for l in report.splitlines() if l.startswith("* drop")]
+
+        def total_shift(line):
+            import re
+
+            deltas = re.findall(r"\(([+-]\d+\.\d+)\)", line)
+            return sum(abs(float(d)) for d in deltas)
+
+        shifts = [total_shift(line) for line in lines]
+        assert shifts == sorted(shifts, reverse=True)
+
+
+class TestMachineInfo:
+    def test_five_machines(self):
+        from repro.spec import MACHINE_INFO
+
+        assert len(MACHINE_INFO) == 5
+        assert [m.key for m in MACHINE_INFO] == ["m1", "m2", "m3", "m4", "m5"]
+
+    def test_lookup(self):
+        from repro.spec import machine_info
+
+        assert machine_info("m2").architecture == "SPARC V9"
+        assert machine_info("M5").vendor == "IBM"
+
+    def test_unknown_key(self):
+        from repro import DatasetError
+        from repro.spec import machine_info
+
+        with pytest.raises(DatasetError):
+            machine_info("m9")
+
+    def test_architecture_diversity(self):
+        """The paper's point: different architectures and vendors."""
+        from repro.spec import MACHINE_INFO
+
+        assert len({m.architecture for m in MACHINE_INFO}) >= 3
+        assert len({m.vendor for m in MACHINE_INFO}) >= 4

@@ -1,0 +1,68 @@
+"""Tests for the measure-sensitivity (robustness) study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sensitivity_study
+from repro.spec import cint2006rate
+
+
+class TestSensitivityStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        rng = np.random.default_rng(0)
+        return sensitivity_study(
+            rng.uniform(1.0, 5.0, size=(8, 5)),
+            noise_levels=(0.01, 0.05, 0.2),
+            trials=10,
+            seed=1,
+        )
+
+    def test_shapes(self, result):
+        assert result.mean_shift.shape == (3, 3)
+        assert result.max_shift.shape == (3, 3)
+        assert result.trials == 10
+
+    def test_baseline_recorded(self, result):
+        assert set(result.baseline) == {"mph", "tdh", "tma"}
+        assert 0 < result.baseline["mph"] <= 1
+
+    def test_shift_nonnegative_and_bounded(self, result):
+        assert (result.mean_shift >= 0).all()
+        assert (result.max_shift >= result.mean_shift - 1e-12).all()
+        assert (result.max_shift <= 1.0).all()
+
+    def test_more_noise_more_shift(self, result):
+        """Robustness curve: mean shift grows with the noise level."""
+        for measure in range(3):
+            assert (
+                result.mean_shift[0, measure]
+                <= result.mean_shift[-1, measure] + 1e-9
+            )
+
+    def test_small_noise_small_shift(self, result):
+        assert (result.mean_shift[0] < 0.05).all()
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.uniform(1.0, 5.0, size=(5, 4))
+        a = sensitivity_study(matrix, trials=5, seed=3)
+        b = sensitivity_study(matrix, trials=5, seed=3)
+        np.testing.assert_array_equal(a.mean_shift, b.mean_shift)
+
+    def test_accepts_etc_wrapper(self):
+        result = sensitivity_study(
+            cint2006rate(), noise_levels=(0.05,), trials=4, seed=4
+        )
+        assert result.baseline["mph"] == pytest.approx(0.82, abs=5e-3)
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "sigma" in text
+        assert len(text.splitlines()) == 4
+
+    def test_invalid_noise_levels(self):
+        with pytest.raises(ValueError):
+            sensitivity_study(np.ones((3, 3)), noise_levels=())
+        with pytest.raises(ValueError):
+            sensitivity_study(np.ones((3, 3)), noise_levels=(0.0,))

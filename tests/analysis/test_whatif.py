@@ -1,0 +1,86 @@
+"""Tests for what-if add/remove studies."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix
+from repro.analysis import (
+    whatif_add_machine,
+    whatif_add_task,
+    whatif_drop_machines,
+    whatif_drop_tasks,
+)
+from repro.spec import cint2006rate
+
+
+class TestDropStudies:
+    def test_one_entry_per_task(self):
+        entries = whatif_drop_tasks(cint2006rate())
+        assert len(entries) == 12
+        assert all(e.after.n_tasks == 11 for e in entries)
+
+    def test_subset_selection(self):
+        entries = whatif_drop_tasks(cint2006rate(), tasks=["471.omnetpp"])
+        assert len(entries) == 1
+        assert "omnetpp" in entries[0].description
+
+    def test_one_entry_per_machine(self):
+        entries = whatif_drop_machines(cint2006rate())
+        assert len(entries) == 5
+        assert all(e.after.n_machines == 4 for e in entries)
+
+    def test_original_untouched(self):
+        env = cint2006rate()
+        whatif_drop_tasks(env)
+        assert env.shape == (12, 5)
+
+    def test_single_task_environment_empty(self):
+        assert whatif_drop_tasks(ECSMatrix([[1.0, 2.0]])) == []
+
+    def test_single_machine_environment_empty(self):
+        assert whatif_drop_machines(ECSMatrix([[1.0], [2.0]])) == []
+
+    def test_deltas_consistent(self):
+        entry = whatif_drop_machines(cint2006rate(), machines=["m4"])[0]
+        assert entry.delta_mph == pytest.approx(
+            entry.after.mph - entry.before.mph
+        )
+        assert entry.delta_tma == pytest.approx(
+            entry.after.tma - entry.before.tma
+        )
+
+    def test_dropping_slowest_machine_raises_mph(self):
+        """Removing the performance outlier must increase homogeneity."""
+        env = ECSMatrix(np.diag([1.0, 10.0, 11.0, 12.0]) + 0.001)
+        entries = whatif_drop_machines(env, machines=[0])
+        assert entries[0].delta_mph > 0.2
+
+    def test_accepts_raw_array(self):
+        entries = whatif_drop_tasks(np.ones((3, 3)))
+        assert len(entries) == 3
+
+    def test_summary_format(self):
+        entry = whatif_drop_tasks(cint2006rate(), tasks=[0])[0]
+        text = entry.summary()
+        assert "MPH" in text and "TDH" in text and "TMA" in text
+        assert "drop task 400.perlbench" in text
+
+
+class TestAddStudies:
+    def test_add_task(self):
+        env = cint2006rate()
+        entry = whatif_add_task(env, "new.bench", np.full(5, 300.0))
+        assert entry.after.n_tasks == 13
+        assert entry.before.n_tasks == 12
+
+    def test_add_machine_changes_affinity(self):
+        """Adding a machine with inverted task preferences raises TMA."""
+        env = ECSMatrix([[1.0, 1.0], [2.0, 2.0], [4.0, 4.0]])
+        entry = whatif_add_machine(env, "accelerator", [8.0, 2.0, 0.5])
+        assert entry.before.tma == pytest.approx(0.0, abs=1e-8)
+        assert entry.delta_tma > 0.05
+
+    def test_add_homogeneous_machine_small_tma_shift(self):
+        env = ECSMatrix([[1.0, 1.0], [2.0, 2.0]])
+        entry = whatif_add_machine(env, "clone", [1.0, 2.0])
+        assert entry.delta_tma == pytest.approx(0.0, abs=1e-6)

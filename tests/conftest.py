@@ -1,0 +1,149 @@
+"""Shared fixtures: the paper's example matrices and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+# ---------------------------------------------------------------------------
+# Paper example matrices
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fig1_ecs() -> np.ndarray:
+    """Fig. 1's 4×3 ECS example; machine 1's performance is 17."""
+    return np.array(
+        [
+            [4.0, 8.0, 5.0],
+            [5.0, 9.0, 4.0],
+            [6.0, 5.0, 2.0],
+            [2.0, 1.0, 3.0],
+        ]
+    )
+
+
+@pytest.fixture
+def fig2_performances() -> dict[str, np.ndarray]:
+    """Fig. 2's four machine-performance environments."""
+    return {
+        "env1": np.array([1.0, 2.0, 4.0, 8.0, 16.0]),
+        "env2": np.array([1.0, 1.0, 1.0, 1.0, 16.0]),
+        "env3": np.array([1.0, 16.0, 16.0, 16.0, 16.0]),
+        "env4": np.array([1.0, 4.0, 4.0, 4.0, 16.0]),
+    }
+
+
+@pytest.fixture
+def fig3a_ecs() -> np.ndarray:
+    """Fig. 3(a): machine-homogeneous, zero affinity (identical columns)."""
+    return np.array(
+        [
+            [4.0, 4.0, 4.0],
+            [5.0, 5.0, 5.0],
+            [6.0, 6.0, 6.0],
+        ]
+    )
+
+
+@pytest.fixture
+def fig3b_ecs() -> np.ndarray:
+    """Fig. 3(b): machine-homogeneous but with task-machine affinity."""
+    return np.array(
+        [
+            [10.0, 1.0, 4.0],
+            [1.0, 10.0, 4.0],
+            [4.0, 4.0, 7.0],
+        ]
+    )
+
+
+@pytest.fixture
+def fig4_matrices() -> dict[str, np.ndarray]:
+    """Reconstructed Fig. 4 extreme 2×2 matrices.
+
+    The source scan lost the entries; these satisfy every property the
+    text states: A–D have TMA = 1 (a task runnable on one machine
+    only), E–H have TMA = 0 (equal performance ratios); C, D, G, H have
+    high MPH; A, C, E, G have high TDH; and A, B, D converge (in the
+    eq.-9 limit) to the standard form of C.
+    """
+    return {
+        "A": np.array([[10.0, 0.0], [9.0, 1.0]]),   # low MPH, high TDH
+        "B": np.array([[1.0, 0.0], [10.0, 100.0]]),  # low MPH, low TDH
+        "C": np.array([[1.0, 0.0], [0.0, 1.0]]),     # high MPH, high TDH
+        "D": np.array([[1.0, 0.0], [9.0, 10.0]]),    # high MPH, low TDH
+        "E": np.array([[1.0, 10.0], [1.0, 10.0]]),   # low MPH, high TDH
+        "F": np.array([[0.1, 1.0], [1.0, 10.0]]),    # low MPH, low TDH
+        "G": np.array([[1.0, 1.0], [1.0, 1.0]]),     # high MPH, high TDH
+        "H": np.array([[0.1, 0.1], [1.0, 1.0]]),     # high MPH, low TDH
+    }
+
+
+@pytest.fixture
+def eq10_matrix() -> np.ndarray:
+    """Section VI's eq. 10: decomposable, no standard form exists.
+
+    Reconstructed from the text's description: four nonzero entries,
+    the second row and third column sum to 2 while the other lines sum
+    to 1, and moving the last column to the front exposes the eq.-11
+    block form with a 1×1 A11 and 2×2 A22.
+    """
+    return np.array(
+        [
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Strictly positive, well-conditioned matrix entries.  The range is
+#: capped at 1e±2 because Sinkhorn's linear convergence rate is the
+#: squared second singular value of the standard form: a 2×2 matrix with
+#: cross ratio 1e12 needs millions of iterations to reach 1e-8, which is
+#: mathematically fine but pointless to exercise per-example.
+positive_entries = st.floats(
+    min_value=1e-2, max_value=1e2, allow_nan=False, allow_infinity=False
+)
+
+
+def ecs_matrices(
+    min_side: int = 1, max_side: int = 7, positive_only: bool = True
+):
+    """Strategy producing valid ECS arrays (optionally with zeros)."""
+    shapes = st.tuples(
+        st.integers(min_side, max_side), st.integers(min_side, max_side)
+    )
+    if positive_only:
+        return shapes.flatmap(
+            lambda shape: npst.arrays(
+                dtype=np.float64, shape=shape, elements=positive_entries
+            )
+        )
+
+    def with_zeros(shape):
+        return npst.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.one_of(st.just(0.0), positive_entries),
+        ).filter(
+            lambda arr: (arr > 0).any(axis=1).all()
+            and (arr > 0).any(axis=0).all()
+        )
+
+    return shapes.flatmap(with_zeros)
+
+
+#: Strategy for strictly positive 1-D performance vectors.
+performance_vectors = st.integers(1, 12).flatmap(
+    lambda n: npst.arrays(
+        dtype=np.float64, shape=(n,), elements=positive_entries
+    )
+)

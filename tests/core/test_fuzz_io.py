@@ -1,0 +1,132 @@
+"""Failure-injection tests: corrupted input files must fail cleanly.
+
+Every corruption of a CSV/JSON environment file must raise a
+:class:`repro.ReproError` (or a plain OSError for filesystem problems)
+— never an unhandled ``IndexError``/``KeyError``/crash, and never hang.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ETCMatrix,
+    ReproError,
+    load_environment_json,
+    load_etc_csv,
+    save_environment_json,
+    save_etc_csv,
+)
+
+
+@pytest.fixture
+def valid_csv(tmp_path):
+    path = tmp_path / "env.csv"
+    save_etc_csv(
+        ETCMatrix([[1.0, 2.0], [3.0, 4.0]], task_names=["a", "b"]), path
+    )
+    return path
+
+
+CORRUPTIONS = [
+    lambda text: "",                                      # empty
+    lambda text: text.replace("1.0", "one"),              # non-numeric
+    lambda text: text.replace("1.0", "-1.0"),             # negative time
+    lambda text: text.replace("1.0", "nan"),              # NaN
+    lambda text: text.splitlines()[0],                    # header only
+    lambda text: text + "c,5.0\n",                        # ragged row
+    lambda text: text.replace("task,m1,m2", "task"),      # no machines
+    lambda text: text.replace("a,", "b,"),                # duplicate task
+    lambda text: text.replace("m1,m2", "m1,m1"),          # duplicate machine
+]
+
+
+class TestCsvCorruption:
+    @pytest.mark.parametrize("corrupt", CORRUPTIONS)
+    def test_clean_failure(self, valid_csv, corrupt):
+        valid_csv.write_text(corrupt(valid_csv.read_text()))
+        with pytest.raises(ReproError):
+            load_etc_csv(valid_csv)
+
+    @given(text=st.text(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "env.csv"
+        path.write_text(text, encoding="utf-8")
+        try:
+            env = load_etc_csv(path)
+        except (ReproError, OSError):
+            return
+        # If it parsed, it must be a valid environment.
+        assert env.n_tasks >= 1 and env.n_machines >= 1
+        assert (env.values > 0).all()
+
+
+class TestJsonCorruption:
+    @pytest.fixture
+    def valid_json(self, tmp_path):
+        path = tmp_path / "env.json"
+        save_environment_json(ETCMatrix([[1.0, 2.0]]), path)
+        return path
+
+    def test_missing_values(self, valid_json):
+        doc = json.loads(valid_json.read_text())
+        del doc["values"]
+        valid_json.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_environment_json(valid_json)
+
+    def test_bad_kind(self, valid_json):
+        doc = json.loads(valid_json.read_text())
+        doc["kind"] = "speed"
+        valid_json.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_environment_json(valid_json)
+
+    def test_inconsistent_names(self, valid_json):
+        doc = json.loads(valid_json.read_text())
+        doc["machine_names"] = ["only-one"]
+        valid_json.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_environment_json(valid_json)
+
+    def test_bad_weights(self, valid_json):
+        doc = json.loads(valid_json.read_text())
+        doc["task_weights"] = [0.0]
+        valid_json.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_environment_json(valid_json)
+
+    def test_negative_value(self, valid_json):
+        doc = json.loads(valid_json.read_text())
+        doc["values"] = [[-1.0, 2.0]]
+        valid_json.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_environment_json(valid_json)
+
+
+class TestRoundTripProperty:
+    @given(
+        n_tasks=st.integers(1, 6),
+        n_machines=st.integers(1, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_csv_json_round_trips(self, n_tasks, n_machines, seed,
+                                  tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        etc = ETCMatrix(rng.uniform(0.5, 100.0, size=(n_tasks, n_machines)))
+        base = tmp_path_factory.mktemp("rt")
+        csv_path = base / "env.csv"
+        json_path = base / "env.json"
+        save_etc_csv(etc, csv_path)
+        save_environment_json(etc, json_path)
+        np.testing.assert_array_equal(
+            load_etc_csv(csv_path).values, etc.values
+        )
+        np.testing.assert_array_equal(
+            load_environment_json(json_path).values, etc.values
+        )

@@ -1,0 +1,117 @@
+"""CSV/JSON round-trip tests for environment I/O."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ECSMatrix,
+    ETCMatrix,
+    MatrixShapeError,
+    MatrixValueError,
+    load_environment_json,
+    load_etc_csv,
+    save_environment_json,
+    save_etc_csv,
+)
+
+
+@pytest.fixture
+def etc():
+    return ETCMatrix(
+        [[1.5, np.inf, 3.25], [40.0, 5.5, 6.0]],
+        task_names=["alpha", "beta"],
+        machine_names=["m1", "m2", "m3"],
+        task_weights=[1.0, 2.5],
+        machine_weights=[1.0, 1.0, 0.5],
+    )
+
+
+class TestCsv:
+    def test_round_trip_values_and_names(self, etc, tmp_path):
+        path = tmp_path / "env.csv"
+        save_etc_csv(etc, path)
+        back = load_etc_csv(path)
+        np.testing.assert_allclose(back.values, etc.values)
+        assert back.task_names == etc.task_names
+        assert back.machine_names == etc.machine_names
+
+    def test_inf_survives(self, etc, tmp_path):
+        path = tmp_path / "env.csv"
+        save_etc_csv(etc, path)
+        assert np.isinf(load_etc_csv(path).values[0, 1])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("task,m1,m2\na,1.0,2.0\n\n,,\nb,3.0,4.0\n")
+        env = load_etc_csv(path)
+        assert env.shape == (2, 2)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("")
+        with pytest.raises(MatrixShapeError):
+            load_etc_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("task,m1\n")
+        with pytest.raises(MatrixShapeError):
+            load_etc_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("task,m1,m2\na,1.0\n")
+        with pytest.raises(MatrixShapeError):
+            load_etc_csv(path)
+
+    def test_non_numeric_cell_rejected(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("task,m1\na,fast\n")
+        with pytest.raises(MatrixValueError):
+            load_etc_csv(path)
+
+    def test_no_machine_columns_rejected(self, tmp_path):
+        path = tmp_path / "env.csv"
+        path.write_text("task\na\n")
+        with pytest.raises(MatrixShapeError):
+            load_etc_csv(path)
+
+    def test_full_precision_round_trip(self, tmp_path):
+        values = np.array([[1.0 / 3.0, np.pi], [np.e, 1e-17 + 2.0]])
+        path = tmp_path / "env.csv"
+        save_etc_csv(ETCMatrix(values), path)
+        np.testing.assert_array_equal(load_etc_csv(path).values, values)
+
+
+class TestJson:
+    def test_etc_round_trip_with_weights(self, etc, tmp_path):
+        path = tmp_path / "env.json"
+        save_environment_json(etc, path)
+        back = load_environment_json(path)
+        assert isinstance(back, ETCMatrix)
+        np.testing.assert_allclose(back.values, etc.values)
+        np.testing.assert_allclose(back.task_weights, etc.task_weights)
+        np.testing.assert_allclose(back.machine_weights, etc.machine_weights)
+
+    def test_ecs_round_trip(self, tmp_path):
+        ecs = ECSMatrix([[0.5, 0.0], [1.0, 2.0]])
+        path = tmp_path / "env.json"
+        save_environment_json(ecs, path)
+        back = load_environment_json(path)
+        assert isinstance(back, ECSMatrix)
+        np.testing.assert_allclose(back.values, ecs.values)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "env.json"
+        path.write_text('{"kind": "etc"}')
+        with pytest.raises(MatrixValueError):
+            load_environment_json(path)
+
+    def test_bad_kind_rejected(self, tmp_path):
+        path = tmp_path / "env.json"
+        path.write_text(
+            '{"kind": "nope", "values": [[1.0]], '
+            '"task_names": ["a"], "machine_names": ["m"]}'
+        )
+        with pytest.raises(MatrixValueError):
+            load_environment_json(path)

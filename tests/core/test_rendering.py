@@ -1,0 +1,49 @@
+"""Tests for labelled text rendering of environment matrices."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, ETCMatrix
+from repro.spec import cint2006rate
+
+
+class TestToText:
+    def test_header_and_alignment(self):
+        text = ETCMatrix(
+            [[1.5, 2.0]], task_names=["t"], machine_names=["a", "b"]
+        ).to_text()
+        lines = text.splitlines()
+        assert lines[0].split() == ["task", "a", "b"]
+        assert lines[1].split() == ["t", "1.5", "2.0"]
+
+    def test_inf_rendered_as_dash(self):
+        text = ETCMatrix([[1.0, np.inf], [2.0, 3.0]]).to_text()
+        assert "-" in text
+        assert "inf" not in text
+
+    def test_precision(self):
+        text = ETCMatrix([[1.23456, 2.0]]).to_text(precision=3)
+        assert "1.235" in text
+
+    def test_elision(self):
+        env = ECSMatrix(np.ones((40, 2)))
+        text = env.to_text(max_rows=10)
+        assert "..." in text
+        # Header + 10 rows + ellipsis line.
+        assert len(text.splitlines()) == 12
+        assert "t1 " in text.splitlines()[1]
+        assert text.splitlines()[-1].startswith("t40")
+
+    def test_no_elision_when_small(self):
+        text = cint2006rate().to_text()
+        assert "..." not in text
+        assert len(text.splitlines()) == 13
+
+    def test_str_dunder(self):
+        env = ETCMatrix([[1.0, 2.0]])
+        assert str(env) == env.to_text()
+
+    def test_columns_consistent_width(self):
+        text = cint2006rate().to_text()
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,235 @@
+"""Oracle tests: one class per paper artifact (DESIGN.md E1–E10).
+
+Each test pins the library's output to the value or ordering the paper
+reports; the benchmark harnesses under ``benchmarks/`` regenerate the
+full tables these spot-check.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NotNormalizableError
+from repro.measures import (
+    characterize,
+    coefficient_of_variation,
+    geometric_mean_ratio,
+    machine_performance,
+    min_max_ratio,
+    mph,
+    tdh,
+    tma,
+)
+from repro.normalize import sinkhorn_knopp, standardize
+from repro.spec import cfp2006rate, cint2006rate, figure8a, figure8b
+from repro.structure import (
+    is_fully_indecomposable,
+    is_normalizable,
+    permute_to_block_form,
+)
+
+
+class TestE1Figure1:
+    """Machine performance is the ECS column sum; machine 1 scores 17."""
+
+    def test_machine1_performance(self, fig1_ecs):
+        assert machine_performance(fig1_ecs)[0] == 17.0
+
+    def test_full_vector(self, fig1_ecs):
+        np.testing.assert_allclose(
+            machine_performance(fig1_ecs), [17.0, 23.0, 14.0]
+        )
+
+
+class TestE2Figure2:
+    """MPH matches intuition; R, G, COV fail (Section II-D)."""
+
+    def test_paper_numbers(self, fig2_performances):
+        paper = {
+            "env1": (0.5, 0.06, 0.5, 0.88),
+            "env2": (0.77, 0.06, 0.5, 1.5),
+            "env3": (0.77, 0.06, 0.5, 0.46),
+            "env4": (0.63, 0.06, 0.5, 0.90),
+        }
+        for env, (p_mph, p_r, p_g, p_cov) in paper.items():
+            perf = fig2_performances[env]
+            assert np.mean(
+                np.sort(perf)[:-1] / np.sort(perf)[1:]
+            ) == pytest.approx(p_mph, abs=6e-3), env
+            assert min_max_ratio(perf) == pytest.approx(p_r, abs=6e-3), env
+            assert geometric_mean_ratio(perf) == pytest.approx(
+                p_g, abs=6e-3
+            ), env
+            assert coefficient_of_variation(perf) == pytest.approx(
+                p_cov, abs=6e-3
+            ), env
+
+    def test_intuitive_ordering_only_from_mph(self, fig2_performances):
+        from repro.measures import average_adjacent_ratio
+
+        values = {
+            k: average_adjacent_ratio(v) for k, v in fig2_performances.items()
+        }
+        # env1 most heterogeneous < env4 < env2 == env3.
+        assert values["env1"] < values["env4"] < values["env2"]
+        assert values["env2"] == pytest.approx(values["env3"])
+
+
+class TestE3Figure3:
+    """Machine-homogeneous environments can still differ in affinity."""
+
+    def test_both_machine_homogeneous(self, fig3a_ecs, fig3b_ecs):
+        assert mph(fig3a_ecs) == pytest.approx(1.0)
+        assert mph(fig3b_ecs) == pytest.approx(1.0)
+
+    def test_affinity_separates_them(self, fig3a_ecs, fig3b_ecs):
+        assert tma(fig3a_ecs) == pytest.approx(0.0, abs=1e-8)
+        assert tma(fig3b_ecs) > 0.2
+
+    def test_column_angles_explanation(self, fig3a_ecs, fig3b_ecs):
+        """The paper's geometric reading: (a) has zero angles between
+        columns, (b) does not."""
+
+        def max_angle(ecs):
+            unit = ecs / np.linalg.norm(ecs, axis=0)
+            cos = np.clip(unit.T @ unit, -1.0, 1.0)
+            return float(np.arccos(cos).max())
+
+        assert max_angle(fig3a_ecs) == pytest.approx(0.0, abs=1e-7)
+        assert max_angle(fig3b_ecs) > 0.1
+
+
+class TestE4Figure4:
+    """Eight extreme 2×2 matrices at the corners of measure space."""
+
+    def test_tma_extremes(self, fig4_matrices):
+        for key in "ABCD":
+            assert tma(
+                fig4_matrices[key], zeros="limit"
+            ) == pytest.approx(1.0, abs=1e-6), key
+        for key in "EFGH":
+            assert tma(fig4_matrices[key]) == pytest.approx(
+                0.0, abs=1e-6
+            ), key
+
+    def test_c_is_already_standard(self, fig4_matrices):
+        from repro.normalize import is_standard
+
+        assert is_standard(fig4_matrices["C"])
+
+    def test_second_singular_value_of_c_is_one(self, fig4_matrices):
+        import scipy.linalg
+
+        values = scipy.linalg.svdvals(fig4_matrices["C"].astype(float))
+        assert values[1] == pytest.approx(1.0)
+
+    def test_abd_converge_to_standard_form_of_c(self, fig4_matrices):
+        target = standardize(fig4_matrices["C"]).matrix
+        for key in "ABD":
+            limit = standardize(fig4_matrices[key], zeros="limit").matrix
+            np.testing.assert_allclose(limit, target, atol=1e-8)
+
+    def test_mph_split(self, fig4_matrices):
+        for key in "CDGH":
+            assert mph(fig4_matrices[key]) > 0.9, key
+        for key in "ABEF":
+            assert mph(fig4_matrices[key]) < 0.2, key
+
+    def test_tdh_split(self, fig4_matrices):
+        for key in "ACEG":
+            assert tdh(fig4_matrices[key]) > 0.9, key
+        for key in "BDFH":
+            assert tdh(fig4_matrices[key]) < 0.2, key
+
+
+class TestE5E6SpecSuites:
+    """Figs. 6-7: the reconstructed SPEC environments."""
+
+    def test_cint_paper_row(self):
+        profile = characterize(cint2006rate())
+        assert profile.tdh == pytest.approx(0.90, abs=5e-3)
+        assert profile.mph == pytest.approx(0.82, abs=5e-3)
+        assert profile.tma == pytest.approx(0.07, abs=5e-3)
+
+    def test_cfp_paper_row(self):
+        profile = characterize(cfp2006rate())
+        assert profile.tdh == pytest.approx(0.91, abs=5e-3)
+        assert profile.mph == pytest.approx(0.83, abs=5e-3)
+
+    def test_cfp_more_affine_than_cint(self):
+        assert characterize(cfp2006rate()).tma > characterize(
+            cint2006rate()
+        ).tma
+
+    def test_convergence_iterations_small(self):
+        """Paper: 6 and 7 iterations at tol 1e-8."""
+        for env in (cint2006rate(), cfp2006rate()):
+            ecs = env.to_ecs().values
+            iters = standardize(ecs).iterations
+            assert iters <= 10
+
+
+class TestE7Figure8:
+    def test_8a_paper_values(self):
+        profile = characterize(figure8a())
+        assert profile.tma == pytest.approx(0.05, abs=5e-3)
+        assert profile.tdh == pytest.approx(0.16, abs=5e-3)
+
+    def test_8b_paper_value(self):
+        assert characterize(figure8b()).tma == pytest.approx(0.60, abs=5e-3)
+
+    def test_orderings(self):
+        a = characterize(figure8a())
+        b = characterize(figure8b())
+        assert b.tma > a.tma          # (b) has the affinity
+        assert a.tdh > b.tdh          # (a) more homogeneous task types
+
+
+class TestE8SectionVI:
+    """The eq. 10 counterexample and the eq. 11/12 block form."""
+
+    def test_not_normalizable(self, eq10_matrix):
+        assert not is_normalizable(eq10_matrix)
+        with pytest.raises(NotNormalizableError):
+            standardize(eq10_matrix)
+
+    def test_iteration_stalls(self, eq10_matrix):
+        result = sinkhorn_knopp(
+            eq10_matrix, max_iterations=500, require_convergence=False
+        )
+        assert not result.converged
+
+    def test_decomposable_with_certificate(self, eq10_matrix):
+        assert not is_fully_indecomposable(eq10_matrix)
+        form = permute_to_block_form(eq10_matrix)
+        permuted = form.apply(eq10_matrix)
+        assert not permuted[: form.block_size, form.block_size:].any()
+
+    def test_four_nonzero_argument(self, eq10_matrix):
+        """The paper's argument: rows 1/3 and columns 1/2 have single
+        nonzeros, so a normalized version would equal the original —
+        which is not normalized."""
+        assert (eq10_matrix != 0).sum() == 4
+        row_sums = eq10_matrix.sum(axis=1)
+        col_sums = eq10_matrix.sum(axis=0)
+        np.testing.assert_allclose(row_sums, [1, 2, 1])
+        np.testing.assert_allclose(col_sums, [1, 1, 2])
+
+    def test_diagonal_counterexample(self):
+        """Decomposability is sufficient-not-necessary: diagonal
+        matrices normalize to the identity."""
+        result = standardize(np.diag([3.0, 7.0, 2.0]))
+        np.testing.assert_allclose(result.matrix, np.eye(3), atol=1e-8)
+
+
+class TestE10ScaleInvariance:
+    """Property 2 across every bundled environment."""
+
+    @pytest.mark.parametrize("factor", [1e-3, 1 / 60, 60.0, 3600.0])
+    def test_spec_suites(self, factor):
+        for env in (cint2006rate(), cfp2006rate()):
+            scaled = env.scaled(factor)
+            base = characterize(env)
+            after = characterize(scaled)
+            assert after.mph == pytest.approx(base.mph, rel=1e-9)
+            assert after.tdh == pytest.approx(base.tdh, rel=1e-9)
+            assert after.tma == pytest.approx(base.tma, abs=1e-6)

@@ -1,0 +1,86 @@
+"""Tests for the log-additive correlated ETC generator."""
+
+import numpy as np
+import pytest
+
+from repro import ETCMatrix, GenerationError
+from repro.generate import correlated
+from repro.measures import tma
+
+
+def _mean_row_correlation(etc: np.ndarray) -> float:
+    logs = np.log(etc)
+    centered = logs - logs.mean(axis=1, keepdims=True)
+    corr = np.corrcoef(centered)
+    return float(corr[np.triu_indices(etc.shape[0], 1)].mean())
+
+
+def _mean_col_correlation(etc: np.ndarray) -> float:
+    logs = np.log(etc)
+    centered = logs - logs.mean(axis=0, keepdims=True)
+    corr = np.corrcoef(centered.T)
+    return float(corr[np.triu_indices(etc.shape[1], 1)].mean())
+
+
+class TestCorrelated:
+    def test_shape_and_type(self):
+        etc = correlated(10, 5, seed=0)
+        assert isinstance(etc, ETCMatrix)
+        assert etc.shape == (10, 5)
+        assert (etc.values > 0).all()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            correlated(6, 4, seed=7).values, correlated(6, 4, seed=7).values
+        )
+
+    def test_geometric_mean(self):
+        etc = correlated(200, 30, mean_time=500.0, sigma=0.4, seed=1)
+        geo_mean = np.exp(np.log(etc.values).mean())
+        assert geo_mean == pytest.approx(500.0, rel=0.1)
+
+    @pytest.mark.parametrize("target", [0.2, 0.5, 0.8])
+    def test_row_correlation_hit(self, target):
+        etc = correlated(
+            250, 40, rho_rows=target, rho_cols=0.4, sigma=0.6, seed=2
+        )
+        assert _mean_row_correlation(etc.values) == pytest.approx(
+            target, abs=0.07
+        )
+
+    @pytest.mark.parametrize("target", [0.2, 0.6])
+    def test_col_correlation_hit(self, target):
+        etc = correlated(
+            250, 40, rho_rows=0.5, rho_cols=target, sigma=0.6, seed=3
+        )
+        assert _mean_col_correlation(etc.values) == pytest.approx(
+            target, abs=0.07
+        )
+
+    def test_high_row_correlation_low_affinity(self):
+        """Consistent machine rankings = no affinity, the distributional
+        face of TMA."""
+        consistent = np.mean(
+            [tma(correlated(12, 6, rho_rows=0.95, seed=s)) for s in range(4)]
+        )
+        scrambled = np.mean(
+            [tma(correlated(12, 6, rho_rows=0.1, seed=s)) for s in range(4)]
+        )
+        assert consistent < scrambled
+
+    def test_sigma_controls_spread(self):
+        tight = correlated(50, 10, sigma=0.1, seed=4).values
+        wide = correlated(50, 10, sigma=1.0, seed=4).values
+        assert wide.max() / wide.min() > tight.max() / tight.min()
+
+    def test_invalid_rho(self):
+        with pytest.raises(GenerationError):
+            correlated(4, 4, rho_rows=1.0)
+        with pytest.raises(GenerationError):
+            correlated(4, 4, rho_cols=-0.1)
+
+    def test_zero_correlations_pure_noise(self):
+        etc = correlated(100, 30, rho_rows=0.0, rho_cols=0.0, sigma=0.5,
+                         seed=5)
+        assert abs(_mean_row_correlation(etc.values)) < 0.08
+        assert abs(_mean_col_correlation(etc.values)) < 0.08

@@ -1,0 +1,66 @@
+"""Tests for the COV-based ETC generator."""
+
+import numpy as np
+import pytest
+
+from repro import ETCMatrix, GenerationError, MatrixValueError
+from repro.generate import cvb
+
+
+class TestCvb:
+    def test_shape_and_positivity(self):
+        etc = cvb(15, 6, seed=0)
+        assert isinstance(etc, ETCMatrix)
+        assert etc.shape == (15, 6)
+        assert (etc.values > 0).all()
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            cvb(5, 3, seed=9).values, cvb(5, 3, seed=9).values
+        )
+
+    def test_mean_tracks_mean_task(self):
+        etc = cvb(400, 10, task_cov=0.3, machine_cov=0.2,
+                  mean_task=1000.0, seed=1)
+        assert etc.values.mean() == pytest.approx(1000.0, rel=0.15)
+
+    def test_task_cov_controls_row_spread(self):
+        def empirical_task_cov(v):
+            rows = cvb(300, 8, task_cov=v, machine_cov=0.1, seed=2)
+            means = rows.values.mean(axis=1)
+            return means.std() / means.mean()
+
+        assert empirical_task_cov(0.9) > empirical_task_cov(0.2)
+
+    def test_machine_cov_controls_within_row_spread(self):
+        def empirical_machine_cov(v):
+            etc = cvb(200, 10, task_cov=0.1, machine_cov=v, seed=3).values
+            return float(np.mean(etc.std(axis=1) / etc.mean(axis=1)))
+
+        assert empirical_machine_cov(0.6) > empirical_machine_cov(0.1)
+
+    def test_consistent_variant_sorted(self):
+        etc = cvb(10, 5, consistency="consistent", seed=4)
+        assert (np.diff(etc.values, axis=1) >= 0).all()
+
+    def test_partially_variant_runs(self):
+        etc = cvb(10, 5, consistency="partially", consistent_fraction=0.4,
+                  seed=5)
+        assert etc.shape == (10, 5)
+
+    def test_invalid_consistency(self):
+        with pytest.raises(GenerationError):
+            cvb(4, 4, consistency="nope")
+
+    def test_invalid_cov(self):
+        with pytest.raises(MatrixValueError):
+            cvb(4, 4, task_cov=0.0)
+        with pytest.raises(MatrixValueError):
+            cvb(4, 4, machine_cov=-1.0)
+
+    def test_extreme_cov_still_valid(self):
+        """Very high COV can underflow gamma draws; the generator must
+        still return a strictly positive ETC matrix."""
+        etc = cvb(50, 5, task_cov=3.0, machine_cov=2.5, seed=6)
+        assert (etc.values > 0).all()
+        assert np.isfinite(etc.values).all()

@@ -1,0 +1,101 @@
+"""Tests for ensemble generation utilities."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, GenerationError
+from repro.generate import heterogeneity_grid, perturb, random_ecs
+from repro.measures import mph, tdh, tma
+
+
+class TestHeterogeneityGrid:
+    def test_grid_size_and_order(self):
+        members = list(
+            heterogeneity_grid(
+                4,
+                3,
+                mph_values=(0.4, 0.8),
+                tdh_values=(0.5,),
+                tma_values=(0.0, 0.3),
+                seed=0,
+            )
+        )
+        assert len(members) == 4
+        specs = [(m.spec.mph, m.spec.tdh, m.spec.tma) for m in members]
+        assert specs == [
+            (0.4, 0.5, 0.0),
+            (0.4, 0.5, 0.3),
+            (0.8, 0.5, 0.0),
+            (0.8, 0.5, 0.3),
+        ]
+
+    def test_members_hit_their_specs(self):
+        for member in heterogeneity_grid(
+            5,
+            4,
+            mph_values=(0.5,),
+            tdh_values=(0.7, 0.9),
+            tma_values=(0.2,),
+            seed=1,
+        ):
+            assert mph(member.ecs) == pytest.approx(member.spec.mph, abs=1e-8)
+            assert tdh(member.ecs) == pytest.approx(member.spec.tdh, abs=1e-8)
+            assert tma(member.ecs) == pytest.approx(member.spec.tma, abs=1e-4)
+
+    def test_lazy(self):
+        iterator = heterogeneity_grid(4, 3, seed=2)
+        first = next(iterator)
+        assert isinstance(first.ecs, ECSMatrix)
+
+
+class TestRandomEcs:
+    def test_shape_and_validity(self):
+        env = random_ecs(6, 5, seed=0)
+        assert env.shape == (6, 5)
+        assert (env.values > 0).all()
+
+    def test_zero_fraction_applied(self):
+        env = random_ecs(30, 20, zero_fraction=0.4, seed=1)
+        frac = (env.values == 0).mean()
+        assert 0.25 < frac < 0.5
+
+    def test_no_empty_lines_even_at_high_zero_fraction(self):
+        env = random_ecs(10, 10, zero_fraction=0.95, seed=2)
+        assert (env.values > 0).any(axis=1).all()
+        assert (env.values > 0).any(axis=0).all()
+
+    def test_spread_controls_range(self):
+        tight = random_ecs(40, 10, spread=1.5, seed=3).values
+        wide = random_ecs(40, 10, spread=100.0, seed=3).values
+        assert wide.max() / wide.min() > tight.max() / tight.min()
+
+    def test_spread_must_exceed_one(self):
+        with pytest.raises(GenerationError):
+            random_ecs(3, 3, spread=1.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_ecs(4, 4, seed=5).values, random_ecs(4, 4, seed=5).values
+        )
+
+
+class TestPerturb:
+    def test_zero_noise_identity(self):
+        matrix = np.array([[1.0, 2.0], [0.0, 3.0]])
+        np.testing.assert_array_equal(perturb(matrix, 0.0), matrix)
+
+    def test_zeros_stay_zero(self):
+        matrix = np.array([[1.0, 0.0], [2.0, 3.0]])
+        out = perturb(matrix, 0.5, seed=0)
+        assert out[0, 1] == 0.0
+        assert (out[matrix > 0] > 0).all()
+
+    def test_small_noise_small_measure_shift(self, fig3b_ecs):
+        out = perturb(fig3b_ecs, 0.01, seed=1)
+        assert mph(out) == pytest.approx(mph(fig3b_ecs), abs=0.05)
+        assert tma(out) == pytest.approx(tma(fig3b_ecs), abs=0.05)
+
+    def test_input_not_mutated(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 3.0]])
+        perturb(matrix, 0.3, seed=2)
+        np.testing.assert_array_equal(matrix, [[1.0, 2.0], [2.0, 3.0]])

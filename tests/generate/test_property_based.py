@@ -1,0 +1,93 @@
+"""Property-based tests for the generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generate import (
+    from_targets,
+    margins_for_homogeneity,
+    perturb,
+    random_ecs,
+    range_based,
+)
+from repro.measures import average_adjacent_ratio, mph, tdh, tma
+
+homogeneity_targets = st.floats(0.1, 1.0, allow_nan=False)
+affinity_targets = st.floats(0.0, 0.6, allow_nan=False)
+small_dims = st.integers(2, 7)
+
+
+class TestMarginsProperties:
+    @given(st.integers(2, 15), homogeneity_targets)
+    def test_adjacent_ratio_exact(self, count, target):
+        # count == 1 has no adjacent pairs: the ratio is defined as 1.
+        margins = margins_for_homogeneity(count, target)
+        assert average_adjacent_ratio(margins) == pytest.approx(
+            target, abs=1e-12
+        )
+
+    @given(st.integers(1, 15), homogeneity_targets, st.floats(0.1, 100.0))
+    def test_total_exact(self, count, target, total):
+        margins = margins_for_homogeneity(count, target, total=total)
+        assert margins.sum() == pytest.approx(total, rel=1e-12)
+
+
+class TestFromTargetsProperties:
+    @given(small_dims, small_dims, homogeneity_targets, homogeneity_targets,
+           affinity_targets)
+    @settings(max_examples=20, deadline=None)
+    def test_targets_hit(self, n_tasks, n_machines, mph_t, tdh_t, tma_t):
+        env = from_targets(n_tasks, n_machines, (mph_t, tdh_t, tma_t))
+        assert mph(env) == pytest.approx(mph_t, abs=1e-8)
+        assert tdh(env) == pytest.approx(tdh_t, abs=1e-8)
+        assert tma(env) == pytest.approx(tma_t, abs=5e-4)
+
+    @given(small_dims, small_dims, homogeneity_targets, homogeneity_targets,
+           affinity_targets)
+    @settings(max_examples=15, deadline=None)
+    def test_output_strictly_positive(self, n_tasks, n_machines, mph_t,
+                                      tdh_t, tma_t):
+        env = from_targets(n_tasks, n_machines, (mph_t, tdh_t, tma_t))
+        assert (env.values > 0).all()
+        assert np.isfinite(env.values).all()
+
+
+class TestRangeBasedProperties:
+    @given(small_dims, small_dims, st.floats(2.0, 3000.0),
+           st.floats(2.0, 1000.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounds(self, n_tasks, n_machines, task_range, machine_range,
+                    seed):
+        etc = range_based(
+            n_tasks, n_machines,
+            task_range=task_range, machine_range=machine_range, seed=seed,
+        )
+        assert (etc.values >= 1.0).all()
+        assert (etc.values <= task_range * machine_range).all()
+
+
+class TestRandomEcsProperties:
+    @given(small_dims, small_dims, st.floats(0.0, 0.9),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid_ecs(self, n_tasks, n_machines, zero_fraction,
+                              seed):
+        env = random_ecs(
+            n_tasks, n_machines, zero_fraction=zero_fraction, seed=seed
+        )
+        assert (env.values > 0).any(axis=1).all()
+        assert (env.values > 0).any(axis=0).all()
+        assert (env.values >= 0).all()
+
+
+class TestPerturbProperties:
+    @given(small_dims, small_dims, st.floats(0.01, 1.0),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pattern_preserved(self, n_tasks, n_machines, sigma, seed):
+        env = random_ecs(n_tasks, n_machines, zero_fraction=0.3, seed=seed)
+        noisy = perturb(env.values, sigma, seed=seed)
+        np.testing.assert_array_equal(noisy == 0, env.values == 0)
+        assert (noisy[env.values > 0] > 0).all()

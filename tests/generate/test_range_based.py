@@ -1,0 +1,118 @@
+"""Tests for the range-based ETC generator (paper reference [4])."""
+
+import numpy as np
+import pytest
+
+from repro import ETCMatrix, GenerationError
+from repro.generate import make_consistent, make_partially_consistent, range_based
+from repro.measures import tma
+
+
+class TestRangeBased:
+    def test_shape_and_type(self):
+        etc = range_based(10, 4, seed=0)
+        assert isinstance(etc, ETCMatrix)
+        assert etc.shape == (10, 4)
+
+    def test_entries_within_model_bounds(self):
+        etc = range_based(50, 8, task_range=100, machine_range=10, seed=1)
+        assert (etc.values >= 1.0).all()
+        assert (etc.values <= 100 * 10).all()
+
+    def test_deterministic_given_seed(self):
+        a = range_based(6, 3, seed=42)
+        b = range_based(6, 3, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = range_based(6, 3, seed=1)
+        b = range_based(6, 3, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_larger_task_range_more_task_heterogeneity(self):
+        from repro.measures import tdh
+
+        low = np.mean(
+            [tdh(range_based(20, 5, task_range=5, seed=s)) for s in range(5)]
+        )
+        high = np.mean(
+            [tdh(range_based(20, 5, task_range=3000, seed=s)) for s in range(5)]
+        )
+        assert high < low  # more range -> less homogeneity
+
+    def test_range_must_exceed_one(self):
+        with pytest.raises(GenerationError):
+            range_based(4, 4, task_range=1.0)
+        with pytest.raises(GenerationError):
+            range_based(4, 4, machine_range=0.5)
+
+    def test_unknown_consistency_rejected(self):
+        with pytest.raises(GenerationError):
+            range_based(4, 4, consistency="sideways")
+
+
+class TestConsistency:
+    def test_consistent_rows_sorted(self):
+        etc = range_based(12, 6, consistency="consistent", seed=3)
+        assert (np.diff(etc.values, axis=1) >= 0).all()
+
+    def test_consistent_lowers_tma(self):
+        inconsistent = np.mean(
+            [
+                tma(range_based(12, 6, seed=s))
+                for s in range(4)
+            ]
+        )
+        consistent = np.mean(
+            [
+                tma(range_based(12, 6, consistency="consistent", seed=s))
+                for s in range(4)
+            ]
+        )
+        assert consistent < inconsistent
+
+    def test_make_consistent_preserves_multiset(self):
+        rng = np.random.default_rng(4)
+        etc = rng.uniform(1, 10, size=(5, 4))
+        out = make_consistent(etc)
+        np.testing.assert_allclose(np.sort(out, axis=1), np.sort(etc, axis=1))
+
+    def test_make_consistent_does_not_mutate(self):
+        etc = np.array([[3.0, 1.0], [2.0, 5.0]])
+        make_consistent(etc)
+        np.testing.assert_array_equal(etc, [[3.0, 1.0], [2.0, 5.0]])
+
+    def test_partially_consistent_subset_sorted(self):
+        rng = np.random.default_rng(5)
+        etc = rng.uniform(1, 100, size=(20, 8))
+        out = make_partially_consistent(etc, 0.5, seed=6)
+        sorted_cols = [
+            j
+            for j in range(8)
+            if (out[:, j][:, None] <= out[:, j:][:, :]).all()
+        ]
+        # At least some columns end up pairwise ordered; exact count
+        # depends on the draw, but the matrix must differ from both the
+        # raw and the fully consistent versions.
+        assert not np.array_equal(out, etc)
+        assert not np.array_equal(out, make_consistent(etc))
+
+    def test_partial_fraction_zero_identity(self):
+        etc = np.array([[3.0, 1.0], [2.0, 5.0]])
+        np.testing.assert_array_equal(
+            make_partially_consistent(etc, 0.0, seed=1), etc
+        )
+
+    def test_partial_single_column_is_identity(self):
+        # One selected column has nothing to sort against: unchanged.
+        rng = np.random.default_rng(7)
+        etc = rng.uniform(1, 100, size=(10, 6))
+        np.testing.assert_array_equal(
+            make_partially_consistent(etc, 0.01, seed=8), etc
+        )
+
+    def test_partial_two_columns_change(self):
+        rng = np.random.default_rng(9)
+        etc = rng.uniform(1, 100, size=(10, 6))
+        out = make_partially_consistent(etc, 0.34, seed=10)
+        assert not np.array_equal(out, etc)

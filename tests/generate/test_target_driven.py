@@ -1,0 +1,163 @@
+"""Tests for the measure-driven generator (exact MPH/TDH/TMA targets)."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, GenerationError
+from repro.generate import (
+    TargetSpec,
+    affinity_core,
+    from_targets,
+    margins_for_homogeneity,
+)
+from repro.measures import mph, tdh, tma
+
+
+class TestMargins:
+    def test_exact_adjacent_ratio(self):
+        margins = margins_for_homogeneity(6, 0.65)
+        ratios = margins[:-1] / margins[1:]
+        np.testing.assert_allclose(ratios, 0.65)
+
+    def test_total_respected(self):
+        margins = margins_for_homogeneity(5, 0.4, total=20.0)
+        assert margins.sum() == pytest.approx(20.0)
+
+    def test_ascending(self):
+        assert (np.diff(margins_for_homogeneity(7, 0.3)) > 0).all()
+
+    def test_homogeneity_one_flat(self):
+        np.testing.assert_allclose(
+            margins_for_homogeneity(4, 1.0, total=4.0), 1.0
+        )
+
+    def test_single_count(self):
+        np.testing.assert_allclose(margins_for_homogeneity(1, 0.5), [1.0])
+
+    def test_invalid_homogeneity(self):
+        with pytest.raises(GenerationError):
+            margins_for_homogeneity(4, 0.0)
+        with pytest.raises(GenerationError):
+            margins_for_homogeneity(4, 1.5)
+
+
+class TestAffinityCore:
+    def test_theta_zero_flat(self):
+        core = affinity_core(4, 3, 0.0)
+        np.testing.assert_allclose(core, core[0, 0])
+
+    def test_theta_monotone_in_tma(self):
+        values = [tma(affinity_core(6, 4, t)) for t in np.linspace(0, 0.95, 8)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_jitter_deterministic(self):
+        a = affinity_core(5, 4, 0.3, jitter=0.5, seed=11)
+        b = affinity_core(5, 4, 0.3, jitter=0.5, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFromTargets:
+    @pytest.mark.parametrize(
+        "shape, targets",
+        [
+            ((6, 4), (0.7, 0.9, 0.3)),
+            ((4, 4), (0.5, 0.5, 0.5)),
+            ((12, 5), (0.82, 0.90, 0.07)),
+            ((3, 8), (0.95, 0.2, 0.1)),
+            ((5, 5), (0.3, 0.3, 0.0)),
+        ],
+    )
+    def test_exact_targets(self, shape, targets):
+        env = from_targets(*shape, targets)
+        assert isinstance(env, ECSMatrix)
+        assert mph(env) == pytest.approx(targets[0], abs=1e-9)
+        assert tdh(env) == pytest.approx(targets[1], abs=1e-9)
+        assert tma(env) == pytest.approx(targets[2], abs=1e-4)
+
+    def test_jittered_targets_still_exact(self):
+        env = from_targets(8, 5, (0.6, 0.8, 0.25), jitter=0.4, seed=7)
+        assert mph(env) == pytest.approx(0.6, abs=1e-9)
+        assert tdh(env) == pytest.approx(0.8, abs=1e-9)
+        assert tma(env) == pytest.approx(0.25, abs=1e-4)
+
+    def test_jitter_changes_matrix_not_measures(self):
+        a = from_targets(6, 4, (0.7, 0.7, 0.2), jitter=0.3, seed=1)
+        b = from_targets(6, 4, (0.7, 0.7, 0.2), jitter=0.3, seed=2)
+        assert not np.allclose(a.values, b.values)
+        assert mph(a) == pytest.approx(mph(b))
+        assert tma(a) == pytest.approx(tma(b), abs=2e-4)
+
+    def test_tuple_and_spec_equivalent(self):
+        a = from_targets(4, 4, (0.5, 0.6, 0.1))
+        b = from_targets(4, 4, TargetSpec(0.5, 0.6, 0.1))
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_invalid_targets(self):
+        with pytest.raises(GenerationError):
+            from_targets(4, 4, (0.0, 0.5, 0.1))
+        with pytest.raises(GenerationError):
+            from_targets(4, 4, (0.5, 1.2, 0.1))
+        with pytest.raises(GenerationError):
+            from_targets(4, 4, (0.5, 0.5, 1.0))
+
+    def test_unreachable_tma_rejected(self):
+        # A 2x7 environment cannot reach TMA near 1.
+        with pytest.raises(GenerationError):
+            from_targets(2, 7, (0.9, 0.9, 0.97))
+
+    def test_single_machine_tma_zero_only(self):
+        env = from_targets(5, 1, (1.0, 0.5, 0.0))
+        assert env.shape == (5, 1)
+        with pytest.raises(GenerationError):
+            from_targets(5, 1, (1.0, 0.5, 0.3))
+
+    def test_strict_positivity(self):
+        env = from_targets(7, 5, (0.6, 0.6, 0.6), seed=0)
+        assert (env.values > 0).all()
+
+
+class TestZeroPattern:
+    def test_targets_hit_with_pattern(self):
+        mask = np.zeros((6, 4), dtype=bool)
+        mask[0, 1] = mask[3, 2] = mask[5, 0] = True
+        env = from_targets(
+            6, 4, (0.6, 0.8, 0.3), jitter=0.2, seed=1, zero_pattern=mask
+        )
+        assert mph(env) == pytest.approx(0.6, abs=1e-8)
+        assert tdh(env) == pytest.approx(0.8, abs=1e-8)
+        assert tma(env) == pytest.approx(0.3, abs=1e-3)
+
+    def test_zeros_preserved(self):
+        mask = np.zeros((5, 4), dtype=bool)
+        mask[1, 2] = mask[4, 0] = True
+        env = from_targets(5, 4, (0.7, 0.7, 0.2), seed=2, jitter=0.1,
+                           zero_pattern=mask)
+        assert (env.values[mask] == 0).all()
+        assert (env.values[~mask] > 0).all()
+
+    def test_all_false_pattern_equals_no_pattern(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        a = from_targets(4, 4, (0.5, 0.5, 0.2), seed=3, zero_pattern=mask)
+        b = from_targets(4, 4, (0.5, 0.5, 0.2), seed=3)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_unreachable_low_tma_raises(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 1:] = True
+        mask[1:, 0] = True
+        with pytest.raises(GenerationError):
+            from_targets(4, 4, (0.6, 0.8, 0.0), zero_pattern=mask)
+
+    def test_non_normalizable_pattern_rejected(self):
+        bad = np.zeros((3, 3), dtype=bool)
+        bad[0, :2] = True
+        bad[1, :2] = True
+        with pytest.raises(GenerationError):
+            from_targets(3, 3, (0.6, 0.8, 0.1), zero_pattern=bad)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(GenerationError):
+            from_targets(
+                3, 3, (0.5, 0.5, 0.1),
+                zero_pattern=np.zeros((2, 3), dtype=bool),
+            )

@@ -1,0 +1,67 @@
+"""Packaging-level checks: entry points, module execution, exports."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestModuleExecution:
+    def test_python_dash_m(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert repro.__version__ in result.stdout
+
+    def test_dataset_subcommand_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "dataset", "cint2006rate"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "MPH = 0.8200" in result.stdout
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for pkg in (
+            "repro.core",
+            "repro.measures",
+            "repro.normalize",
+            "repro.structure",
+            "repro.generate",
+            "repro.spec",
+            "repro.scheduling",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(pkg)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{pkg}.{name}"
+
+    def test_version_matches_metadata(self):
+        import importlib.metadata
+
+        try:
+            installed = importlib.metadata.version("repro")
+        except importlib.metadata.PackageNotFoundError:
+            pytest.skip("package metadata not installed")
+        assert installed == repro.__version__
+
+    def test_py_typed_shipped(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,84 @@
+"""Cross-module integration tests: full user workflows."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ETCMatrix,
+    characterize,
+    load_environment_json,
+    load_etc_csv,
+    save_environment_json,
+    save_etc_csv,
+)
+from repro.analysis import whatif_drop_machines
+from repro.generate import from_targets, range_based
+from repro.scheduling import compare_heuristics, expand_workload, run_heuristic
+from repro.spec import cint2006rate
+
+
+class TestMeasurePipeline:
+    def test_generate_save_load_measure(self, tmp_path):
+        """The full round trip: generate -> CSV -> load -> measures."""
+        env = from_targets(8, 5, (0.7, 0.85, 0.15), jitter=0.2, seed=0)
+        path = tmp_path / "env.csv"
+        save_etc_csv(env.to_etc(), path)
+        profile = characterize(load_etc_csv(path))
+        assert profile.mph == pytest.approx(0.7, abs=1e-9)
+        assert profile.tdh == pytest.approx(0.85, abs=1e-9)
+        assert profile.tma == pytest.approx(0.15, abs=1e-3)
+
+    def test_json_round_trip_preserves_profile(self, tmp_path):
+        env = cint2006rate().with_weights(task_weights=np.arange(1.0, 13.0))
+        path = tmp_path / "env.json"
+        save_environment_json(env, path)
+        reloaded = load_environment_json(path)
+        before = characterize(env)
+        after = characterize(reloaded)
+        assert after.mph == pytest.approx(before.mph)
+        assert after.tma == pytest.approx(before.tma, abs=1e-9)
+
+    def test_etc_and_ecs_paths_agree(self):
+        etc = range_based(10, 4, seed=1)
+        via_etc = characterize(etc)
+        via_ecs = characterize(etc.to_ecs())
+        assert via_etc.mph == pytest.approx(via_ecs.mph)
+        assert via_etc.tdh == pytest.approx(via_ecs.tdh)
+        assert via_etc.tma == pytest.approx(via_ecs.tma, abs=1e-9)
+
+
+class TestWhatIfPipeline:
+    def test_whatif_consistent_with_direct_measurement(self):
+        env = cint2006rate()
+        entry = whatif_drop_machines(env, machines=["m2"])[0]
+        direct = characterize(env.drop_machines(["m2"]))
+        assert entry.after.mph == pytest.approx(direct.mph)
+        assert entry.after.tma == pytest.approx(direct.tma, abs=1e-9)
+
+
+class TestSchedulingPipeline:
+    def test_measure_then_schedule(self):
+        """The paper's intro use case: characterize, then pick a mapper."""
+        env = from_targets(8, 4, (0.4, 0.7, 0.1), jitter=0.2, seed=2)
+        profile = characterize(env)
+        assert profile.mph == pytest.approx(0.4, abs=1e-9)
+        comparison = compare_heuristics(env.to_etc(), total=40, seed=3)
+        # Low affinity + heterogeneous machines: MET must trail the
+        # batch heuristics.
+        assert comparison.makespans["met"] > comparison.makespans["min_min"]
+
+    def test_workload_weights_drive_mix(self):
+        env = ETCMatrix(
+            [[1.0, 3.0], [4.0, 2.0]],
+            task_weights=[9.0, 1.0],
+        )
+        workload = expand_workload(env, total=500, seed=4)
+        share = (workload.type_of == 0).mean()
+        assert share == pytest.approx(0.9, abs=0.05)
+        mapping = run_heuristic("min_min", workload)
+        assert mapping.makespan > 0
+
+    def test_spec_dataset_schedules(self):
+        comparison = compare_heuristics(cint2006rate(), total=60, seed=5)
+        assert comparison.best in comparison.makespans
+        assert min(comparison.makespans.values()) > 0

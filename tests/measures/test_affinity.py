@@ -1,0 +1,130 @@
+"""Tests for TMA (paper Sections II-E, III-D)."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, MatrixValueError, NotNormalizableError
+from repro.measures import standard_singular_values, tma
+
+
+class TestStandardSingularValues:
+    def test_leading_value_is_one(self, fig3b_ecs):
+        values = standard_singular_values(fig3b_ecs)
+        assert values[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_descending(self, fig3b_ecs):
+        values = standard_singular_values(fig3b_ecs)
+        assert (np.diff(values) <= 1e-12).all()
+
+    def test_count_is_min_dimension(self):
+        values = standard_singular_values(np.random.default_rng(0).uniform(
+            1, 2, size=(6, 4)))
+        assert values.shape == (4,)
+
+    def test_rank_one_rest_zero(self, fig3a_ecs):
+        values = standard_singular_values(fig3a_ecs)
+        np.testing.assert_allclose(values[1:], 0.0, atol=1e-8)
+
+
+class TestTmaStandard:
+    def test_fig3_contrast(self, fig3a_ecs, fig3b_ecs):
+        assert tma(fig3a_ecs) == pytest.approx(0.0, abs=1e-8)
+        assert tma(fig3b_ecs) > 0.2
+
+    def test_identity_full_affinity(self):
+        assert tma(np.eye(3)) == pytest.approx(1.0, abs=1e-8)
+
+    def test_fig4_tma_one_matrices(self, fig4_matrices):
+        for key in "ABCD":
+            assert tma(fig4_matrices[key], zeros="limit") == pytest.approx(
+                1.0, abs=1e-6
+            ), key
+
+    def test_fig4_tma_zero_matrices(self, fig4_matrices):
+        for key in "EFGH":
+            assert tma(fig4_matrices[key]) == pytest.approx(
+                0.0, abs=1e-6
+            ), key
+
+    def test_strict_zeros_raise_without_standard_form(self, fig4_matrices):
+        with pytest.raises(NotNormalizableError):
+            tma(fig4_matrices["A"], zeros="strict")
+
+    def test_range(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            value = tma(rng.uniform(0.1, 10.0, size=(5, 4)))
+            assert 0.0 <= value <= 1.0
+
+    def test_single_column_zero(self):
+        assert tma([[1.0], [2.0]]) == 0.0
+
+    def test_single_row_zero(self):
+        assert tma([[1.0, 2.0, 5.0]]) == 0.0
+
+    def test_scale_invariant(self, fig3b_ecs):
+        assert tma(fig3b_ecs * 7.5) == pytest.approx(tma(fig3b_ecs))
+
+    def test_row_and_column_scaling_invariant(self, fig3b_ecs):
+        """Theorem 1: diagonal scalings share a standard form, so TMA
+        cannot move — the core independence property."""
+        rng = np.random.default_rng(3)
+        scaled = (
+            rng.uniform(0.1, 10, size=(3, 1))
+            * fig3b_ecs
+            * rng.uniform(0.1, 10, size=(1, 3))
+        )
+        assert tma(scaled) == pytest.approx(tma(fig3b_ecs), abs=1e-7)
+
+    def test_permutation_invariant(self, fig3b_ecs):
+        perm = fig3b_ecs[[2, 0, 1]][:, [1, 2, 0]]
+        assert tma(perm) == pytest.approx(tma(fig3b_ecs), abs=1e-9)
+
+    def test_transpose_invariant(self, fig3b_ecs):
+        """Singular values ignore transposition; affinity is symmetric
+        in tasks vs machines."""
+        assert tma(fig3b_ecs.T) == pytest.approx(tma(fig3b_ecs), abs=1e-7)
+
+    def test_two_by_two_closed_form(self):
+        """For 2×2, TMA = |2a-1| where a is the standard form diagonal:
+        cross ratio (ad)/(bc) = (a/(1-a))^2."""
+        a = 0.8
+        matrix = np.array([[a, 1 - a], [1 - a, a]])
+        assert tma(matrix) == pytest.approx(2 * a - 1, abs=1e-8)
+
+
+class TestTmaColumn:
+    def test_column_method_matches_standard_on_standard_matrix(self):
+        matrix = np.array([[0.7, 0.3], [0.3, 0.7]])
+        assert tma(matrix, method="column") == pytest.approx(
+            tma(matrix, method="standard"), abs=1e-6
+        )
+
+    def test_column_method_defined_for_eq10(self, eq10_matrix):
+        value = tma(eq10_matrix, method="column")
+        assert 0.0 <= value <= 1.0
+
+    def test_column_not_row_scaling_invariant(self):
+        """The precursor eq.-5 TMA is *not* invariant under row scalings
+        once TDH varies — the motivation for the standard form."""
+        base = np.array([[2.0, 1.0, 1.0], [1.0, 2.0, 1.0], [1.0, 1.0, 2.0]])
+        scaled = np.diag([1.0, 5.0, 25.0]) @ base
+        assert tma(scaled, method="column") != pytest.approx(
+            tma(base, method="column"), abs=1e-3
+        )
+        # ...while the standard-form TMA is invariant:
+        assert tma(scaled) == pytest.approx(tma(base), abs=1e-7)
+
+    def test_unknown_method_rejected(self, fig3a_ecs):
+        with pytest.raises(MatrixValueError):
+            tma(fig3a_ecs, method="nope")
+
+
+class TestTmaWeights:
+    def test_wrapper_weights_affect_tma(self, fig3b_ecs):
+        plain = tma(ECSMatrix(fig3b_ecs))
+        weighted = tma(
+            ECSMatrix(fig3b_ecs, task_weights=[1.0, 1.0, 100.0])
+        )
+        # Weighting is a row scaling -> TMA unchanged (Theorem 1).
+        assert weighted == pytest.approx(plain, abs=1e-7)

@@ -1,0 +1,115 @@
+"""Tests for affinity-structure extraction (spectral co-clustering)."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixValueError
+from repro.measures import affinity_clusters
+
+
+def _block_env(sizes_tasks, sizes_machines, *, strong=9.0, weak=0.1,
+               seed=0):
+    """Block matrix: task group g fast only on machine group g."""
+    rng = np.random.default_rng(seed)
+    t, m = sum(sizes_tasks), sum(sizes_machines)
+    ecs = np.full((t, m), weak)
+    r0 = 0
+    c_offsets = np.cumsum([0, *sizes_machines])
+    for g, rows in enumerate(sizes_tasks):
+        ecs[r0 : r0 + rows, c_offsets[g] : c_offsets[g + 1]] = strong
+        r0 += rows
+    return ecs * rng.uniform(0.95, 1.05, size=ecs.shape)
+
+
+class TestBlockRecovery:
+    def test_two_blocks(self):
+        ecs = _block_env([3, 3], [2, 2])
+        clusters = affinity_clusters(ecs)
+        assert clusters.n_clusters == 2
+        # Tasks 0-2 together, 3-5 together, aligned with their machines.
+        assert len(set(clusters.task_labels[:3])) == 1
+        assert len(set(clusters.task_labels[3:])) == 1
+        assert clusters.task_labels[0] != clusters.task_labels[3]
+        assert clusters.machine_labels[0] == clusters.task_labels[0]
+        assert clusters.machine_labels[2] == clusters.task_labels[3]
+
+    def test_three_blocks_explicit_k(self):
+        ecs = _block_env([2, 2, 2], [2, 2, 2])
+        clusters = affinity_clusters(ecs, n_clusters=3)
+        assert clusters.n_clusters == 3
+        for g in range(3):
+            rows = clusters.task_labels[2 * g : 2 * g + 2]
+            cols = clusters.machine_labels[2 * g : 2 * g + 2]
+            assert len(set(rows)) == 1
+            assert set(cols) == set(rows)
+
+    def test_unbalanced_blocks(self):
+        ecs = _block_env([4, 2], [3, 1])
+        clusters = affinity_clusters(ecs, n_clusters=2)
+        assert clusters.machine_labels[3] == clusters.task_labels[4]
+
+
+class TestDegenerateCases:
+    def test_rank_one_single_cluster(self):
+        ecs = np.outer([1.0, 2.0, 3.0], [1.0, 4.0])
+        clusters = affinity_clusters(ecs)
+        assert clusters.n_clusters == 1
+        assert (clusters.task_labels == 0).all()
+        assert (clusters.machine_labels == 0).all()
+        assert clusters.strength == pytest.approx(0.0, abs=1e-7)
+
+    def test_strength_equals_tma(self):
+        from repro.measures import tma
+
+        rng = np.random.default_rng(1)
+        ecs = rng.uniform(0.5, 5.0, size=(6, 4))
+        clusters = affinity_clusters(ecs)
+        assert clusters.strength == pytest.approx(tma(ecs), abs=1e-9)
+
+    def test_singular_values_descending_leading_one(self):
+        ecs = _block_env([3, 3], [2, 2])
+        clusters = affinity_clusters(ecs)
+        assert clusters.singular_values[0] == pytest.approx(1.0, abs=1e-6)
+        assert (np.diff(clusters.singular_values) <= 1e-12).all()
+
+    def test_zero_entries_handled_via_limit(self):
+        ecs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        clusters = affinity_clusters(ecs)
+        assert clusters.n_clusters == 2
+        assert clusters.task_labels[0] == clusters.machine_labels[0]
+
+    def test_invalid_cluster_count(self):
+        ecs = _block_env([2, 2], [2, 2])
+        with pytest.raises(MatrixValueError):
+            affinity_clusters(ecs, n_clusters=0)
+        with pytest.raises(MatrixValueError):
+            affinity_clusters(ecs, n_clusters=9)
+
+    def test_groups_accessors(self):
+        ecs = _block_env([2, 2], [2, 2])
+        clusters = affinity_clusters(ecs, n_clusters=2)
+        task_groups = clusters.task_groups()
+        machine_groups = clusters.machine_groups()
+        assert sorted(sum(task_groups, [])) == [0, 1, 2, 3]
+        assert sorted(sum(machine_groups, [])) == [0, 1, 2, 3]
+
+    def test_deterministic(self):
+        ecs = _block_env([3, 3], [3, 3], seed=2)
+        a = affinity_clusters(ecs, seed=5)
+        b = affinity_clusters(ecs, seed=5)
+        np.testing.assert_array_equal(a.task_labels, b.task_labels)
+
+
+class TestSpecStructure:
+    def test_cfp_finds_the_injected_pair(self):
+        """The calibrated CFP data carries a soplex↔m4 affinity (the
+        Fig. 8(b) injection); the clustering rediscovers it."""
+        from repro.spec import cfp2006rate
+
+        clusters = affinity_clusters(cfp2006rate())
+        soplex = cfp2006rate().task_index("450.soplex")
+        m4 = cfp2006rate().machine_index("m4")
+        assert clusters.task_labels[soplex] == clusters.machine_labels[m4]
+        # ...and that pair sits apart from the bulk.
+        bulk = np.delete(clusters.task_labels, soplex)
+        assert (bulk != clusters.task_labels[soplex]).all()

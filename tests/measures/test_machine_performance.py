@@ -1,0 +1,87 @@
+"""Tests for machine performance and MPH (paper Section II-C)."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, ETCMatrix
+from repro.measures import machine_performance, mph
+
+
+class TestMachinePerformance:
+    def test_fig1_column_sums(self, fig1_ecs):
+        np.testing.assert_allclose(
+            machine_performance(fig1_ecs), [17.0, 23.0, 14.0]
+        )
+
+    def test_accepts_ecs_wrapper(self, fig1_ecs):
+        np.testing.assert_allclose(
+            machine_performance(ECSMatrix(fig1_ecs)), [17.0, 23.0, 14.0]
+        )
+
+    def test_accepts_etc_wrapper(self):
+        etc = ETCMatrix([[2.0, 4.0], [2.0, 4.0]])
+        np.testing.assert_allclose(machine_performance(etc), [1.0, 0.5])
+
+    def test_machine_weights_scale_columns(self, fig1_ecs):
+        mp = machine_performance(fig1_ecs, machine_weights=[1.0, 2.0, 1.0])
+        np.testing.assert_allclose(mp, [17.0, 46.0, 14.0])
+
+    def test_task_weights_scale_rows(self):
+        ecs = [[1.0, 2.0], [3.0, 4.0]]
+        mp = machine_performance(ecs, task_weights=[10.0, 1.0])
+        np.testing.assert_allclose(mp, [13.0, 24.0])
+
+    def test_wrapper_weights_used_by_default(self):
+        ecs = ECSMatrix([[1.0, 2.0], [3.0, 4.0]], task_weights=[10.0, 1.0])
+        np.testing.assert_allclose(machine_performance(ecs), [13.0, 24.0])
+
+    def test_explicit_weights_override_wrapper(self):
+        ecs = ECSMatrix([[1.0, 2.0], [3.0, 4.0]], task_weights=[10.0, 1.0])
+        np.testing.assert_allclose(
+            machine_performance(ecs, task_weights=[1.0, 1.0]), [4.0, 6.0]
+        )
+
+    def test_zero_entries_contribute_nothing(self):
+        np.testing.assert_allclose(
+            machine_performance([[0.0, 1.0], [2.0, 0.0]]), [2.0, 1.0]
+        )
+
+
+class TestMph:
+    @pytest.mark.parametrize(
+        "performances, expected",
+        [
+            ([1.0, 2.0, 4.0, 8.0, 16.0], 0.5),
+            ([1.0, 1.0, 1.0, 1.0, 16.0], 0.765625),
+            ([1.0, 16.0, 16.0, 16.0, 16.0], 0.765625),
+            ([1.0, 4.0, 4.0, 4.0, 16.0], 0.625),
+        ],
+    )
+    def test_fig2_values(self, performances, expected):
+        # Diagonal ECS matrices realize any prescribed performance vector.
+        assert mph(np.diag(performances)) == pytest.approx(expected)
+
+    def test_homogeneous_is_one(self):
+        assert mph(np.ones((3, 4))) == pytest.approx(1.0)
+
+    def test_single_machine_is_one(self):
+        assert mph([[1.0], [5.0]]) == 1.0
+
+    def test_order_invariant(self, fig1_ecs):
+        shuffled = fig1_ecs[:, [2, 0, 1]]
+        assert mph(shuffled) == pytest.approx(mph(fig1_ecs))
+
+    def test_in_unit_interval(self, fig1_ecs):
+        assert 0.0 < mph(fig1_ecs) <= 1.0
+
+    def test_scale_invariant(self, fig1_ecs):
+        assert mph(fig1_ecs * 3600.0) == pytest.approx(mph(fig1_ecs))
+
+    def test_more_spread_lower_mph(self):
+        tight = np.diag([8.0, 9.0, 10.0])
+        wide = np.diag([1.0, 9.0, 100.0])
+        assert mph(wide) < mph(tight)
+
+    def test_fig1_value(self, fig1_ecs):
+        # (14/17 + 17/23) / 2
+        assert mph(fig1_ecs) == pytest.approx((14 / 17 + 17 / 23) / 2)

@@ -1,0 +1,71 @@
+"""Tests for the measure-property verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (
+    mph,
+    tdh,
+    tma,
+    verify_independence_shift,
+    verify_range,
+    verify_scale_invariance,
+)
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("measure", [mph, tdh, tma])
+    def test_paper_measures_pass(self, measure, fig3b_ecs):
+        assert verify_scale_invariance(measure, fig3b_ecs)
+
+    def test_non_invariant_measure_fails(self, fig3b_ecs):
+        def total_speed(ecs):
+            return float(np.sum(ecs))
+
+        assert not verify_scale_invariance(total_speed, fig3b_ecs)
+
+
+class TestRange:
+    def test_measures_within_unit_interval(self, fig4_matrices):
+        corpus = list(fig4_matrices.values())
+        assert verify_range(mph, corpus)
+        assert verify_range(tdh, corpus)
+        assert verify_range(
+            lambda m: tma(m, zeros="limit"), corpus, atol=1e-6
+        )
+
+    def test_out_of_range_detected(self, fig1_ecs):
+        assert not verify_range(lambda m: 2.0, [fig1_ecs])
+        assert not verify_range(lambda m: -0.5, [fig1_ecs])
+
+
+class TestIndependenceShift:
+    def test_tma_fixed_under_column_scaling(self, fig3b_ecs):
+        """Scaling columns moves MPH arbitrarily but not TMA."""
+        scale = np.array([1.0, 4.0, 16.0])
+
+        def transform(ecs):
+            return ecs * scale[None, :]
+
+        assert verify_independence_shift(tma, fig3b_ecs, transform)
+        # Sanity: the transform really does move MPH.
+        assert not verify_independence_shift(mph, fig3b_ecs, transform)
+
+    def test_tma_fixed_under_row_scaling(self, fig3b_ecs):
+        scale = np.array([1.0, 9.0, 81.0])
+
+        def transform(ecs):
+            return ecs * scale[:, None]
+
+        assert verify_independence_shift(tma, fig3b_ecs, transform)
+        assert not verify_independence_shift(tdh, fig3b_ecs, transform)
+
+    def test_mph_fixed_under_row_scaling_of_uniform(self):
+        """Row scaling a rank-1 flat matrix changes TDH, not MPH."""
+        base = np.ones((4, 3))
+
+        def transform(ecs):
+            return ecs * np.array([1.0, 2.0, 4.0, 8.0])[:, None]
+
+        assert verify_independence_shift(mph, base, transform)
+        assert not verify_independence_shift(tdh, base, transform)

@@ -1,0 +1,113 @@
+"""Property-based (hypothesis) tests for the measure invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measures import (
+    average_adjacent_ratio,
+    coefficient_of_variation,
+    geometric_mean_ratio,
+    machine_performance,
+    min_max_ratio,
+    mph,
+    task_difficulty,
+    tdh,
+    tma,
+)
+from tests.conftest import ecs_matrices, performance_vectors
+
+
+class TestAdjacentRatioProperties:
+    @given(performance_vectors)
+    def test_in_unit_interval(self, vec):
+        value = average_adjacent_ratio(vec)
+        assert 0.0 < value <= 1.0
+
+    @given(performance_vectors)
+    def test_permutation_invariant(self, vec):
+        rng = np.random.default_rng(0)
+        assert average_adjacent_ratio(
+            rng.permutation(vec)
+        ) == pytest.approx(average_adjacent_ratio(vec))
+
+    @given(performance_vectors, st.floats(0.01, 100.0))
+    def test_scale_invariant(self, vec, factor):
+        assert average_adjacent_ratio(vec * factor) == pytest.approx(
+            average_adjacent_ratio(vec), rel=1e-9
+        )
+
+    @given(performance_vectors)
+    def test_one_iff_all_equal(self, vec):
+        value = average_adjacent_ratio(vec)
+        if np.isclose(vec, vec[0], rtol=1e-12).all():
+            assert value == pytest.approx(1.0)
+        else:
+            assert value < 1.0 + 1e-12
+
+    @given(performance_vectors)
+    def test_dominates_geometric_mean(self, vec):
+        """AM-GM: the arithmetic mean of ratios is >= their geometric
+        mean, i.e. MPH >= G always."""
+        assert average_adjacent_ratio(vec) >= geometric_mean_ratio(vec) - 1e-12
+
+    @given(performance_vectors)
+    def test_bounded_below_by_r(self, vec):
+        """Every adjacent ratio is >= the overall min/max ratio."""
+        assert average_adjacent_ratio(vec) >= min_max_ratio(vec) - 1e-12
+
+
+class TestMatrixMeasureProperties:
+    @given(ecs_matrices(min_side=2, max_side=6))
+    @settings(max_examples=40, deadline=None)
+    def test_mph_tdh_in_range(self, ecs):
+        assert 0.0 < mph(ecs) <= 1.0
+        assert 0.0 < tdh(ecs) <= 1.0
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=25, deadline=None)
+    def test_tma_in_range(self, ecs):
+        assert 0.0 <= tma(ecs) <= 1.0
+
+    @given(ecs_matrices(min_side=2, max_side=5), st.floats(0.01, 100.0))
+    @settings(max_examples=25, deadline=None)
+    def test_all_measures_scale_invariant(self, ecs, factor):
+        assert mph(ecs * factor) == pytest.approx(mph(ecs), rel=1e-8)
+        assert tdh(ecs * factor) == pytest.approx(tdh(ecs), rel=1e-8)
+        assert tma(ecs * factor) == pytest.approx(tma(ecs), abs=1e-6)
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=25, deadline=None)
+    def test_mph_tdh_transpose_duality(self, ecs):
+        assert mph(ecs) == pytest.approx(tdh(ecs.T), rel=1e-9)
+        assert tdh(ecs) == pytest.approx(mph(ecs.T), rel=1e-9)
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=25, deadline=None)
+    def test_performance_difficulty_totals_agree(self, ecs):
+        """Both vectors sum to the grand total of the matrix."""
+        assert machine_performance(ecs).sum() == pytest.approx(
+            task_difficulty(ecs).sum(), rel=1e-9
+        )
+
+    @given(ecs_matrices(min_side=1, max_side=4))
+    @settings(max_examples=25, deadline=None)
+    def test_rank_one_outer_products_have_zero_tma(self, ecs):
+        """Any outer product u v^T has identical column directions."""
+        u = ecs.sum(axis=1)
+        v = ecs.sum(axis=0)
+        outer = np.outer(u, v)
+        assert tma(outer) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestCovProperties:
+    @given(performance_vectors)
+    def test_cov_nonnegative(self, vec):
+        assert coefficient_of_variation(vec) >= 0.0
+
+    @given(performance_vectors, st.floats(0.01, 100.0))
+    def test_cov_scale_invariant(self, vec, factor):
+        assert coefficient_of_variation(vec * factor) == pytest.approx(
+            coefficient_of_variation(vec), rel=1e-6, abs=1e-9
+        )

@@ -1,0 +1,71 @@
+"""Tests for task difficulty and TDH (paper Section III)."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix
+from repro.measures import task_difficulty, tdh
+
+
+class TestTaskDifficulty:
+    def test_fig1_row_sums(self, fig1_ecs):
+        np.testing.assert_allclose(
+            task_difficulty(fig1_ecs), [17.0, 18.0, 13.0, 6.0]
+        )
+
+    def test_transpose_duality_with_machine_performance(self, fig1_ecs):
+        from repro.measures import machine_performance
+
+        np.testing.assert_allclose(
+            task_difficulty(fig1_ecs), machine_performance(fig1_ecs.T)
+        )
+
+    def test_machine_weights_enter_rows(self):
+        ecs = [[1.0, 2.0], [3.0, 4.0]]
+        np.testing.assert_allclose(
+            task_difficulty(ecs, machine_weights=[1.0, 10.0]), [21.0, 43.0]
+        )
+
+    def test_task_weights_scale_difficulties(self):
+        ecs = [[1.0, 2.0], [3.0, 4.0]]
+        np.testing.assert_allclose(
+            task_difficulty(ecs, task_weights=[2.0, 1.0]), [6.0, 7.0]
+        )
+
+    def test_higher_row_sum_means_easier(self):
+        td = task_difficulty([[10.0, 10.0], [1.0, 1.0]])
+        assert td[0] > td[1]  # task 1 completes faster => less difficult
+
+
+class TestTdh:
+    def test_homogeneous_rows(self):
+        assert tdh([[1.0, 2.0], [2.0, 1.0]]) == 1.0
+
+    def test_single_task_is_one(self):
+        assert tdh([[1.0, 5.0, 2.0]]) == 1.0
+
+    def test_geometric_rows(self):
+        # Row sums 1, 2, 4 -> adjacent ratios 0.5, 0.5.
+        ecs = np.array([[0.5, 0.5], [1.0, 1.0], [2.0, 2.0]])
+        assert tdh(ecs) == pytest.approx(0.5)
+
+    def test_row_order_invariant(self, fig1_ecs):
+        assert tdh(fig1_ecs[::-1]) == pytest.approx(tdh(fig1_ecs))
+
+    def test_in_unit_interval(self, fig1_ecs):
+        assert 0.0 < tdh(fig1_ecs) <= 1.0
+
+    def test_scale_invariant(self, fig1_ecs):
+        assert tdh(fig1_ecs / 1000.0) == pytest.approx(tdh(fig1_ecs))
+
+    def test_fig4_high_low_split(self, fig4_matrices):
+        """A, C, E, G homogeneous task difficulty; B, D, F, H not."""
+        high = [tdh(fig4_matrices[k]) for k in "ACEG"]
+        low = [tdh(fig4_matrices[k]) for k in "BDFH"]
+        assert min(high) > 0.9
+        assert max(low) < 0.2
+
+    def test_wrapper_weights_respected(self):
+        ecs = ECSMatrix([[1.0, 1.0], [1.0, 1.0]], task_weights=[1.0, 4.0])
+        # Weighted difficulties 2 and 8 -> TDH 0.25.
+        assert tdh(ecs) == pytest.approx(0.25)

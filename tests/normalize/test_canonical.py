@@ -1,0 +1,57 @@
+"""Tests for the canonical (sorted) ECS form."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix
+from repro.normalize import canonical_form
+
+
+class TestCanonicalForm:
+    def test_sorted_ascending(self, fig1_ecs):
+        result = canonical_form(fig1_ecs)
+        assert (np.diff(result.machine_performance) >= 0).all()
+        assert (np.diff(result.task_difficulty) >= 0).all()
+
+    def test_permutations_reproduce_matrix(self, fig1_ecs):
+        result = canonical_form(fig1_ecs)
+        np.testing.assert_array_equal(
+            result.matrix,
+            fig1_ecs[np.ix_(result.task_order, result.machine_order)],
+        )
+
+    def test_fig1_machine_order(self, fig1_ecs):
+        # Performances 17, 23, 14 -> ascending order m3, m1, m2.
+        result = canonical_form(fig1_ecs)
+        np.testing.assert_array_equal(result.machine_order, [2, 0, 1])
+
+    def test_measures_invariant_under_canonicalization(self, fig1_ecs):
+        from repro.measures import mph, tdh, tma
+
+        result = canonical_form(fig1_ecs)
+        assert mph(result.matrix) == pytest.approx(mph(fig1_ecs))
+        assert tdh(result.matrix) == pytest.approx(tdh(fig1_ecs))
+        assert tma(result.matrix) == pytest.approx(tma(fig1_ecs), abs=1e-9)
+
+    def test_stable_on_ties(self):
+        result = canonical_form(np.ones((3, 3)))
+        np.testing.assert_array_equal(result.task_order, [0, 1, 2])
+        np.testing.assert_array_equal(result.machine_order, [0, 1, 2])
+
+    def test_idempotent(self, fig1_ecs):
+        once = canonical_form(fig1_ecs)
+        twice = canonical_form(once.matrix)
+        np.testing.assert_array_equal(twice.matrix, once.matrix)
+
+    def test_weights_respected(self):
+        ecs = ECSMatrix(
+            [[1.0, 10.0], [1.0, 1.0]], machine_weights=[100.0, 1.0]
+        )
+        result = canonical_form(ecs)
+        # Weighted performances: m1 = 200, m2 = 11 -> m2 first.
+        np.testing.assert_array_equal(result.machine_order, [1, 0])
+
+    def test_explicit_weights_override(self):
+        ecs = ECSMatrix([[1.0, 10.0], [1.0, 1.0]])
+        result = canonical_form(ecs, machine_weights=[100.0, 1.0])
+        np.testing.assert_array_equal(result.machine_order, [1, 0])

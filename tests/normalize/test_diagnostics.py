@@ -1,0 +1,90 @@
+"""Tests for the Sinkhorn convergence diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro import MatrixValueError
+from repro.normalize import (
+    convergence_diagnostics,
+    predict_iterations,
+    sinkhorn_knopp,
+    standardize,
+)
+
+
+class TestConvergenceDiagnostics:
+    def test_rate_matches_theory(self):
+        """Empirical rate ≈ σ₂² of the standard form (Knight 2008)."""
+        matrix = np.array([[9.0, 1.0, 1.0], [1.0, 7.0, 2.0], [2.0, 1.0, 5.0]])
+        result = sinkhorn_knopp(matrix, tol=1e-13)
+        diag = convergence_diagnostics(result)
+        sigma2 = scipy.linalg.svdvals(standardize(matrix).matrix)[1]
+        assert diag.rate == pytest.approx(sigma2**2, rel=0.1)
+
+    def test_higher_affinity_slower(self):
+        # Both asymmetric (symmetric matrices converge in one pass).
+        mild = sinkhorn_knopp(np.array([[3.0, 2.0], [1.0, 3.0]]),
+                              tol=1e-13)
+        sharp = sinkhorn_knopp(np.array([[50.0, 1.0], [2.0, 50.0]]),
+                               tol=1e-13)
+        assert convergence_diagnostics(sharp).rate > convergence_diagnostics(
+            mild
+        ).rate
+
+    def test_instant_convergence_nan_rate(self):
+        # Symmetric matrices standardize in one pass: no tail to fit.
+        result = sinkhorn_knopp(np.array([[5.0, 1.0], [1.0, 5.0]]))
+        diag = convergence_diagnostics(result)
+        assert math.isnan(diag.rate)
+        assert diag.half_life == math.inf
+
+    def test_residual_endpoints_recorded(self):
+        matrix = np.array([[5.0, 1.0], [2.0, 5.0]])
+        result = sinkhorn_knopp(matrix, tol=1e-10)
+        diag = convergence_diagnostics(result)
+        assert diag.initial_residual == result.residual_history[0]
+        assert diag.final_residual == result.residual
+        assert diag.iterations == result.iterations
+
+    def test_half_life_consistent_with_rate(self):
+        result = sinkhorn_knopp(np.array([[5.0, 1.0], [2.0, 5.0]]),
+                                tol=1e-12)
+        diag = convergence_diagnostics(result)
+        assert 0.5**1.0 == pytest.approx(
+            diag.rate ** diag.half_life, rel=1e-9
+        )
+
+
+class TestPredictIterations:
+    def test_exact_power(self):
+        assert predict_iterations(1.0, 0.1, 1e-8) == 8
+
+    def test_already_converged(self):
+        assert predict_iterations(1e-9, 0.5, 1e-8) == 0
+
+    def test_matches_observed_count(self):
+        """The asymptotic prediction lands near the observed count for
+        a tight tolerance (the early transient converges faster than
+        the asymptotic rate, so loose tolerances are overpredicted)."""
+        matrix = np.array([[9.0, 1.0, 1.0], [1.0, 7.0, 2.0], [2.0, 1.0, 5.0]])
+        tight = sinkhorn_knopp(matrix, tol=1e-13)
+        diag = convergence_diagnostics(tight)
+        predicted = predict_iterations(
+            diag.initial_residual, diag.rate, 1e-13
+        )
+        assert abs(predicted - tight.iterations) <= 0.25 * tight.iterations
+
+    def test_invalid_rate(self):
+        with pytest.raises(MatrixValueError):
+            predict_iterations(1.0, 1.0, 1e-8)
+        with pytest.raises(MatrixValueError):
+            predict_iterations(1.0, -0.2, 1e-8)
+
+    def test_invalid_residuals(self):
+        with pytest.raises(MatrixValueError):
+            predict_iterations(0.0, 0.5, 1e-8)
+        with pytest.raises(MatrixValueError):
+            predict_iterations(1.0, 0.5, 0.0)

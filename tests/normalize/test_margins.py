@@ -1,0 +1,70 @@
+"""Tests for generalized margin scaling (scale_to_margins)."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceError, MatrixValueError
+from repro.normalize import scale_to_margins
+
+
+class TestScaleToMargins:
+    def test_prescribed_margins_hit(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(0.5, 2.0, size=(3, 4))
+        rows = np.array([1.0, 2.0, 3.0])
+        cols = np.array([2.0, 1.0, 2.0, 1.0])
+        result = scale_to_margins(matrix, rows, cols)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), rows, atol=1e-9)
+        np.testing.assert_allclose(result.matrix.sum(axis=0), cols, atol=1e-9)
+
+    def test_tma_invariant_under_margin_scaling(self):
+        """The property the target-driven generator relies on."""
+        from repro.measures import tma
+
+        rng = np.random.default_rng(1)
+        matrix = rng.uniform(0.5, 2.0, size=(5, 4))
+        before = tma(matrix)
+        scaled = scale_to_margins(
+            matrix, [1.0, 2.0, 4.0, 8.0, 5.0], [3.0, 7.0, 4.0, 6.0]
+        ).matrix
+        assert tma(scaled) == pytest.approx(before, abs=1e-7)
+
+    def test_scaling_diagonals_recover(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.uniform(0.5, 2.0, size=(4, 4))
+        result = scale_to_margins(matrix, np.arange(1.0, 5.0), np.arange(1.0, 5.0))
+        rebuilt = result.row_scale[:, None] * matrix * result.col_scale[None, :]
+        np.testing.assert_allclose(rebuilt, result.matrix, rtol=1e-12)
+
+    def test_inconsistent_totals_rejected(self):
+        with pytest.raises(MatrixValueError):
+            scale_to_margins(np.ones((2, 2)), [1.0, 1.0], [1.0, 2.0])
+
+    def test_wrong_lengths_rejected(self):
+        with pytest.raises(MatrixValueError):
+            scale_to_margins(np.ones((2, 2)), [1.0], [1.0, 1.0])
+
+    def test_nonpositive_margins_rejected(self):
+        with pytest.raises(MatrixValueError):
+            scale_to_margins(np.ones((2, 2)), [0.0, 2.0], [1.0, 1.0])
+
+    def test_blocked_pattern_raises_convergence(self):
+        """A zero pattern that cannot meet wildly uneven margins."""
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        # Diagonal pattern forces row sums == col sums exactly, so
+        # asking for different splits cannot converge.
+        with pytest.raises(ConvergenceError):
+            scale_to_margins(
+                matrix, [3.0, 1.0], [1.0, 3.0], max_iterations=100
+            )
+
+    def test_uniform_margins_match_sinkhorn(self):
+        from repro.normalize import sinkhorn_knopp
+
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0.5, 2.0, size=(4, 6))
+        a = scale_to_margins(
+            matrix, np.full(4, 1.5), np.full(6, 1.0)
+        ).matrix
+        b = sinkhorn_knopp(matrix, row_target=1.5).matrix
+        np.testing.assert_allclose(a, b, atol=1e-7)

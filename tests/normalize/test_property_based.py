@@ -1,0 +1,89 @@
+"""Property-based tests for the normalization kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.normalize import (
+    canonical_form,
+    sinkhorn_knopp,
+    standard_targets,
+    standardize,
+)
+from tests.conftest import ecs_matrices
+
+
+class TestSinkhornProperties:
+    @given(ecs_matrices(min_side=2, max_side=6))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_matrices_always_converge(self, ecs):
+        result = sinkhorn_knopp(ecs)
+        assert result.converged
+        np.testing.assert_allclose(result.matrix.sum(axis=1), 1.0, atol=1e-7)
+
+    @given(ecs_matrices(min_side=2, max_side=6), st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_row_target_respected(self, ecs, target):
+        result = sinkhorn_knopp(ecs, row_target=target)
+        np.testing.assert_allclose(
+            result.matrix.sum(axis=1), target, atol=1e-6
+        )
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_diagonals_exact(self, ecs):
+        result = sinkhorn_knopp(ecs)
+        rebuilt = result.row_scale[:, None] * ecs * result.col_scale[None, :]
+        np.testing.assert_allclose(rebuilt, result.matrix, rtol=1e-10)
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=30, deadline=None)
+    def test_positive_scales(self, ecs):
+        result = sinkhorn_knopp(ecs)
+        assert (result.row_scale > 0).all()
+        assert (result.col_scale > 0).all()
+
+
+class TestStandardizeProperties:
+    @given(ecs_matrices(min_side=2, max_side=6))
+    @settings(max_examples=30, deadline=None)
+    def test_margins_and_sigma1(self, ecs):
+        import scipy.linalg
+
+        result = standardize(ecs)
+        row, col = standard_targets(*ecs.shape)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), row, atol=1e-7)
+        np.testing.assert_allclose(result.matrix.sum(axis=0), col, atol=1e-7)
+        assert scipy.linalg.svdvals(result.matrix)[0] == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    @given(ecs_matrices(min_side=2, max_side=5))
+    @settings(max_examples=20, deadline=None)
+    def test_diagonal_scaling_invariance(self, ecs):
+        rng = np.random.default_rng(0)
+        scaled = (
+            rng.uniform(0.5, 2.0, size=(ecs.shape[0], 1))
+            * ecs
+            * rng.uniform(0.5, 2.0, size=(1, ecs.shape[1]))
+        )
+        np.testing.assert_allclose(
+            standardize(scaled).matrix, standardize(ecs).matrix, atol=1e-6
+        )
+
+
+class TestCanonicalProperties:
+    @given(ecs_matrices(min_side=1, max_side=6, positive_only=False))
+    @settings(max_examples=30, deadline=None)
+    def test_orders_are_permutations(self, ecs):
+        result = canonical_form(ecs)
+        assert sorted(result.task_order) == list(range(ecs.shape[0]))
+        assert sorted(result.machine_order) == list(range(ecs.shape[1]))
+
+    @given(ecs_matrices(min_side=1, max_side=6, positive_only=False))
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_vectors(self, ecs):
+        result = canonical_form(ecs)
+        assert (np.diff(result.machine_performance) >= -1e-12).all()
+        assert (np.diff(result.task_difficulty) >= -1e-12).all()

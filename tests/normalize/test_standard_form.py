@@ -1,0 +1,167 @@
+"""Tests for the standard ECS form (Theorems 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro import ECSMatrix, ETCMatrix, MatrixValueError, NotNormalizableError
+from repro.normalize import (
+    column_normalize,
+    is_standard,
+    standard_targets,
+    standardize,
+)
+
+
+class TestTargets:
+    @pytest.mark.parametrize(
+        "t, m", [(2, 2), (12, 5), (17, 5), (3, 9), (1, 4)]
+    )
+    def test_theorem2_consistency(self, t, m):
+        row, col = standard_targets(t, m)
+        assert row == pytest.approx(math.sqrt(m / t))
+        assert col == pytest.approx(math.sqrt(t / m))
+        # Grand totals agree: T*row == M*col == sqrt(T*M).
+        assert t * row == pytest.approx(m * col)
+        assert t * row == pytest.approx(math.sqrt(t * m))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            standard_targets(0, 3)
+
+
+class TestStandardize:
+    def test_row_and_column_sums(self):
+        rng = np.random.default_rng(0)
+        ecs = rng.uniform(0.1, 10.0, size=(12, 5))
+        result = standardize(ecs)
+        row, col = standard_targets(12, 5)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), row, atol=1e-8)
+        np.testing.assert_allclose(result.matrix.sum(axis=0), col, atol=1e-8)
+
+    def test_theorem2_sigma1_is_one(self):
+        rng = np.random.default_rng(1)
+        for shape in [(4, 4), (7, 3), (3, 9)]:
+            ecs = rng.uniform(0.1, 10.0, size=shape)
+            values = scipy.linalg.svdvals(standardize(ecs).matrix)
+            assert values[0] == pytest.approx(1.0, abs=1e-7), shape
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(2)
+        first = standardize(rng.uniform(0.5, 2.0, size=(5, 4)))
+        second = standardize(first.matrix)
+        np.testing.assert_allclose(second.matrix, first.matrix, atol=1e-8)
+        assert second.iterations == 0
+
+    def test_diagonal_scaling_same_standard_form(self):
+        """Theorem 1 uniqueness: D1 A D2 and A standardize identically."""
+        rng = np.random.default_rng(3)
+        ecs = rng.uniform(0.5, 2.0, size=(6, 4))
+        scaled = (
+            rng.uniform(0.1, 10, size=(6, 1))
+            * ecs
+            * rng.uniform(0.1, 10, size=(1, 4))
+        )
+        np.testing.assert_allclose(
+            standardize(scaled).matrix, standardize(ecs).matrix, atol=1e-7
+        )
+
+    def test_accepts_wrappers_and_weights(self):
+        ecs = ECSMatrix([[1.0, 2.0], [3.0, 4.0]], task_weights=[1.0, 7.0])
+        result = standardize(ecs)
+        # Weights are a row scaling: same standard form as unweighted.
+        np.testing.assert_allclose(
+            result.matrix,
+            standardize([[1.0, 2.0], [3.0, 4.0]]).matrix,
+            atol=1e-8,
+        )
+
+    def test_accepts_etc(self):
+        etc = ETCMatrix([[1.0, 2.0], [2.0, 1.0]])
+        result = standardize(etc)
+        assert result.converged
+
+    def test_zero_preservation(self):
+        ecs = np.array([[1.0, 0.0, 2.0], [2.0, 1.0, 1.0], [0.0, 3.0, 1.0]])
+        result = standardize(ecs)
+        assert (result.matrix == 0).sum() == 2
+        np.testing.assert_array_equal(result.matrix == 0, ecs == 0)
+        assert result.zeroed_entries == ()
+
+
+class TestZeroHandling:
+    def test_strict_raises_for_eq10(self, eq10_matrix):
+        with pytest.raises(NotNormalizableError):
+            standardize(eq10_matrix, zeros="strict")
+
+    def test_strict_raises_fast(self, eq10_matrix):
+        """The Menon pre-check fires without burning 10^4 iterations."""
+        import time
+
+        start = time.perf_counter()
+        with pytest.raises(NotNormalizableError):
+            standardize(eq10_matrix)
+        assert time.perf_counter() - start < 1.0
+
+    def test_limit_mode_eq10(self, eq10_matrix):
+        result = standardize(eq10_matrix, zeros="limit")
+        assert result.zeroed_entries == ((1, 2),)
+        row, col = standard_targets(3, 3)
+        np.testing.assert_allclose(result.matrix.sum(axis=1), row, atol=1e-8)
+
+    def test_limit_mode_fig4(self, fig4_matrices):
+        identity = standardize(fig4_matrices["C"]).matrix
+        for key in "ABD":
+            result = standardize(fig4_matrices[key], zeros="limit")
+            np.testing.assert_allclose(result.matrix, identity, atol=1e-8)
+            assert result.zeroed_entries == ((1, 0),)
+
+    def test_limit_mode_noop_when_normalizable(self):
+        result = standardize(np.diag([2.0, 3.0]), zeros="limit")
+        assert result.zeroed_entries == ()
+
+    def test_infeasible_margins_raise_even_in_limit_mode(self):
+        # Identity except one row supported only where another row's
+        # entire demand must go -> flow infeasible patterns need a zero
+        # row/col, which validation already forbids; instead exercise a
+        # pattern with support that cannot meet equal margins *at all*:
+        # two rows that only touch one shared column.
+        pattern = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [1.0, 1.0, 1.0],
+            ]
+        )
+        with pytest.raises(NotNormalizableError):
+            standardize(pattern, zeros="limit")
+
+    def test_invalid_zeros_value(self, fig1_ecs):
+        with pytest.raises(MatrixValueError):
+            standardize(fig1_ecs, zeros="maybe")
+
+
+class TestColumnNormalize:
+    def test_columns_sum_to_one(self, fig1_ecs):
+        normalized = column_normalize(fig1_ecs)
+        np.testing.assert_allclose(normalized.sum(axis=0), 1.0)
+
+    def test_mph_of_result_is_one(self, fig1_ecs):
+        from repro.measures import mph
+
+        assert mph(column_normalize(fig1_ecs)) == pytest.approx(1.0)
+
+    def test_rows_not_equalized(self, fig1_ecs):
+        normalized = column_normalize(fig1_ecs)
+        rows = normalized.sum(axis=1)
+        assert rows.max() - rows.min() > 0.01
+
+
+class TestIsStandard:
+    def test_true_after_standardize(self, fig3b_ecs):
+        assert is_standard(standardize(fig3b_ecs).matrix)
+
+    def test_false_for_raw(self, fig3b_ecs):
+        assert not is_standard(fig3b_ecs)

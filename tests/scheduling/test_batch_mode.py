@@ -1,0 +1,98 @@
+"""Tests for batch-mode dynamic mapping (regeneration intervals)."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import (
+    BATCH_SELECT_RULES,
+    expand_workload,
+    poisson_arrivals,
+    simulate_batch_mode,
+    simulate_online,
+)
+from repro.spec import cint2006rate
+
+
+class TestSimulateBatchMode:
+    ETC = np.array([[1.0, 5.0], [5.0, 1.0], [1.0, 5.0], [5.0, 1.0]])
+
+    def test_single_epoch_matches_min_min(self):
+        """All tasks arriving in one epoch: the mapping equals plain
+        Min-min on the whole batch (started at the boundary)."""
+        from repro.scheduling import min_min
+
+        rng = np.random.default_rng(0)
+        etc = rng.uniform(1, 10, size=(12, 3))
+        batch = simulate_batch_mode(etc, np.full(12, 0.5), interval=1.0)
+        static = min_min(etc)
+        # All twelve map together at the t=1 boundary, so the makespan
+        # is the static Min-min makespan shifted by the boundary.
+        assert batch.makespan == pytest.approx(static.makespan + 1.0)
+
+    def test_tasks_wait_for_boundary(self):
+        res = simulate_batch_mode(self.ETC, [0.1, 0.2, 0.3, 0.4],
+                                  interval=1.0)
+        assert (res.start_times >= 1.0).all()
+        assert res.makespan == 3.0
+
+    def test_arrival_on_boundary_maps_immediately(self):
+        res = simulate_batch_mode(np.array([[2.0]]), [5.0], interval=5.0)
+        assert res.start_times[0] == 5.0
+
+    def test_multiple_epochs(self):
+        etc = np.array([[1.0], [1.0], [1.0]])
+        res = simulate_batch_mode(etc, [0.5, 0.6, 5.5], interval=1.0)
+        # First two map at the t=1 boundary, the third at t=6.
+        np.testing.assert_allclose(np.sort(res.start_times), [1.0, 2.0, 6.0])
+
+    def test_machine_carryover_between_epochs(self):
+        # Epoch 1 loads the machine with 10 units; epoch 2's task must
+        # wait for it to drain.
+        etc = np.array([[10.0], [1.0]])
+        res = simulate_batch_mode(etc, [0.5, 1.5], interval=1.0)
+        assert res.start_times[0] == pytest.approx(1.0)
+        assert res.start_times[1] == pytest.approx(11.0)
+
+    @pytest.mark.parametrize("rule", BATCH_SELECT_RULES)
+    def test_all_rules_valid(self, rule):
+        w = expand_workload(cint2006rate(), total=30, seed=1)
+        arrivals = poisson_arrivals(30, rate=0.05, seed=2)
+        res = simulate_batch_mode(w, arrivals, interval=200.0, rule=rule)
+        assert res.makespan > 0
+        assert res.policy.startswith(f"batch[{rule}")
+
+    def test_longer_interval_worse_response(self):
+        w = expand_workload(cint2006rate(), total=40, seed=3)
+        arrivals = poisson_arrivals(40, rate=0.02, seed=4)
+        short = simulate_batch_mode(w, arrivals, interval=50.0)
+        long = simulate_batch_mode(w, arrivals, interval=2000.0)
+        assert short.mean_response < long.mean_response
+
+    def test_batching_helps_bursty_load_vs_olb_style(self):
+        """With a burst of mixed tasks, the batch mapper exploits joint
+        knowledge that immediate OLB cannot."""
+        w = expand_workload(cint2006rate(), total=50, seed=5)
+        arrivals = np.zeros(50)
+        batch = simulate_batch_mode(w, arrivals, interval=1.0)
+        olb = simulate_online(w, arrivals, policy="olb", seed=6)
+        assert batch.makespan < olb.makespan
+
+    def test_incompatibilities_respected(self):
+        etc = np.array([[np.inf, 2.0], [1.0, np.inf]] * 2)
+        res = simulate_batch_mode(etc, np.zeros(4), interval=1.0)
+        assert np.isfinite(etc[np.arange(4), res.assignment]).all()
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            simulate_batch_mode(self.ETC, [0.0, 0.0], interval=1.0)
+        with pytest.raises(SchedulingError):
+            simulate_batch_mode(self.ETC, np.zeros(4), interval=1.0,
+                                rule="psychic")
+        with pytest.raises(Exception):
+            simulate_batch_mode(self.ETC, np.zeros(4), interval=0.0)
+
+    def test_policy_label(self):
+        res = simulate_batch_mode(self.ETC, np.zeros(4), interval=2.5,
+                                  rule="sufferage")
+        assert res.policy == "batch[sufferage, interval=2.5]"

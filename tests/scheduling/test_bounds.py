@@ -1,0 +1,101 @@
+"""Tests for makespan bounds and the exact branch-and-bound solver."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import (
+    duplex,
+    makespan_lower_bound,
+    makespan_upper_bound,
+    max_min,
+    min_min,
+    optimal_makespan,
+    sufferage,
+)
+
+
+class TestBounds:
+    def test_dominant_task_bound(self):
+        assert makespan_lower_bound(
+            [[4.0, 9.0], [1.0, 1.0], [1.0, 1.0]]
+        ) == 4.0
+
+    def test_work_division_bound(self):
+        etc = np.full((4, 2), 2.0)
+        assert makespan_lower_bound(etc) == 4.0
+
+    def test_upper_bound_serial(self):
+        assert makespan_upper_bound([[1.0, 3.0], [2.0, 5.0]]) == 8.0
+
+    def test_incompatible_entries_skipped(self):
+        etc = np.array([[np.inf, 2.0], [3.0, np.inf]])
+        assert makespan_lower_bound(etc) == pytest.approx(3.0)
+        assert makespan_upper_bound(etc) == pytest.approx(5.0)
+
+    def test_bounds_order(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            etc = rng.uniform(1, 20, size=(8, 3))
+            assert makespan_lower_bound(etc) <= makespan_upper_bound(etc)
+
+
+class TestOptimalMakespan:
+    def test_known_small_case(self):
+        assert optimal_makespan([[3.0, 1.0], [2.0, 4.0]]) == 2.0
+
+    def test_between_bounds(self):
+        rng = np.random.default_rng(1)
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            etc = rng.uniform(1, 10, size=(7, 3))
+            opt = optimal_makespan(etc)
+            assert makespan_lower_bound(etc) - 1e-9 <= opt
+            assert opt <= makespan_upper_bound(etc) + 1e-9
+
+    def test_heuristics_never_beat_optimum(self):
+        rng = np.random.default_rng(2)
+        for seed in range(6):
+            rng = np.random.default_rng(100 + seed)
+            etc = rng.uniform(1, 10, size=(8, 3))
+            opt = optimal_makespan(etc)
+            for heuristic in (min_min, max_min, sufferage, duplex):
+                assert heuristic(etc).makespan >= opt - 1e-9
+
+    def test_heuristics_usually_near_optimal(self):
+        """On paper-scale instances the batch heuristics stay within
+        ~1.5x of optimum — the empirical finding of Braun et al."""
+        rng = np.random.default_rng(3)
+        ratios = []
+        for seed in range(6):
+            rng = np.random.default_rng(200 + seed)
+            etc = rng.uniform(1, 10, size=(8, 3))
+            opt = optimal_makespan(etc)
+            best = min(
+                h(etc).makespan for h in (min_min, sufferage, duplex)
+            )
+            ratios.append(best / opt)
+        assert max(ratios) < 1.5
+
+    def test_matches_brute_force(self):
+        from itertools import product
+
+        rng = np.random.default_rng(4)
+        etc = rng.uniform(1, 10, size=(5, 2))
+        brute = min(
+            max(
+                sum(etc[i, a[i]] for i in range(5) if a[i] == m)
+                for m in range(2)
+            )
+            for a in product(range(2), repeat=5)
+        )
+        assert optimal_makespan(etc) == pytest.approx(brute)
+
+    def test_respects_incompatibility(self):
+        etc = np.array([[np.inf, 2.0], [3.0, np.inf], [1.0, 1.0]])
+        # Forced: t0->m1 (2), t1->m0 (3); t2 on m1 balances to 3.
+        assert optimal_makespan(etc) == pytest.approx(3.0)
+
+    def test_size_guard(self):
+        with pytest.raises(SchedulingError):
+            optimal_makespan(np.ones((30, 10)))

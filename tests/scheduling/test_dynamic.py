@@ -1,0 +1,151 @@
+"""Tests for the online (dynamic) mapping simulator."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import (
+    ONLINE_POLICIES,
+    expand_workload,
+    poisson_arrivals,
+    simulate_online,
+)
+from repro.spec import cint2006rate
+
+
+class TestPoissonArrivals:
+    def test_monotone_and_positive(self):
+        times = poisson_arrivals(200, rate=3.0, seed=0)
+        assert (np.diff(times) >= 0).all()
+        assert (times > 0).all()
+
+    def test_rate_controls_density(self):
+        fast = poisson_arrivals(500, rate=10.0, seed=1)[-1]
+        slow = poisson_arrivals(500, rate=1.0, seed=1)[-1]
+        assert slow == pytest.approx(10 * fast, rel=1e-9)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            poisson_arrivals(10, 1.0, seed=2), poisson_arrivals(10, 1.0, seed=2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            poisson_arrivals(0, 1.0)
+        with pytest.raises(Exception):
+            poisson_arrivals(5, 0.0)
+
+
+class TestSimulateOnline:
+    ETC = np.array([[1.0, 5.0], [5.0, 1.0], [1.0, 5.0], [5.0, 1.0]])
+
+    def test_mct_balances_obvious_case(self):
+        result = simulate_online(self.ETC, np.zeros(4), policy="mct")
+        np.testing.assert_array_equal(result.assignment, [0, 1, 0, 1])
+        assert result.makespan == 2.0
+
+    def test_fifo_queueing(self):
+        # Single machine: tasks run back to back.
+        etc = np.array([[2.0], [3.0], [1.0]])
+        result = simulate_online(etc, [0.0, 0.0, 0.0], policy="mct")
+        np.testing.assert_allclose(result.start_times, [0.0, 2.0, 5.0])
+        np.testing.assert_allclose(result.completion_times, [2.0, 5.0, 6.0])
+
+    def test_idle_gap_when_arrivals_sparse(self):
+        etc = np.array([[1.0], [1.0]])
+        result = simulate_online(etc, [0.0, 10.0], policy="mct")
+        assert result.start_times[1] == 10.0
+        assert result.makespan == 11.0
+        # Utilization reflects the idle gap.
+        assert result.utilization[0] == pytest.approx(2.0 / 11.0)
+
+    def test_mean_response(self):
+        etc = np.array([[2.0], [2.0]])
+        result = simulate_online(etc, [0.0, 0.0], policy="mct")
+        # Responses: 2 and 4.
+        assert result.mean_response == 3.0
+
+    def test_met_queue_blind(self):
+        etc = np.array([[1.0, 1.5]] * 5)
+        result = simulate_online(etc, np.zeros(5), policy="met")
+        np.testing.assert_array_equal(result.assignment, 0)
+
+    def test_olb_ignores_etc(self):
+        etc = np.array([[1.0, 100.0]] * 4)
+        result = simulate_online(etc, np.zeros(4), policy="olb", seed=0)
+        assert set(result.assignment.tolist()) == {0, 1}
+
+    def test_kpb_interpolates(self):
+        # With k=1 KPB must equal MCT.
+        rng = np.random.default_rng(3)
+        etc = rng.uniform(1, 10, size=(30, 5))
+        arrivals = poisson_arrivals(30, 1.0, seed=4)
+        full = simulate_online(etc, arrivals, policy="kpb", k=1.0)
+        mct = simulate_online(etc, arrivals, policy="mct")
+        np.testing.assert_array_equal(full.assignment, mct.assignment)
+
+    def test_kpb_small_k_close_to_met(self):
+        rng = np.random.default_rng(5)
+        etc = rng.uniform(1, 10, size=(20, 5))
+        tiny = simulate_online(etc, np.zeros(20), policy="kpb", k=0.01)
+        met = simulate_online(etc, np.zeros(20), policy="met")
+        # With one candidate, KPB picks each task's best machine = MET.
+        np.testing.assert_array_equal(tiny.assignment, met.assignment)
+
+    def test_auto_policy_labels(self):
+        w = expand_workload(cint2006rate(), total=30, seed=6)
+        arrivals = poisson_arrivals(30, 0.01, seed=7)
+        result = simulate_online(w, arrivals, policy="auto")
+        assert result.policy.startswith("auto[k=")
+
+    def test_incompatibility_respected(self):
+        etc = np.array([[np.inf, 2.0], [1.0, np.inf]] * 3)
+        for policy in ("mct", "met", "olb", "kpb"):
+            result = simulate_online(
+                etc, np.zeros(6), policy=policy, seed=8
+            )
+            assert np.isfinite(
+                etc[np.arange(6), result.assignment]
+            ).all(), policy
+
+    def test_validation_errors(self):
+        with pytest.raises(SchedulingError):
+            simulate_online(self.ETC, [0.0, 0.0])  # wrong arrival count
+        with pytest.raises(SchedulingError):
+            simulate_online(self.ETC, [3.0, 2.0, 1.0, 0.0])  # decreasing
+        with pytest.raises(SchedulingError):
+            simulate_online(self.ETC, [-1.0, 0.0, 0.0, 0.0])
+        with pytest.raises(SchedulingError):
+            simulate_online(self.ETC, np.zeros(4), policy="psychic")
+        with pytest.raises(SchedulingError):
+            simulate_online(
+                np.array([[np.inf, np.inf]]), [0.0]
+            )
+
+    def test_policy_registry(self):
+        assert set(ONLINE_POLICIES) == {"mct", "met", "olb", "kpb", "auto"}
+
+    def test_results_readonly(self):
+        result = simulate_online(self.ETC, np.zeros(4))
+        with pytest.raises(ValueError):
+            result.assignment[0] = 1
+
+
+class TestLoadRegimes:
+    def test_saturation_raises_response(self):
+        """Response time grows when arrivals outpace service capacity."""
+        w = expand_workload(cint2006rate(), total=40, seed=9)
+        light = simulate_online(
+            w, poisson_arrivals(40, rate=0.001, seed=10), policy="mct"
+        )
+        heavy = simulate_online(
+            w, poisson_arrivals(40, rate=1.0, seed=10), policy="mct"
+        )
+        assert heavy.mean_response > light.mean_response
+
+    def test_mct_beats_met_under_load(self):
+        w = expand_workload(cint2006rate(), total=50, seed=11)
+        arrivals = poisson_arrivals(50, rate=0.05, seed=12)
+        mct = simulate_online(w, arrivals, policy="mct")
+        met = simulate_online(w, arrivals, policy="met")
+        assert mct.makespan < met.makespan

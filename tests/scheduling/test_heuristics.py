@@ -1,0 +1,165 @@
+"""Tests for the mapping heuristics (Braun et al. substrate)."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import (
+    HEURISTICS,
+    duplex,
+    ga,
+    max_min,
+    mct,
+    met,
+    min_min,
+    olb,
+    random_mapping,
+    run_heuristic,
+    sufferage,
+)
+
+ALL = [olb, met, mct, min_min, max_min, sufferage, duplex, random_mapping]
+
+
+@pytest.fixture
+def simple():
+    # Two tasks, each clearly belonging to a different machine.
+    return np.array([[1.0, 10.0], [10.0, 1.0]])
+
+
+class TestBasics:
+    @pytest.mark.parametrize("heuristic", ALL)
+    def test_valid_mapping(self, heuristic):
+        rng = np.random.default_rng(0)
+        etc = rng.uniform(1, 10, size=(12, 4))
+        mapping = heuristic(etc, seed=1)
+        assert mapping.assignment.shape == (12,)
+        assert ((0 <= mapping.assignment) & (mapping.assignment < 4)).all()
+        assert mapping.makespan == pytest.approx(mapping.machine_loads.max())
+
+    @pytest.mark.parametrize("heuristic", ALL)
+    def test_affinity_obvious_case(self, heuristic, simple):
+        mapping = heuristic(simple, seed=2)
+        if heuristic is not random_mapping:
+            np.testing.assert_array_equal(mapping.assignment, [0, 1])
+            assert mapping.makespan == 1.0
+
+    @pytest.mark.parametrize("heuristic", ALL)
+    def test_incompatibility_respected(self, heuristic):
+        etc = np.array(
+            [
+                [np.inf, 2.0, 3.0],
+                [1.0, np.inf, 3.0],
+                [1.0, 2.0, np.inf],
+            ]
+        )
+        mapping = heuristic(etc, seed=3)
+        assert np.isfinite(
+            etc[np.arange(3), mapping.assignment]
+        ).all()
+
+    def test_all_incompatible_task_rejected(self):
+        etc = np.array([[np.inf, np.inf], [1.0, 1.0]])
+        with pytest.raises(SchedulingError):
+            min_min(etc)
+
+    def test_nonpositive_etc_rejected(self):
+        with pytest.raises(SchedulingError):
+            mct([[0.0, 1.0]])
+
+
+class TestKnownBehaviours:
+    def test_met_ignores_load(self):
+        # One machine dominates: MET piles everything on it.
+        etc = np.array([[1.0, 2.0]] * 6)
+        mapping = met(etc)
+        np.testing.assert_array_equal(mapping.assignment, 0)
+        assert mapping.makespan == 6.0
+
+    def test_mct_balances_that_case(self):
+        etc = np.array([[1.0, 2.0]] * 6)
+        assert mct(etc).makespan < met(etc).makespan
+
+    def test_olb_ignores_execution_times(self):
+        # OLB alternates machines regardless of the 100x penalty.
+        etc = np.array([[1.0, 100.0]] * 4)
+        mapping = olb(etc)
+        assert set(mapping.assignment.tolist()) == {0, 1}
+
+    def test_min_min_optimal_small_case(self):
+        etc = np.array([[3.0, 1.0], [2.0, 4.0]])
+        assert min_min(etc).makespan == 2.0
+
+    def test_max_min_schedules_long_task_first(self):
+        # One giant task plus small filler: Max-min dedicates the best
+        # machine to the giant.
+        etc = np.vstack([[10.0, 12.0], np.tile([2.0, 2.5], (4, 1))])
+        mapping = max_min(etc)
+        assert mapping.assignment[0] == 0
+
+    def test_sufferage_identifies_contested_machine(self):
+        # Tasks 0/1 both prefer machine 0 but task 1 suffers more when
+        # displaced.
+        etc = np.array([[1.0, 2.0], [1.0, 9.0]])
+        mapping = sufferage(etc)
+        assert mapping.assignment[1] == 0
+
+    def test_duplex_best_of_both(self):
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            etc = rng.uniform(1, 20, size=(10, 3))
+            d = duplex(etc).makespan
+            assert d <= min_min(etc).makespan + 1e-9
+            assert d <= max_min(etc).makespan + 1e-9
+
+    def test_batch_beats_random_on_average(self):
+        rng = np.random.default_rng(5)
+        wins = 0
+        for seed in range(8):
+            etc = rng.uniform(1, 50, size=(20, 5))
+            if min_min(etc).makespan <= random_mapping(etc, seed=seed).makespan:
+                wins += 1
+        assert wins >= 7
+
+
+class TestGa:
+    def test_never_worse_than_min_min(self):
+        rng = np.random.default_rng(6)
+        etc = rng.uniform(1, 30, size=(15, 4))
+        assert ga(etc, seed=7, generations=40).makespan <= min_min(
+            etc
+        ).makespan + 1e-9
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(8)
+        etc = rng.uniform(1, 30, size=(10, 3))
+        a = ga(etc, seed=9, generations=20)
+        b = ga(etc, seed=9, generations=20)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_respects_compatibility(self):
+        etc = np.array([[np.inf, 2.0], [1.0, np.inf], [3.0, 3.0]] * 3)
+        mapping = ga(etc, seed=10, generations=15)
+        assert np.isfinite(etc[np.arange(9), mapping.assignment]).all()
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(HEURISTICS) == {
+            "olb", "met", "mct", "min_min", "max_min", "sufferage",
+            "duplex", "ga", "random",
+        }
+
+    def test_run_by_name(self, simple):
+        assert run_heuristic("MIN_MIN", simple).makespan == 1.0
+
+    def test_unknown_name(self, simple):
+        with pytest.raises(SchedulingError):
+            run_heuristic("quantum", simple)
+
+    def test_workload_accepted(self, simple):
+        from repro.scheduling import expand_workload
+
+        workload = expand_workload(simple, counts=[2, 2], shuffle=False)
+        mapping = run_heuristic("mct", workload)
+        assert mapping.assignment.shape == (4,)

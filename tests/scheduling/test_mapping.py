@@ -1,0 +1,64 @@
+"""Tests for Mapping and evaluate_mapping."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import evaluate_mapping
+
+
+@pytest.fixture
+def etc():
+    return np.array(
+        [
+            [2.0, 5.0],
+            [4.0, 1.0],
+            [3.0, 3.0],
+        ]
+    )
+
+
+class TestEvaluateMapping:
+    def test_loads_and_makespan(self, etc):
+        mapping = evaluate_mapping(etc, [0, 1, 0])
+        np.testing.assert_allclose(mapping.machine_loads, [5.0, 1.0])
+        assert mapping.makespan == 5.0
+
+    def test_flowtime_in_assignment_order(self, etc):
+        mapping = evaluate_mapping(etc, [0, 0, 0])
+        # Completion times on machine 0: 2, 6, 9 -> flowtime 17.
+        assert mapping.flowtime == pytest.approx(17.0)
+
+    def test_flowtime_across_machines(self, etc):
+        mapping = evaluate_mapping(etc, [0, 1, 1])
+        # m0: 2 -> 2; m1: 1 then 1+3 -> 1 + 4.
+        assert mapping.flowtime == pytest.approx(2.0 + 1.0 + 4.0)
+
+    def test_heuristic_label(self, etc):
+        assert evaluate_mapping(etc, [0, 0, 0], heuristic="x").heuristic == "x"
+
+    def test_empty_machine_allowed(self, etc):
+        mapping = evaluate_mapping(etc, [0, 0, 0])
+        assert mapping.machine_loads[1] == 0.0
+
+    def test_wrong_length_rejected(self, etc):
+        with pytest.raises(SchedulingError):
+            evaluate_mapping(etc, [0, 1])
+
+    def test_out_of_range_rejected(self, etc):
+        with pytest.raises(SchedulingError):
+            evaluate_mapping(etc, [0, 2, 0])
+        with pytest.raises(SchedulingError):
+            evaluate_mapping(etc, [0, -1, 0])
+
+    def test_incompatible_assignment_rejected(self):
+        etc = np.array([[1.0, np.inf], [2.0, 3.0]])
+        with pytest.raises(SchedulingError):
+            evaluate_mapping(etc, [1, 0])
+
+    def test_results_readonly(self, etc):
+        mapping = evaluate_mapping(etc, [0, 1, 0])
+        with pytest.raises(ValueError):
+            mapping.assignment[0] = 1
+        with pytest.raises(ValueError):
+            mapping.machine_loads[0] = 0.0

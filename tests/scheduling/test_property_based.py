@@ -1,0 +1,169 @@
+"""Property-based tests for the scheduling substrate.
+
+Invariants checked against randomized workloads:
+
+* every heuristic's makespan is bounded below by the two classic lower
+  bounds (the largest per-task best time, and ideal-parallelism work
+  division) and above by the serial schedule;
+* Min-min/Max-min/Sufferage produce permutation-valid assignments;
+* evaluate_mapping's metrics are internally consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.scheduling import (
+    duplex,
+    evaluate_mapping,
+    max_min,
+    mct,
+    met,
+    min_min,
+    olb,
+    simulate_online,
+    sufferage,
+)
+
+etc_instances = st.tuples(
+    st.integers(1, 14), st.integers(1, 5)
+).flatmap(
+    lambda shape: npst.arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(0.1, 50.0, allow_nan=False),
+    )
+)
+
+HEURISTICS = [olb, met, mct, min_min, max_min, sufferage, duplex]
+
+
+def _lower_bound(etc: np.ndarray) -> float:
+    """max(longest unavoidable task, perfectly divided best-case work)."""
+    best = etc.min(axis=1)
+    return max(float(best.max()), float(best.sum() / etc.shape[1]))
+
+
+def _serial_upper_bound(etc: np.ndarray) -> float:
+    """Everything on one machine, worst choice per task."""
+    return float(etc.max(axis=1).sum())
+
+
+class TestMakespanBounds:
+    @given(etc_instances)
+    @settings(max_examples=30, deadline=None)
+    def test_all_heuristics_within_bounds(self, etc):
+        lb = _lower_bound(etc)
+        ub = _serial_upper_bound(etc)
+        for heuristic in HEURISTICS:
+            makespan = heuristic(etc, seed=0).makespan
+            assert makespan >= lb - 1e-9, heuristic.__name__
+            assert makespan <= ub + 1e-9, heuristic.__name__
+
+    @given(etc_instances)
+    @settings(max_examples=30, deadline=None)
+    def test_duplex_never_worse_than_parents(self, etc):
+        d = duplex(etc).makespan
+        assert d <= min_min(etc).makespan + 1e-9
+        assert d <= max_min(etc).makespan + 1e-9
+
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_single_machine_makespan_is_total_work(self, etc):
+        column = etc[:, :1]
+        for heuristic in HEURISTICS:
+            assert heuristic(column).makespan == pytest.approx(
+                float(column.sum())
+            )
+
+
+class TestAssignmentValidity:
+    @given(etc_instances)
+    @settings(max_examples=30, deadline=None)
+    def test_assignments_in_range_and_complete(self, etc):
+        for heuristic in HEURISTICS:
+            mapping = heuristic(etc, seed=1)
+            assert mapping.assignment.shape == (etc.shape[0],)
+            assert (
+                (0 <= mapping.assignment)
+                & (mapping.assignment < etc.shape[1])
+            ).all()
+
+    @given(etc_instances)
+    @settings(max_examples=30, deadline=None)
+    def test_loads_reconstruct_makespan(self, etc):
+        for heuristic in HEURISTICS:
+            mapping = heuristic(etc, seed=2)
+            rebuilt = np.bincount(
+                mapping.assignment,
+                weights=etc[np.arange(etc.shape[0]), mapping.assignment],
+                minlength=etc.shape[1],
+            )
+            np.testing.assert_allclose(rebuilt, mapping.machine_loads)
+            assert mapping.makespan == pytest.approx(rebuilt.max())
+
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_flowtime_at_least_sum_of_times(self, etc):
+        mapping = min_min(etc)
+        times = etc[np.arange(etc.shape[0]), mapping.assignment]
+        assert mapping.flowtime >= times.sum() - 1e-9
+
+
+class TestOnlineProperties:
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_online_zero_arrivals_matches_mct(self, etc):
+        """Online MCT with simultaneous arrivals is exactly batch MCT."""
+        online = simulate_online(etc, np.zeros(etc.shape[0]), policy="mct")
+        static = mct(etc)
+        np.testing.assert_array_equal(online.assignment, static.assignment)
+        assert online.makespan == pytest.approx(static.makespan)
+
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_completion_after_start_after_arrival(self, etc):
+        rng = np.random.default_rng(0)
+        arrivals = np.sort(rng.uniform(0, 10, size=etc.shape[0]))
+        result = simulate_online(etc, arrivals, policy="mct")
+        assert (result.start_times >= arrivals - 1e-12).all()
+        assert (result.completion_times > result.start_times).all()
+
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_no_machine_overlap(self, etc):
+        """FIFO invariant: execution windows on one machine are
+        disjoint."""
+        rng = np.random.default_rng(1)
+        arrivals = np.sort(rng.uniform(0, 5, size=etc.shape[0]))
+        result = simulate_online(etc, arrivals, policy="mct")
+        for machine in range(etc.shape[1]):
+            mask = result.assignment == machine
+            if mask.sum() < 2:
+                continue
+            starts = result.start_times[mask]
+            ends = result.completion_times[mask]
+            order = np.argsort(starts)
+            assert (starts[order][1:] >= ends[order][:-1] - 1e-9).all()
+
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_utilization_bounded(self, etc):
+        result = simulate_online(etc, np.zeros(etc.shape[0]))
+        assert (result.utilization >= 0).all()
+        assert (result.utilization <= 1 + 1e-9).all()
+
+
+class TestEvaluateMappingConsistency:
+    @given(etc_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_metrics_for_random_assignment(self, etc):
+        rng = np.random.default_rng(3)
+        assignment = rng.integers(0, etc.shape[1], size=etc.shape[0])
+        mapping = evaluate_mapping(etc, assignment)
+        assert mapping.makespan <= mapping.flowtime + 1e-9
+        assert mapping.machine_loads.sum() == pytest.approx(
+            etc[np.arange(etc.shape[0]), assignment].sum()
+        )

@@ -1,0 +1,69 @@
+"""Tests for the measure-driven heuristic recommendation."""
+
+import numpy as np
+import pytest
+
+from repro.measures import characterize
+from repro.scheduling import (
+    HEURISTICS,
+    compare_heuristics,
+    recommend_heuristic,
+)
+from repro.spec import cint2006rate, figure8b
+
+
+class TestRecommendHeuristic:
+    def test_returns_known_heuristic_and_reason(self):
+        name, reason = recommend_heuristic(cint2006rate())
+        assert name in HEURISTICS
+        assert len(reason) > 10
+
+    def test_homogeneous_gets_mct(self):
+        name, _ = recommend_heuristic(np.ones((4, 4)))
+        assert name == "mct"
+
+    def test_affinity_gets_sufferage(self):
+        name, reason = recommend_heuristic(figure8b())
+        assert name == "sufferage"
+        assert "affinity" in reason
+
+    def test_dominant_tasks_get_duplex(self):
+        from repro.generate import from_targets
+
+        env = from_targets(6, 4, (0.6, 0.2, 0.1))
+        name, _ = recommend_heuristic(env)
+        assert name == "duplex"
+
+    def test_heterogeneous_machines_get_min_min(self):
+        from repro.generate import from_targets
+
+        env = from_targets(6, 4, (0.4, 0.8, 0.1))
+        name, _ = recommend_heuristic(env)
+        assert name == "min_min"
+
+    def test_accepts_profile(self):
+        profile = characterize(cint2006rate())
+        assert recommend_heuristic(profile) == recommend_heuristic(
+            cint2006rate()
+        )
+
+    def test_recommendation_is_competitive(self):
+        """Across a grid of generated environments the recommendation
+        stays within 1.35x of the per-environment best mapper."""
+        from repro.generate import heterogeneity_grid
+
+        for member in heterogeneity_grid(
+            8,
+            5,
+            mph_values=(0.35, 0.85),
+            tdh_values=(0.6,),
+            tma_values=(0.05, 0.45),
+            jitter=0.2,
+            seed=0,
+        ):
+            etc = member.ecs.to_etc()
+            name, _ = recommend_heuristic(etc)
+            comparison = compare_heuristics(
+                etc, counts=[4] * 8, seed=1
+            )
+            assert comparison.ratios[name] < 1.35, (member.spec, name)

@@ -1,0 +1,115 @@
+"""Tests for the FePIA robustness radius."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import (
+    evaluate_mapping,
+    min_min,
+    robustness_comparison,
+    robustness_radius,
+)
+from repro.spec import cint2006rate
+
+
+@pytest.fixture
+def mapping():
+    etc = np.array([[2.0, 9.0], [2.0, 9.0], [9.0, 4.0]])
+    return evaluate_mapping(etc, [0, 0, 1])
+
+
+class TestRobustnessRadius:
+    def test_hand_computed(self, mapping):
+        # Loads: m0 = 4 (2 tasks), m1 = 4 (1 task); beta = 6.
+        report = robustness_radius(mapping, beta=6.0)
+        np.testing.assert_allclose(
+            report.per_machine, [2.0 / np.sqrt(2.0), 2.0]
+        )
+        assert report.radius == pytest.approx(np.sqrt(2.0))
+        assert report.critical_machine == 0
+
+    def test_idle_machine_infinite(self):
+        etc = np.array([[1.0, 5.0], [1.0, 5.0]])
+        mapping = evaluate_mapping(etc, [0, 0])
+        report = robustness_radius(mapping, beta=4.0)
+        assert np.isinf(report.per_machine[1])
+        assert report.critical_machine == 0
+
+    def test_default_slack(self, mapping):
+        report = robustness_radius(mapping, slack=1.5)
+        assert report.beta == pytest.approx(1.5 * mapping.makespan)
+
+    def test_beta_at_makespan_zero_radius(self, mapping):
+        report = robustness_radius(mapping, beta=mapping.makespan)
+        assert report.radius == pytest.approx(0.0)
+
+    def test_beta_below_makespan_rejected(self, mapping):
+        with pytest.raises(SchedulingError):
+            robustness_radius(mapping, beta=0.5 * mapping.makespan)
+
+    def test_slack_must_exceed_one(self, mapping):
+        with pytest.raises(SchedulingError):
+            robustness_radius(mapping, slack=1.0)
+
+    def test_radius_scales_with_beta(self, mapping):
+        small = robustness_radius(mapping, beta=5.0).radius
+        large = robustness_radius(mapping, beta=8.0).radius
+        assert large > small
+
+    def test_more_tasks_lower_radius(self):
+        """Same load split across more tasks is more fragile."""
+        etc_few = np.array([[4.0, 99.0]])
+        etc_many = np.array([[1.0, 99.0]] * 4)
+        few = robustness_radius(
+            evaluate_mapping(etc_few, [0]), beta=6.0
+        ).radius
+        many = robustness_radius(
+            evaluate_mapping(etc_many, [0, 0, 0, 0]), beta=6.0
+        ).radius
+        assert few == pytest.approx(2.0)
+        assert many == pytest.approx(1.0)  # (6-4)/sqrt(4)
+
+
+class TestRobustnessComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return robustness_comparison(cint2006rate(), total=40, seed=0)
+
+    def test_all_heuristics_present(self, comparison):
+        assert "min_min" in comparison and "met" in comparison
+        assert "ga" not in comparison
+
+    def test_pairs_are_makespan_radius(self, comparison):
+        for makespan, radius in comparison.values():
+            assert makespan > 0
+            assert radius >= 0
+
+    def test_met_fragile_on_low_affinity_environment(self, comparison):
+        """MET overloads the fast machine past the shared beta."""
+        assert comparison["met"][1] == 0.0
+
+    def test_some_batch_heuristic_robust(self, comparison):
+        assert max(
+            comparison["min_min"][1],
+            comparison["sufferage"][1],
+            comparison["duplex"][1],
+        ) > 0.0
+
+    def test_common_beta_consistency(self, comparison):
+        """A heuristic with radius 0 either exceeds the common beta or
+        sits exactly at it."""
+        best = min(ms for ms, _ in comparison.values())
+        beta = 1.2 * best
+        for name, (makespan, radius) in comparison.items():
+            if radius == 0.0:
+                assert makespan >= beta - 1e-9, name
+
+    def test_radius_recomputable(self):
+        etc = cint2006rate()
+        from repro.scheduling import expand_workload
+
+        workload = expand_workload(etc, total=40, seed=0)
+        mapping = min_min(workload)
+        direct = robustness_radius(mapping, beta=1.5 * mapping.makespan)
+        assert direct.radius > 0

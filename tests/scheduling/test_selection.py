@@ -1,0 +1,84 @@
+"""Tests for heuristic comparison and the selection study."""
+
+import pytest
+
+from repro.scheduling import HeuristicComparison, compare_heuristics, selection_study
+from repro.spec import cint2006rate
+
+
+class TestCompareHeuristics:
+    def test_default_excludes_ga(self):
+        comparison = compare_heuristics(cint2006rate(), seed=0)
+        assert "ga" not in comparison.makespans
+        assert "min_min" in comparison.makespans
+
+    def test_explicit_subset(self):
+        comparison = compare_heuristics(
+            cint2006rate(), heuristics=["mct", "olb"], seed=1
+        )
+        assert set(comparison.makespans) == {"mct", "olb"}
+
+    def test_best_is_minimum(self):
+        comparison = compare_heuristics(cint2006rate(), total=40, seed=2)
+        best = comparison.best
+        assert comparison.makespans[best] == min(comparison.makespans.values())
+
+    def test_ratios_normalized(self):
+        comparison = compare_heuristics(cint2006rate(), total=40, seed=3)
+        ratios = comparison.ratios
+        assert min(ratios.values()) == pytest.approx(1.0)
+        assert all(v >= 1.0 for v in ratios.values())
+
+    def test_same_workload_for_all(self):
+        """Deterministic seed -> identical workload -> duplex never
+        worse than min_min or max_min on the same batch."""
+        comparison = compare_heuristics(cint2006rate(), total=60, seed=4)
+        assert comparison.makespans["duplex"] <= comparison.makespans[
+            "min_min"
+        ] + 1e-9
+        assert comparison.makespans["duplex"] <= comparison.makespans[
+            "max_min"
+        ] + 1e-9
+
+
+class TestSelectionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return selection_study(
+            n_tasks=6,
+            n_machines=4,
+            instances_per_type=3,
+            mph_values=(0.3, 0.9),
+            tdh_values=(0.6,),
+            tma_values=(0.0, 0.5),
+            jitter=0.2,
+            seed=0,
+        )
+
+    def test_grid_coverage(self, study):
+        assert len(study) == 4
+        specs = {(r.spec.mph, r.spec.tdh, r.spec.tma) for r in study}
+        assert specs == {
+            (0.3, 0.6, 0.0),
+            (0.3, 0.6, 0.5),
+            (0.9, 0.6, 0.0),
+            (0.9, 0.6, 0.5),
+        }
+
+    def test_results_carry_specs(self, study):
+        assert all(isinstance(r, HeuristicComparison) for r in study)
+        assert all(r.spec is not None for r in study)
+
+    def test_met_penalty_depends_on_regime(self, study):
+        """MET chases the single fast machine when affinity is low and
+        machines are heterogeneous, but spreads naturally when each
+        task's best machine differs (high TMA)."""
+        by_spec = {(r.spec.mph, r.spec.tma): r.ratios["met"] for r in study}
+        assert by_spec[(0.9, 0.0)] > by_spec[(0.9, 0.5)]
+
+    def test_batch_heuristics_competitive_everywhere(self, study):
+        for r in study:
+            best_batch = min(
+                r.ratios["min_min"], r.ratios["sufferage"], r.ratios["duplex"]
+            )
+            assert best_batch < 1.5

@@ -1,0 +1,71 @@
+"""Tests for the text Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.scheduling import gantt_text, simulate_online
+
+
+@pytest.fixture
+def two_machine_result():
+    return simulate_online([[2.0, 9.0], [9.0, 2.0]], [0.0, 0.0])
+
+
+class TestGanttText:
+    def test_basic_layout(self, two_machine_result):
+        text = gantt_text(two_machine_result, width=8)
+        lines = text.splitlines()
+        assert lines[0] == "m1 | 00000000"
+        assert lines[1] == "m2 | 11111111"
+        assert lines[2] == "t = 0 .. 2"
+
+    def test_idle_cells_dotted(self):
+        # One machine, a gap between arrivals.
+        res = simulate_online([[1.0], [1.0]], [0.0, 3.0])
+        text = gantt_text(res, width=8)
+        assert "." in text.splitlines()[0]
+
+    def test_custom_labels(self, two_machine_result):
+        text = gantt_text(
+            two_machine_result,
+            width=4,
+            machine_names=["xeon", "gpu"],
+            task_labels=["A", "B"],
+        )
+        assert "xeon | AAAA" in text
+        assert "gpu  | BBBB" in text
+
+    def test_row_per_machine_plus_axis(self):
+        rng = np.random.default_rng(0)
+        etc = rng.uniform(1, 5, size=(10, 4))
+        res = simulate_online(etc, np.zeros(10))
+        text = gantt_text(res, width=30)
+        assert len(text.splitlines()) == 5
+
+    def test_rows_equal_width(self):
+        rng = np.random.default_rng(1)
+        etc = rng.uniform(1, 5, size=(8, 3))
+        res = simulate_online(etc, np.sort(rng.uniform(0, 5, 8)))
+        lines = gantt_text(res, width=40).splitlines()[:-1]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_busy_fraction_tracks_utilization(self):
+        rng = np.random.default_rng(2)
+        etc = rng.uniform(1, 5, size=(12, 3))
+        res = simulate_online(etc, np.zeros(12))
+        lines = gantt_text(res, width=100).splitlines()[:-1]
+        for machine, line in enumerate(lines):
+            cells = line.split("| ")[1]
+            busy = sum(1 for c in cells if c != ".") / len(cells)
+            assert busy == pytest.approx(
+                res.utilization[machine], abs=0.08
+            )
+
+    def test_validation(self, two_machine_result):
+        with pytest.raises(SchedulingError):
+            gantt_text(two_machine_result, width=2)
+        with pytest.raises(SchedulingError):
+            gantt_text(two_machine_result, machine_names=["only-one"])
+        with pytest.raises(SchedulingError):
+            gantt_text(two_machine_result, task_labels=["x"])

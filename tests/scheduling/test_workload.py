@@ -1,0 +1,77 @@
+"""Tests for workload expansion (task types -> task instances)."""
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, ETCMatrix, SchedulingError
+from repro.scheduling import expand_workload
+
+
+@pytest.fixture
+def etc():
+    return ETCMatrix(
+        [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]],
+        task_names=["a", "b", "c"],
+        task_weights=[1.0, 1.0, 8.0],
+    )
+
+
+class TestExpandWorkload:
+    def test_explicit_counts(self, etc):
+        w = expand_workload(etc, counts=[2, 0, 3], shuffle=False)
+        assert w.n_instances == 5
+        np.testing.assert_array_equal(w.type_of, [0, 0, 2, 2, 2])
+        np.testing.assert_allclose(w.etc_instances[0], [1.0, 2.0])
+        np.testing.assert_allclose(w.etc_instances[-1], [5.0, 6.0])
+
+    def test_default_one_per_type(self, etc):
+        w = expand_workload(etc, shuffle=False)
+        assert w.n_instances == 3
+        np.testing.assert_array_equal(w.type_of, [0, 1, 2])
+
+    def test_total_draw_uses_weights(self, etc):
+        w = expand_workload(etc, total=2000, seed=0)
+        counts = np.bincount(w.type_of, minlength=3)
+        # Task c has weight 8/10 -> roughly 80% of the batch.
+        assert counts[2] / 2000 == pytest.approx(0.8, abs=0.05)
+
+    def test_shuffle_controls_order(self, etc):
+        a = expand_workload(etc, counts=[5, 5, 5], shuffle=False)
+        assert (np.diff(a.type_of) >= 0).all()
+        b = expand_workload(etc, counts=[5, 5, 5], shuffle=True, seed=1)
+        assert not (np.diff(b.type_of) >= 0).all()
+
+    def test_accepts_ecs(self):
+        ecs = ECSMatrix([[1.0, 0.5]])
+        w = expand_workload(ecs, counts=[2], shuffle=False)
+        np.testing.assert_allclose(w.etc_instances, [[1.0, 2.0], [1.0, 2.0]])
+
+    def test_accepts_raw_array(self):
+        w = expand_workload([[1.0, 2.0]], counts=[3])
+        assert w.n_instances == 3
+        assert w.n_machines == 2
+
+    def test_machine_names_carried(self, etc):
+        assert expand_workload(etc).machine_names == ("m1", "m2")
+
+    def test_bad_counts_rejected(self, etc):
+        with pytest.raises(SchedulingError):
+            expand_workload(etc, counts=[1, 2])
+        with pytest.raises(SchedulingError):
+            expand_workload(etc, counts=[0, 0, 0])
+        with pytest.raises(SchedulingError):
+            expand_workload(etc, counts=[-1, 1, 1])
+
+    def test_bad_total_rejected(self, etc):
+        with pytest.raises(SchedulingError):
+            expand_workload(etc, total=0)
+
+    def test_instances_readonly(self, etc):
+        w = expand_workload(etc, counts=[1, 1, 1])
+        with pytest.raises(ValueError):
+            w.etc_instances[0, 0] = 0.0
+
+    def test_deterministic(self, etc):
+        a = expand_workload(etc, total=50, seed=3)
+        b = expand_workload(etc, total=50, seed=3)
+        np.testing.assert_array_equal(a.type_of, b.type_of)

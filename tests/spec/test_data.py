@@ -1,0 +1,78 @@
+"""Tests for the bundled SPEC-like datasets (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.measures import characterize
+from repro.spec import (
+    CFP_TASKS,
+    CINT_TASKS,
+    MACHINES,
+    cfp2006rate,
+    cint2006rate,
+)
+
+
+class TestTables:
+    def test_cint_shape_and_labels(self):
+        etc = cint2006rate()
+        assert etc.shape == (12, 5)
+        assert etc.task_names == CINT_TASKS
+        assert len(MACHINES) == 5
+
+    def test_cfp_shape_and_labels(self):
+        etc = cfp2006rate()
+        assert etc.shape == (17, 5)
+        assert etc.task_names == CFP_TASKS
+
+    def test_task_suites_disjoint_except_none(self):
+        assert not set(CINT_TASKS) & set(CFP_TASKS)
+
+    def test_runtimes_second_scale(self):
+        """Reconstructed peak runtimes sit in the plausible SPEC range."""
+        for etc in (cint2006rate(), cfp2006rate()):
+            assert etc.values.min() > 50.0
+            assert etc.values.max() < 20_000.0
+
+    def test_fresh_objects(self):
+        a, b = cint2006rate(), cint2006rate()
+        assert a is not b
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestCalibratedMeasures:
+    """The shipped tables reproduce the paper's Fig. 6/7 measures."""
+
+    def test_cint_measures(self):
+        profile = characterize(cint2006rate())
+        assert profile.tdh == pytest.approx(0.90, abs=5e-3)
+        assert profile.mph == pytest.approx(0.82, abs=5e-3)
+        assert profile.tma == pytest.approx(0.07, abs=5e-3)
+
+    def test_cfp_measures(self):
+        profile = characterize(cfp2006rate())
+        assert profile.tdh == pytest.approx(0.91, abs=5e-3)
+        assert profile.mph == pytest.approx(0.83, abs=5e-3)
+
+    def test_cfp_affinity_exceeds_cint(self):
+        """Paper: floating-point task types have more machine affinity
+        than the integer ones."""
+        assert characterize(cfp2006rate()).tma > characterize(
+            cint2006rate()
+        ).tma
+
+    def test_suites_nearly_identical_mph_tdh(self):
+        """Paper: 'machine performance homogeneity and the task type
+        difficulty of both matrices are almost identical'."""
+        pi = characterize(cint2006rate())
+        pf = characterize(cfp2006rate())
+        assert abs(pi.mph - pf.mph) < 0.02
+        assert abs(pi.tdh - pf.tdh) < 0.02
+
+    def test_iteration_count_matches_paper_order(self):
+        """Paper reports 6 (CINT) and 7 (CFP) iterations at 1e-8; the
+        reconstruction converges in the same handful-of-iterations
+        regime."""
+        for etc in (cint2006rate(), cfp2006rate()):
+            iters = characterize(etc).sinkhorn_iterations
+            assert 2 <= iters <= 10

@@ -1,0 +1,51 @@
+"""Tests for dataset accessors and Fig. 8 extractions."""
+
+import pytest
+
+from repro import DatasetError
+from repro.measures import characterize
+from repro.spec import figure8a, figure8b, list_datasets, load_dataset
+
+
+class TestAccessors:
+    def test_list_datasets(self):
+        assert list_datasets() == ("cfp2006rate", "cint2006rate")
+
+    def test_load_by_name_case_insensitive(self):
+        assert load_dataset("CINT2006Rate").shape == (12, 5)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cint2017rate")
+
+
+class TestFigure8:
+    def test_8a_composition(self):
+        env = figure8a()
+        assert env.shape == (2, 2)
+        assert env.task_names == ("471.omnetpp", "436.cactusADM")
+        assert env.machine_names == ("m4", "m5")
+
+    def test_8b_composition(self):
+        env = figure8b()
+        assert env.shape == (2, 2)
+        assert env.task_names == ("436.cactusADM", "450.soplex")
+        assert env.machine_names == ("m1", "m4")
+
+    def test_8a_paper_values(self):
+        profile = characterize(figure8a())
+        assert profile.tma == pytest.approx(0.05, abs=5e-3)
+        assert profile.tdh == pytest.approx(0.16, abs=5e-3)
+
+    def test_8b_paper_values(self):
+        profile = characterize(figure8b())
+        assert profile.tma == pytest.approx(0.60, abs=5e-3)
+
+    def test_affinity_contrast(self):
+        """The paper's message: (b) has far more affinity than (a)."""
+        assert characterize(figure8b()).tma > 5 * characterize(figure8a()).tma
+
+    def test_difficulty_contrast(self):
+        """Paper: 'the task types of matrix (a) are more homogeneous
+        than the ones of matrix (b)' — TDH(a) > TDH(b)."""
+        assert characterize(figure8a()).tdh > characterize(figure8b()).tdh

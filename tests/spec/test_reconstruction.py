@@ -1,0 +1,63 @@
+"""Integrity tests: the shipped tables regenerate bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.spec import cfp2006rate, cint2006rate
+from repro.spec.reconstruction import (
+    FIG8A_TDH,
+    FIG8A_TMA,
+    FIG8B_TDH,
+    FIG8B_TMA,
+    cross_ratio_for_tma,
+    reconstruct_tables,
+)
+
+
+@pytest.fixture(scope="module")
+def regenerated():
+    return reconstruct_tables()
+
+
+class TestRegeneration:
+    def test_cint_bit_identical(self, regenerated):
+        cint, _ = regenerated
+        np.testing.assert_array_equal(cint, cint2006rate().values)
+
+    def test_cfp_bit_identical(self, regenerated):
+        _, cfp = regenerated
+        np.testing.assert_array_equal(cfp, cfp2006rate().values)
+
+
+class TestCrossRatio:
+    def test_identity_at_zero(self):
+        assert cross_ratio_for_tma(0.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # TMA 0.6 -> ((1.6)/(0.4))**2 = 16.
+        assert cross_ratio_for_tma(0.6) == pytest.approx(16.0)
+
+    def test_roundtrip_through_tma(self):
+        """A 2×2 matrix with the constructed cross ratio measures the
+        requested TMA — the closed form the calibration relies on."""
+        from repro.measures import tma
+
+        for target in (0.05, 0.3, 0.6, 0.9):
+            ratio = cross_ratio_for_tma(target)
+            matrix = np.array([[ratio, 1.0], [1.0, 1.0]])
+            assert tma(matrix) == pytest.approx(target, abs=1e-8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cross_ratio_for_tma(1.0)
+        with pytest.raises(ValueError):
+            cross_ratio_for_tma(-0.1)
+
+
+class TestCalibrationConstants:
+    def test_paper_values(self):
+        assert FIG8A_TMA == 0.05
+        assert FIG8B_TMA == 0.60
+        assert FIG8A_TDH == 0.16
+        # The paper orders TDH(b) below TDH(a).
+        assert FIG8B_TDH < FIG8A_TDH

@@ -1,0 +1,98 @@
+"""Tests for the fully-indecomposable component decomposition."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixShapeError
+from repro.structure import (
+    fully_indecomposable_components,
+    is_fully_indecomposable,
+)
+
+
+class TestComponents:
+    def test_diagonal_gives_singletons(self):
+        comps = fully_indecomposable_components(np.diag([2.0, 3.0, 4.0]))
+        assert comps.n_blocks == 3
+        assert comps.blocks == (((0,), (0,)), ((1,), (1,)), ((2,), (2,)))
+        assert comps.dropped_entries == ()
+
+    def test_positive_matrix_single_block(self):
+        comps = fully_indecomposable_components(np.ones((4, 4)))
+        assert comps.n_blocks == 1
+        assert comps.blocks[0] == ((0, 1, 2, 3), (0, 1, 2, 3))
+
+    def test_two_block_direct_sum(self):
+        matrix = np.zeros((4, 4))
+        matrix[:2, :2] = 1.0
+        matrix[2:, 2:] = 1.0
+        comps = fully_indecomposable_components(matrix)
+        assert comps.n_blocks == 2
+        assert comps.blocks == (((0, 1), (0, 1)), ((2, 3), (2, 3)))
+
+    def test_scrambled_blocks_found(self):
+        matrix = np.zeros((4, 4))
+        matrix[:2, :2] = 1.0
+        matrix[2:, 2:] = 1.0
+        perm_r, perm_c = [2, 0, 3, 1], [1, 3, 0, 2]
+        scrambled = matrix[np.ix_(perm_r, perm_c)]
+        comps = fully_indecomposable_components(scrambled)
+        assert comps.n_blocks == 2
+        sizes = sorted(len(rows) for rows, _ in comps.blocks)
+        assert sizes == [2, 2]
+
+    def test_blocks_are_square(self):
+        rng = np.random.default_rng(0)
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(2, 7))
+            pattern = rng.random((n, n)) < 0.5
+            np.fill_diagonal(pattern, True)  # guarantee support
+            comps = fully_indecomposable_components(pattern)
+            for rows, cols in comps.blocks:
+                assert len(rows) == len(cols)
+
+    def test_each_block_fully_indecomposable(self):
+        rng = np.random.default_rng(1)
+        for seed in range(8):
+            rng = np.random.default_rng(100 + seed)
+            n = int(rng.integers(2, 7))
+            pattern = rng.random((n, n)) < 0.5
+            np.fill_diagonal(pattern, True)
+            comps = fully_indecomposable_components(pattern)
+            core = pattern.copy()
+            for i, j in comps.dropped_entries:
+                core[i, j] = False
+            for rows, cols in comps.blocks:
+                block = core[np.ix_(rows, cols)]
+                assert is_fully_indecomposable(block), (pattern, rows, cols)
+
+    def test_eq10_drops_blocking_entry(self, eq10_matrix):
+        comps = fully_indecomposable_components(eq10_matrix)
+        assert (1, 2) in comps.dropped_entries
+        # What remains is the permutation structure: three singletons.
+        assert comps.n_blocks == 3
+
+    def test_permutation_exposes_block_diagonal(self):
+        matrix = np.zeros((5, 5))
+        matrix[:3, :3] = 1.0
+        matrix[3:, 3:] = 1.0
+        shuffled = matrix[np.ix_([4, 0, 3, 1, 2], [2, 4, 0, 1, 3])]
+        comps = fully_indecomposable_components(shuffled)
+        rows, cols = comps.permutation()
+        arranged = shuffled[np.ix_(rows, cols)]
+        offset = 0
+        for block_rows, _ in comps.blocks:
+            k = len(block_rows)
+            # Off-diagonal blocks are zero.
+            assert not arranged[offset : offset + k, offset + k :].any()
+            assert not arranged[offset + k :, offset : offset + k].any()
+            offset += k
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(MatrixShapeError):
+            fully_indecomposable_components(np.ones((2, 3)))
+
+    def test_no_support_rejected(self):
+        with pytest.raises(MatrixShapeError):
+            fully_indecomposable_components([[1.0, 0.0], [1.0, 0.0]])

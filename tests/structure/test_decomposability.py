@@ -1,0 +1,177 @@
+"""Tests for full indecomposability and block-form certificates."""
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro import MatrixShapeError
+from repro.structure import (
+    find_zero_block,
+    is_fully_indecomposable,
+    permute_to_block_form,
+)
+
+
+class TestIsFullyIndecomposable:
+    def test_positive_matrix(self):
+        assert is_fully_indecomposable(np.ones((4, 4)))
+
+    def test_eq10_decomposable(self, eq10_matrix):
+        assert not is_fully_indecomposable(eq10_matrix)
+
+    def test_diagonal_decomposable(self):
+        """The paper's Section VI caveat: diagonal matrices are
+        decomposable (yet normalizable)."""
+        assert not is_fully_indecomposable(np.diag([1.0, 2.0, 3.0]))
+
+    def test_permutation_decomposable(self):
+        assert not is_fully_indecomposable(np.eye(3)[[1, 2, 0]])
+
+    def test_triangular_decomposable(self):
+        assert not is_fully_indecomposable(np.triu(np.ones((3, 3))))
+
+    def test_circulant_band_indecomposable(self):
+        matrix = np.array(
+            [[1.0, 1.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]]
+        )
+        assert is_fully_indecomposable(matrix)
+
+    def test_one_by_one(self):
+        assert is_fully_indecomposable([[3.0]])
+        assert not is_fully_indecomposable([[0.0]])
+
+    def test_rectangular_all_positive(self):
+        assert is_fully_indecomposable(np.ones((2, 4)))
+
+    def test_rectangular_with_bad_minor(self):
+        # The 2x2 minor on columns (1, 2) is diagonal -> decomposable.
+        matrix = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]])
+        assert not is_fully_indecomposable(matrix)
+
+    def test_tall_matrices_transpose(self):
+        assert is_fully_indecomposable(np.ones((4, 2)))
+
+    def test_minor_explosion_guard(self):
+        with pytest.raises(MatrixShapeError):
+            is_fully_indecomposable(np.ones((3, 300)))
+
+
+def _brute_force_zero_block(pattern: np.ndarray):
+    """Oracle: search all k x (n-k) zero blocks by permutation."""
+    n = pattern.shape[0]
+    from itertools import combinations
+
+    for k in range(1, n):
+        for rows in combinations(range(n), k):
+            cols_all_zero = [
+                j for j in range(n) if not pattern[list(rows), j].any()
+            ]
+            if len(cols_all_zero) >= n - k:
+                return list(rows), cols_all_zero[: n - k]
+    return None
+
+
+class TestFindZeroBlock:
+    def test_none_for_positive(self):
+        assert find_zero_block(np.ones((3, 3))) is None
+
+    def test_eq10_block(self, eq10_matrix):
+        block = find_zero_block(eq10_matrix)
+        assert block is not None
+        rows, cols = block
+        assert len(rows) + len(cols) == 3
+        assert not eq10_matrix[np.ix_(rows, cols)].any()
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(MatrixShapeError):
+            find_zero_block(np.ones((2, 3)))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_brute_force_existence(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 6))
+        pattern = rng.random((n, n)) < 0.6
+        ours = find_zero_block(pattern)
+        oracle = _brute_force_zero_block(pattern)
+        assert (ours is None) == (oracle is None), pattern
+        if ours is not None:
+            rows, cols = ours
+            assert len(rows) + len(cols) == n
+            assert not pattern[np.ix_(rows, cols)].any()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_agrees_with_indecomposability(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(2, 5))
+        pattern = rng.random((n, n)) < 0.7
+        assert (find_zero_block(pattern) is None) == is_fully_indecomposable(
+            pattern
+        )
+
+
+class TestPermuteToBlockForm:
+    def test_eq10_reproduces_eq12_structure(self, eq10_matrix):
+        form = permute_to_block_form(eq10_matrix)
+        assert form is not None
+        permuted = form.apply(eq10_matrix)
+        k = form.block_size
+        n = 3
+        # Upper-right zero block of eq. 11.
+        assert not permuted[:k, k:].any()
+        # A11 and A22 are square by construction.
+        assert permuted[:k, :k].shape == (k, k)
+        assert permuted[k:, k:].shape == (n - k, n - k)
+
+    def test_orders_are_permutations(self, eq10_matrix):
+        form = permute_to_block_form(eq10_matrix)
+        assert sorted(form.row_order) == [0, 1, 2]
+        assert sorted(form.col_order) == [0, 1, 2]
+
+    def test_none_for_indecomposable(self):
+        assert permute_to_block_form(np.ones((3, 3))) is None
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_certificates_valid(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        n = int(rng.integers(2, 6))
+        pattern = rng.random((n, n)) < 0.5
+        form = permute_to_block_form(pattern)
+        if form is None:
+            assert is_fully_indecomposable(pattern)
+        else:
+            permuted = form.apply(pattern)
+            assert not permuted[: form.block_size, form.block_size:].any()
+
+
+def _per_minor_oracle(pattern: np.ndarray) -> bool:
+    """Brualdi–Ryser: fully indecomposable iff every A(i|j) minor has a
+    positive diagonal — the independent definition-level oracle."""
+    n = pattern.shape[0]
+    if n == 1:
+        return bool(pattern[0, 0])
+
+    def has_perfect_matching(mat):
+        m = mat.shape[0]
+        return any(
+            all(mat[i, perm[i]] for i in range(m))
+            for perm in permutations(range(m))
+        )
+
+    for i in range(n):
+        for j in range(n):
+            minor = np.delete(np.delete(pattern, i, axis=0), j, axis=1)
+            if minor.size and not has_perfect_matching(minor):
+                return False
+    return True
+
+
+class TestPerMinorOracle:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_fast_test_matches_definition(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        n = int(rng.integers(1, 6))
+        pattern = rng.random((n, n)) < 0.6
+        assert is_fully_indecomposable(pattern) == _per_minor_oracle(pattern), (
+            pattern
+        )

@@ -1,0 +1,123 @@
+"""Tests for the exact (Menon-theorem) normalizability test."""
+
+import numpy as np
+import pytest
+
+from repro import ConvergenceError
+from repro.normalize import sinkhorn_knopp
+from repro.structure import (
+    is_fully_indecomposable,
+    is_normalizable,
+    normalizability_report,
+)
+
+
+class TestKnownCases:
+    def test_positive_matrix(self):
+        assert is_normalizable(np.ones((3, 4)))
+
+    def test_eq10_not_normalizable(self, eq10_matrix):
+        assert not is_normalizable(eq10_matrix)
+
+    def test_eq10_blocking_edge(self, eq10_matrix):
+        report = normalizability_report(eq10_matrix)
+        assert report.feasible
+        assert not report.normalizable
+        assert report.blocking_edges == ((1, 2),)
+
+    def test_diagonal_exception(self):
+        """The paper's point: decomposable but normalizable."""
+        diag = np.diag([2.0, 5.0, 11.0])
+        assert not is_fully_indecomposable(diag)
+        assert is_normalizable(diag)
+
+    def test_permutation_matrix(self):
+        assert is_normalizable(np.eye(4)[[1, 3, 0, 2]])
+
+    def test_triangular_not_normalizable(self):
+        assert not is_normalizable([[1.0, 1.0], [0.0, 1.0]])
+
+    def test_zero_row_infeasible(self):
+        report = normalizability_report([[0, 0], [1, 1]])
+        assert not report.feasible
+        assert not report.normalizable
+
+    def test_rectangular_positive(self):
+        assert is_normalizable(np.ones((2, 5)))
+
+    def test_rectangular_block(self):
+        # Tasks {0,1} only on machine 0, task 2 everywhere: machine 0
+        # would need 2/3 of the total while demanding 1/3.
+        matrix = np.array([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 1.0]])
+        assert not is_normalizable(matrix)
+
+    def test_balanced_rectangular_blocks(self):
+        # 4 tasks, 2 machines, tasks split evenly -> normalizable.
+        matrix = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        assert is_normalizable(matrix)
+
+    def test_unbalanced_rectangular_blocks(self):
+        # 3 tasks on machine 1 vs 1 task on machine 2: row sums must be
+        # equal, so machine 1's column sum is forced to 3x machine 2's.
+        matrix = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert not is_normalizable(matrix)
+
+
+class TestAgainstSinkhornOracle:
+    """The ground truth: the iteration itself.  A pattern is normalizable
+    iff Sinkhorn converges *and* preserves the zero pattern (entries that
+    decay to ~0 indicate the limit lives on a smaller pattern)."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_square_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        pattern = rng.random((n, n)) < 0.6
+        for i in range(n):
+            if not pattern[i].any():
+                pattern[i, rng.integers(n)] = True
+            if not pattern[:, i].any():
+                pattern[rng.integers(n), i] = True
+        matrix = np.where(pattern, rng.uniform(0.5, 2.0, (n, n)), 0.0)
+        predicted = is_normalizable(matrix)
+        try:
+            result = sinkhorn_knopp(matrix, max_iterations=30_000)
+            pattern_kept = (result.matrix > 1e-6).sum() == pattern.sum()
+            converged_cleanly = pattern_kept
+        except ConvergenceError:
+            converged_cleanly = False
+        assert predicted == converged_cleanly, matrix
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_rectangular_patterns(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        t = int(rng.integers(2, 6))
+        m = int(rng.integers(2, 6))
+        pattern = rng.random((t, m)) < 0.6
+        for i in range(t):
+            if not pattern[i].any():
+                pattern[i, rng.integers(m)] = True
+        for j in range(m):
+            if not pattern[:, j].any():
+                pattern[rng.integers(t), j] = True
+        matrix = np.where(pattern, rng.uniform(0.5, 2.0, (t, m)), 0.0)
+        predicted = is_normalizable(matrix)
+        try:
+            result = sinkhorn_knopp(matrix, max_iterations=30_000)
+            converged_cleanly = (
+                (result.matrix > 1e-6).sum() == pattern.sum()
+            )
+        except ConvergenceError:
+            converged_cleanly = False
+        assert predicted == converged_cleanly, matrix
+
+
+class TestSufficiencyRelation:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_fully_indecomposable_implies_normalizable(self, seed):
+        """Marshall–Olkin: the paper's sufficient condition."""
+        rng = np.random.default_rng(2000 + seed)
+        n = int(rng.integers(2, 6))
+        pattern = rng.random((n, n)) < 0.7
+        if is_fully_indecomposable(pattern):
+            assert is_normalizable(pattern)

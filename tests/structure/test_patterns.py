@@ -1,0 +1,125 @@
+"""Tests for support / total support pattern analysis."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixShapeError
+from repro.structure import (
+    has_support,
+    has_total_support,
+    support_pattern,
+    total_support_pattern,
+)
+
+
+class TestSupportPattern:
+    def test_bool_passthrough_copies(self):
+        mask = np.array([[True, False]])
+        out = support_pattern(mask)
+        assert out is not mask
+        np.testing.assert_array_equal(out, mask)
+
+    def test_numeric_to_bool(self):
+        np.testing.assert_array_equal(
+            support_pattern([[0.0, 2.5], [1.0, 0.0]]),
+            [[False, True], [True, False]],
+        )
+
+    def test_rejects_1d(self):
+        with pytest.raises(MatrixShapeError):
+            support_pattern([1.0, 2.0])
+
+
+class TestHasSupport:
+    def test_identity(self):
+        assert has_support(np.eye(4))
+
+    def test_permutation(self):
+        assert has_support(np.eye(4)[[2, 0, 3, 1]])
+
+    def test_positive_matrix(self):
+        assert has_support(np.ones((3, 3)))
+
+    def test_eq10_has_support(self, eq10_matrix):
+        """The Section VI counterexample *does* have support — that is
+        why the distinction with total support matters."""
+        assert has_support(eq10_matrix)
+
+    def test_no_support(self):
+        # Two rows supported only on one shared column.
+        assert not has_support([[1.0, 0.0], [1.0, 0.0]])
+
+    def test_rectangular_row_saturation(self):
+        assert has_support([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        assert not has_support([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+
+    def test_rectangular_tall(self):
+        assert has_support(np.ones((5, 2)))
+
+
+class TestTotalSupport:
+    def test_positive_matrix(self):
+        assert has_total_support(np.ones((3, 3)))
+
+    def test_identity(self):
+        assert has_total_support(np.eye(3))
+
+    def test_eq10_lacks_total_support(self, eq10_matrix):
+        assert not has_total_support(eq10_matrix)
+
+    def test_triangular_lacks_total_support(self):
+        assert not has_total_support([[1.0, 1.0], [0.0, 1.0]])
+
+    def test_pattern_identifies_offending_entry(self, eq10_matrix):
+        mask = total_support_pattern(eq10_matrix)
+        expected = eq10_matrix.astype(bool).copy()
+        expected[1, 2] = False  # the entry forced to zero in the limit
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_no_support_all_false(self):
+        mask = total_support_pattern([[1.0, 0.0], [1.0, 0.0]])
+        assert not mask.any()
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(MatrixShapeError):
+            total_support_pattern(np.ones((2, 3)))
+
+    def test_circulant_full_total_support(self):
+        matrix = np.array(
+            [[1.0, 1.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]]
+        )
+        assert has_total_support(matrix)
+
+
+def _brute_force_total_support(pattern: np.ndarray) -> np.ndarray:
+    """Oracle: enumerate all permutations (n <= 6)."""
+    from itertools import permutations
+
+    n = pattern.shape[0]
+    mask = np.zeros_like(pattern, dtype=bool)
+    for perm in permutations(range(n)):
+        if all(pattern[i, perm[i]] for i in range(n)):
+            for i in range(n):
+                mask[i, perm[i]] = True
+    return mask
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_patterns(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        pattern = rng.random((n, n)) < 0.55
+        # Guarantee no empty rows/cols so the pattern is a plausible ECS.
+        for i in range(n):
+            if not pattern[i].any():
+                pattern[i, rng.integers(n)] = True
+            if not pattern[:, i].any():
+                pattern[rng.integers(n), i] = True
+        expected = _brute_force_total_support(pattern)
+        if expected.any():  # matrix has support
+            np.testing.assert_array_equal(
+                total_support_pattern(pattern), expected, err_msg=str(pattern)
+            )
+        else:
+            assert not has_support(pattern)

@@ -1,0 +1,133 @@
+"""Property-based tests for the zero-pattern machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.structure import (
+    fully_indecomposable_components,
+    has_support,
+    has_total_support,
+    is_fully_indecomposable,
+    is_normalizable,
+    normalizability_report,
+    suggest_repairs,
+    total_support_pattern,
+)
+
+
+def square_patterns(max_n: int = 6):
+    """Square boolean patterns with no empty row/column."""
+
+    def repair(arr: np.ndarray) -> np.ndarray:
+        arr = arr.copy()
+        n = arr.shape[0]
+        for i in range(n):
+            if not arr[i].any():
+                arr[i, i % n] = True
+            if not arr[:, i].any():
+                arr[i % n, i] = True
+        return arr
+
+    return (
+        st.integers(2, max_n)
+        .flatmap(
+            lambda n: npst.arrays(dtype=np.bool_, shape=(n, n),
+                                  elements=st.booleans())
+        )
+        .map(repair)
+    )
+
+
+class TestPatternInvariants:
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_total_support_subset_of_pattern(self, pattern):
+        if not has_support(pattern):
+            return
+        core = total_support_pattern(pattern)
+        assert not (core & ~pattern).any()
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_total_support_implies_support(self, pattern):
+        if has_total_support(pattern):
+            assert has_support(pattern)
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_fully_indecomposable_implies_total_support(self, pattern):
+        if is_fully_indecomposable(pattern):
+            assert has_total_support(pattern)
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_fully_indecomposable_implies_normalizable(self, pattern):
+        """Marshall–Olkin sufficiency, fuzzed."""
+        if is_fully_indecomposable(pattern):
+            assert is_normalizable(pattern)
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, pattern):
+        rng = np.random.default_rng(0)
+        n = pattern.shape[0]
+        permuted = pattern[np.ix_(rng.permutation(n), rng.permutation(n))]
+        assert is_normalizable(pattern) == is_normalizable(permuted)
+        assert is_fully_indecomposable(pattern) == is_fully_indecomposable(
+            permuted
+        )
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_invariance(self, pattern):
+        assert is_normalizable(pattern) == is_normalizable(pattern.T)
+        assert has_support(pattern) == has_support(pattern.T)
+
+    @given(square_patterns())
+    @settings(max_examples=40, deadline=None)
+    def test_blocking_edges_lack_total_support(self, pattern):
+        """Every blocking edge is outside the total-support pattern
+        (square case: the two notions coincide)."""
+        report = normalizability_report(pattern)
+        if not report.feasible or not has_support(pattern):
+            return
+        core = total_support_pattern(pattern)
+        for i, j in report.blocking_edges:
+            assert not core[i, j]
+
+    @given(square_patterns())
+    @settings(max_examples=30, deadline=None)
+    def test_drop_repair_yields_normalizable(self, pattern):
+        report = normalizability_report(pattern)
+        if not report.feasible:
+            return
+        plan = suggest_repairs(pattern, strategy="drop")
+        repaired = plan.apply(pattern.astype(float))
+        # Dropping can empty a line only if the line was all-blocking,
+        # which feasibility forbids.
+        assert is_normalizable(repaired)
+
+    @given(square_patterns())
+    @settings(max_examples=20, deadline=None)
+    def test_add_repair_yields_normalizable(self, pattern):
+        plan = suggest_repairs(pattern, strategy="add")
+        assert is_normalizable(plan.apply(pattern.astype(float)))
+
+    @given(square_patterns())
+    @settings(max_examples=30, deadline=None)
+    def test_components_partition_total_support(self, pattern):
+        if not has_support(pattern):
+            return
+        comps = fully_indecomposable_components(pattern)
+        seen_rows: set[int] = set()
+        seen_cols: set[int] = set()
+        for rows, cols in comps.blocks:
+            assert len(rows) == len(cols)
+            assert not (set(rows) & seen_rows)
+            assert not (set(cols) & seen_cols)
+            seen_rows |= set(rows)
+            seen_cols |= set(cols)
+        assert seen_rows == set(range(pattern.shape[0]))
+        assert seen_cols == set(range(pattern.shape[1]))

@@ -1,0 +1,73 @@
+"""Tests for the optional process-pool helper."""
+
+import numpy as np
+import pytest
+
+from repro import MatrixValueError
+from repro._parallel import parallel_map, resolve_n_jobs
+
+
+def _square(x):  # module-level: picklable
+    return x * x
+
+
+class TestResolveNJobs:
+    def test_defaults(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(MatrixValueError):
+            resolve_n_jobs(0)
+        with pytest.raises(MatrixValueError):
+            resolve_n_jobs(-2)
+        with pytest.raises(MatrixValueError):
+            resolve_n_jobs(2.5)
+        with pytest.raises(MatrixValueError):
+            resolve_n_jobs(True)
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, n_jobs=2) == parallel_map(
+            _square, items
+        )
+
+    def test_order_preserved(self):
+        items = list(range(30))[::-1]
+        assert parallel_map(_square, items, n_jobs=3) == [
+            x * x for x in items
+        ]
+
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+        assert parallel_map(_square, [], n_jobs=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], n_jobs=8) == [49]
+
+
+class TestStudyParallelism:
+    def test_sensitivity_identical_across_jobs(self):
+        from repro.analysis import sensitivity_study
+
+        matrix = np.random.default_rng(0).uniform(1, 5, (6, 4))
+        serial = sensitivity_study(matrix, trials=4, seed=1)
+        pooled = sensitivity_study(matrix, trials=4, seed=1, n_jobs=2)
+        np.testing.assert_array_equal(serial.mean_shift, pooled.mean_shift)
+        np.testing.assert_array_equal(serial.max_shift, pooled.max_shift)
+
+    def test_correlations_identical_across_jobs(self):
+        from repro.analysis import measure_correlations
+
+        serial = measure_correlations(samples=30, seed=2)
+        pooled = measure_correlations(samples=30, seed=2, n_jobs=2)
+        np.testing.assert_allclose(serial, pooled)
