@@ -1,0 +1,73 @@
+"""Scalar-vs-batched throughput of the ensemble characterization path.
+
+Not a paper artifact: the engineering benchmark behind ``repro.batch``.
+The smoke test runs on a tiny stack so every CI pass exercises the
+batched kernels; the ``slow``-marked test times the full (512, 8, 8)
+ensemble and asserts the ≥ 5× speedup the subsystem exists to deliver.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch import characterize_ensemble
+from repro.measures import characterize
+
+
+def _stack(n: int, t: int, m: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.1, 10.0, size=(n, t, m))
+
+
+def _scalar_loop(stack: np.ndarray) -> np.ndarray:
+    rows = []
+    for matrix in stack:
+        profile = characterize(matrix)
+        rows.append((profile.mph, profile.tdh, profile.tma))
+    return np.asarray(rows)
+
+
+def test_batched_smoke_tiny(benchmark, write_result):
+    """Tiny stack: correctness of the batched path plus a timing point,
+    cheap enough for every PR (the CI bench-smoke job runs just this)."""
+    stack = _stack(8, 4, 3)
+    result = benchmark(characterize_ensemble, stack)
+    assert result.batched.all() and result.converged.all()
+    np.testing.assert_allclose(
+        result.measures, _scalar_loop(stack), rtol=0, atol=1e-10
+    )
+    write_result(
+        "batched_pipeline_smoke",
+        f"(8, 4, 3) stack: batched == scalar to 1e-10; "
+        f"{int(result.iterations.max())} max Sinkhorn iterations",
+    )
+
+
+@pytest.mark.slow
+def test_batched_speedup_512(write_result):
+    """ISSUE acceptance: characterize_ensemble on a (512, 8, 8) stack is
+    ≥ 5× faster than the serial scalar loop."""
+    stack = _stack(512, 8, 8)
+
+    t0 = time.perf_counter()
+    scalar = _scalar_loop(stack)
+    scalar_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = characterize_ensemble(stack)
+    batched_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(result.measures, scalar, rtol=0, atol=1e-10)
+    speedup = scalar_s / batched_s
+    lines = [
+        "scalar-vs-batched ensemble characterization, (512, 8, 8) stack",
+        f"scalar loop : {scalar_s:8.3f} s  ({512 / scalar_s:8.1f} env/s)",
+        f"batched     : {batched_s:8.3f} s  ({512 / batched_s:8.1f} env/s)",
+        f"speedup     : {speedup:8.1f}x  (acceptance floor: 5x)",
+        f"max |batched - scalar| verified ≤ 1e-10 on all 512 slices",
+    ]
+    write_result("batched_pipeline_speedup", "\n".join(lines))
+    assert speedup >= 5.0, f"batched path only {speedup:.1f}x faster"

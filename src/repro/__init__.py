@@ -41,6 +41,10 @@ Subpackages
     Static mapping heuristics and heterogeneity-aware heuristic selection.
 ``repro.analysis``
     What-if studies, measure-independence experiments, reports.
+``repro.batch``
+    Batched ensemble kernels over ``(N, T, M)`` stacks (stacked
+    Sinkhorn, vectorized MPH/TDH/TMA, columnar
+    :func:`characterize_ensemble`).
 """
 
 from .core import (
@@ -95,6 +99,16 @@ from .structure import (
     is_normalizable,
     permute_to_block_form,
 )
+from .batch import (
+    BatchNormalizationResult,
+    EnsembleCharacterization,
+    characterize_ensemble,
+    mph_batched,
+    sinkhorn_knopp_batched,
+    standardize_batched,
+    tdh_batched,
+    tma_batched,
+)
 
 __version__ = "1.0.0"
 
@@ -136,6 +150,15 @@ __all__ = [
     "is_fully_indecomposable",
     "is_normalizable",
     "permute_to_block_form",
+    # batch
+    "BatchNormalizationResult",
+    "EnsembleCharacterization",
+    "characterize_ensemble",
+    "sinkhorn_knopp_batched",
+    "standardize_batched",
+    "mph_batched",
+    "tdh_batched",
+    "tma_batched",
     # exceptions
     "ReproError",
     "MatrixShapeError",

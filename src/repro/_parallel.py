@@ -29,6 +29,11 @@ __all__ = ["parallel_map", "resolve_n_jobs"]
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Chunks submitted per worker.  One chunk per worker minimizes pickling
+#: round-trips but loses load balancing when per-item cost varies; a few
+#: chunks per worker keeps both overheads small.
+_CHUNKS_PER_WORKER = 4
+
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` argument (None/1 = serial, -1 = all CPUs)."""
@@ -64,5 +69,9 @@ def parallel_map(
     materialized: Sequence[T] = list(items)
     if jobs == 1 or len(materialized) <= 1:
         return [fn(item) for item in materialized]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(materialized))) as pool:
-        return list(pool.map(fn, materialized))
+    workers = min(jobs, len(materialized))
+    # Chunked submission: one pickle round-trip per chunk instead of
+    # per item, so large ensembles don't drown in IPC overhead.
+    chunksize = -(-len(materialized) // (workers * _CHUNKS_PER_WORKER))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, materialized, chunksize=chunksize))

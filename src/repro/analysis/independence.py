@@ -135,6 +135,7 @@ def measure_correlations(
     spread: float = 8.0,
     seed=0,
     n_jobs: int | None = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """3×3 Pearson correlation matrix of (MPH, TDH, TMA) over a random
     ensemble of environments.
@@ -144,18 +145,35 @@ def measure_correlations(
     standard-deviation-vs-variance example — would show off-diagonal
     entries of ±1; the three paper measures stay far from that.
 
-    ``n_jobs`` distributes the (independently seeded) samples across a
-    process pool; results are identical to the serial run because the
-    per-sample seeds are derived up front.
+    With ``batched`` (default) the whole ensemble is stacked and
+    characterized through the vectorized
+    :func:`repro.batch.characterize_ensemble` kernels; otherwise
+    ``n_jobs`` distributes the per-sample scalar work across a process
+    pool.  The sampled environments are identical either way because
+    the per-sample seeds are derived up front from the master seed.
     """
-    from .._parallel import parallel_map
-
     rng = np.random.default_rng(seed)
-    tasks = [
-        (n_tasks, n_machines, float(spread), int(rng.integers(0, 2**63 - 1)))
-        for _ in range(samples)
-    ]
-    values = np.asarray(
-        parallel_map(_correlation_worker, tasks, n_jobs=n_jobs)
-    )
+    item_seeds = [int(rng.integers(0, 2**63 - 1)) for _ in range(samples)]
+    if batched:
+        from ..batch import characterize_ensemble
+        from ..generate.ensembles import random_ecs
+
+        stack = np.stack(
+            [
+                random_ecs(
+                    n_tasks, n_machines, spread=float(spread), seed=s
+                ).values
+                for s in item_seeds
+            ]
+        )
+        values = characterize_ensemble(stack).measures
+    else:
+        from .._parallel import parallel_map
+
+        tasks = [
+            (n_tasks, n_machines, float(spread), s) for s in item_seeds
+        ]
+        values = np.asarray(
+            parallel_map(_correlation_worker, tasks, n_jobs=n_jobs)
+        )
     return np.corrcoef(values, rowvar=False)

@@ -119,6 +119,7 @@ def characterize_generator(
     *,
     samples: int = 10,
     seed=0,
+    batched: bool = True,
 ) -> GeneratorFootprint:
     """Sample a generator family and summarize its measure footprint.
 
@@ -133,6 +134,13 @@ def characterize_generator(
         Environments to draw.
     seed : int or Generator
         Master seed.
+    batched : bool
+        When the drawn environments share a shape (they do for every
+        generator family in :mod:`repro.generate`), characterize the
+        whole sample as one stack through
+        :func:`repro.batch.characterize_ensemble` (default).  Ragged
+        families and ``batched=False`` take the per-sample scalar loop;
+        the drawn environments are identical either way.
 
     Examples
     --------
@@ -147,11 +155,21 @@ def characterize_generator(
     """
     samples = check_positive_int(samples, name="samples")
     rng = resolve_rng(seed)
-    values = np.empty((samples, 3))
-    for k in range(samples):
-        env = factory(int(rng.integers(0, 2**63 - 1)))
-        profile = characterize(env)
-        values[k] = (profile.mph, profile.tdh, profile.tma)
+    environments = [
+        factory(int(rng.integers(0, 2**63 - 1))) for _ in range(samples)
+    ]
+    values: np.ndarray | None = None
+    if batched:
+        from ..batch import characterize_ensemble, stack_environments
+
+        stack = stack_environments(environments)
+        if stack is not None:
+            values = characterize_ensemble(stack).measures
+    if values is None:
+        values = np.empty((samples, 3))
+        for k, env in enumerate(environments):
+            profile = characterize(env)
+            values[k] = (profile.mph, profile.tdh, profile.tma)
     return GeneratorFootprint(
         name=name,
         mean=values.mean(axis=0),

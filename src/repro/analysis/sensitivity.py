@@ -84,6 +84,7 @@ def sensitivity_study(
     trials: int = 20,
     seed=0,
     n_jobs: int | None = None,
+    batched: bool = True,
 ) -> SensitivityResult:
     """Measure-shift statistics under multiplicative estimation noise.
 
@@ -99,9 +100,15 @@ def sensitivity_study(
     seed : int or Generator
         Randomness source (deterministic by default).
     n_jobs : int, optional
-        Process-pool width for the trials (1/None = serial, -1 = all
-        CPUs); per-trial seeds are derived up front so the result is
-        identical regardless.
+        Process-pool width for the scalar path (1/None = serial, -1 =
+        all CPUs); per-trial seeds are derived up front so the result
+        is identical regardless.
+    batched : bool
+        Characterize each level's trial stack through the vectorized
+        :func:`repro.batch.characterize_ensemble` kernels (default)
+        instead of the per-trial scalar loop.  The perturbation draws
+        are identical either way (same derived seeds), and the two
+        paths agree to ≤ 1e-10 per trial.
 
     Examples
     --------
@@ -136,13 +143,21 @@ def sensitivity_study(
     mean_shift = np.empty((levels.size, 3))
     max_shift = np.empty((levels.size, 3))
     for li, sigma in enumerate(levels):
-        jobs = [
-            (ecs, float(sigma), int(rng.integers(0, 2**63 - 1)))
-            for _ in range(trials)
-        ]
-        measured = np.asarray(
-            parallel_map(_perturbed_measures, jobs, n_jobs=n_jobs)
-        )
+        item_seeds = [int(rng.integers(0, 2**63 - 1)) for _ in range(trials)]
+        if batched:
+            from ..batch import characterize_ensemble
+
+            stack = np.stack(
+                [perturb(ecs, float(sigma), seed=s) for s in item_seeds]
+            )
+            measured = characterize_ensemble(
+                stack, tma_fallback="limit"
+            ).measures
+        else:
+            jobs = [(ecs, float(sigma), s) for s in item_seeds]
+            measured = np.asarray(
+                parallel_map(_perturbed_measures, jobs, n_jobs=n_jobs)
+            )
         shifts = np.abs(measured - base_vec[None, :])
         mean_shift[li] = shifts.mean(axis=0)
         max_shift[li] = shifts.max(axis=0)

@@ -1,0 +1,93 @@
+"""Validation and coercion for ``(N, T, M)`` ensemble stacks.
+
+The batched kernels assume clean, C-contiguous ``float64`` stacks the
+same way the scalar kernels assume clean matrices (see
+``repro._validation``).  A *stack* bundles N same-shape ECS matrices
+along a leading ensemble axis; slice ``stack[i]`` is one environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MatrixShapeError, MatrixValueError
+
+__all__ = ["as_float_stack", "as_ecs_stack", "stack_environments"]
+
+
+def as_float_stack(values, *, name: str = "stack") -> np.ndarray:
+    """Coerce ``values`` to a 3-D C-contiguous float64 array.
+
+    Raises :class:`MatrixShapeError` for non-3D or empty input and
+    :class:`MatrixValueError` for NaN entries.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 3:
+        raise MatrixShapeError(
+            f"{name} must be 3-D (N, T, M), got ndim={arr.ndim} "
+            f"(shape {arr.shape})"
+        )
+    if arr.size == 0:
+        raise MatrixShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    if np.isnan(arr).any():
+        raise MatrixValueError(f"{name} contains NaN entries")
+    return arr
+
+
+def as_ecs_stack(values, *, name: str = "ECS stack") -> np.ndarray:
+    """Validate a stack of ECS matrices.
+
+    Entries must be finite and non-negative; no slice may contain an
+    all-zero row or column (the same per-matrix rule as
+    :func:`repro._validation.as_ecs_array`, reported with the offending
+    slice index).
+    """
+    arr = as_float_stack(values, name=name)
+    if np.isinf(arr).any():
+        raise MatrixValueError(
+            f"{name} contains infinite entries; infinities belong in the "
+            "ETC representation (use zero ECS for incompatible pairs)"
+        )
+    if (arr < 0).any():
+        raise MatrixValueError(f"{name} contains negative entries")
+    zero_rows = ~(arr > 0).any(axis=2)
+    zero_cols = ~(arr > 0).any(axis=1)
+    if zero_rows.any() or zero_cols.any():
+        bad = sorted(
+            set(np.nonzero(zero_rows.any(axis=1))[0])
+            | set(np.nonzero(zero_cols.any(axis=1))[0])
+        )
+        raise MatrixValueError(
+            f"{name} has an all-zero row or column in slice(s) "
+            f"{bad[:5]}{'...' if len(bad) > 5 else ''}"
+        )
+    return arr
+
+
+def stack_environments(environments) -> np.ndarray | None:
+    """Stack same-shape environments into an ``(N, T, M)`` array.
+
+    Each element may be a raw array, an :class:`~repro.core.ECSMatrix`
+    (weighting factors folded in) or an :class:`~repro.core.ETCMatrix`
+    (converted through paper eq. 1 first) — the same coercion every
+    scalar measure applies.  Returns ``None`` when the shapes are ragged
+    (the caller should fall back to the scalar path) and raises on an
+    empty sequence.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> stack_environments([np.ones((2, 3)), 2 * np.ones((2, 3))]).shape
+    (2, 2, 3)
+    >>> stack_environments([np.ones((2, 3)), np.ones((4, 3))]) is None
+    True
+    """
+    from ..normalize.standard_form import _coerce_ecs
+
+    arrays = [_coerce_ecs(env) for env in environments]
+    if not arrays:
+        raise MatrixShapeError("cannot stack an empty environment sequence")
+    shape = arrays[0].shape
+    if any(a.shape != shape for a in arrays[1:]):
+        return None
+    return np.stack(arrays)

@@ -1,0 +1,298 @@
+"""One-call columnar characterization of matrix ensembles.
+
+:func:`characterize_ensemble` is the batched sibling of
+:func:`repro.measures.characterize_many`: it takes an ``(N, T, M)``
+stack (or any sequence of environments) and returns the three paper
+measures for every member as flat arrays instead of N profile objects.
+
+Dispatch rules (documented in ``docs/BATCHED.md``):
+
+* all slices share a shape and are strictly positive → fully batched
+  kernels (stacked Sinkhorn + one stacked SVD);
+* zero-patterned slices → scalar :func:`repro.measures.characterize`
+  per slice, so the Section-VI ``tma_fallback`` semantics
+  (strict/limit/column) are honoured exactly;
+* ragged shapes, or ``batched=False`` → the scalar path for everything,
+  optionally across a process pool (``n_jobs``).
+
+Either way the returned columns line up with the input order, and the
+batched and scalar paths agree to ≤ 1e-10 on convergent slices (the
+differential harness in ``tests/batch/`` enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MatrixShapeError, MatrixValueError, WeightError
+from ..normalize.standard_form import DEFAULT_TOL
+from ._stack import as_ecs_stack, stack_environments
+from .measures import average_adjacent_ratio_batched
+from .sinkhorn import standardize_batched
+
+__all__ = ["EnsembleCharacterization", "characterize_ensemble"]
+
+#: Structured dtype of :meth:`EnsembleCharacterization.records`.
+ENSEMBLE_DTYPE = np.dtype(
+    [
+        ("mph", np.float64),
+        ("tdh", np.float64),
+        ("tma", np.float64),
+        ("iterations", np.int64),
+        ("converged", np.bool_),
+        ("batched", np.bool_),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class EnsembleCharacterization:
+    """Columnar measures of an ensemble (one row per environment).
+
+    Attributes
+    ----------
+    mph, tdh, tma : numpy.ndarray, shape (N,)
+        The paper's three measures per member.
+    iterations : numpy.ndarray of int, shape (N,)
+        Standard-form Sinkhorn iterations; ``-1`` where no standard
+        form was computed (eq. 5 column fallback).
+    converged : numpy.ndarray of bool, shape (N,)
+        Whether the standard-form iteration reached tolerance.
+    batched : numpy.ndarray of bool, shape (N,)
+        Which members took the batched kernels (False = scalar
+        fallback — zero-patterned slice, ragged input, or
+        ``batched=False``).
+    n_tasks, n_machines : int or None
+        Common slice dimensions; ``None`` when the input was ragged.
+    """
+
+    mph: np.ndarray
+    tdh: np.ndarray
+    tma: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+    batched: np.ndarray
+    n_tasks: int | None
+    n_machines: int | None
+
+    def __len__(self) -> int:
+        return self.mph.shape[0]
+
+    @property
+    def measures(self) -> np.ndarray:
+        """The ``(N, 3)`` array of (MPH, TDH, TMA) rows."""
+        return np.column_stack([self.mph, self.tdh, self.tma])
+
+    def records(self) -> np.ndarray:
+        """The full result as a structured array (``ENSEMBLE_DTYPE``)."""
+        out = np.empty(len(self), dtype=ENSEMBLE_DTYPE)
+        out["mph"] = self.mph
+        out["tdh"] = self.tdh
+        out["tma"] = self.tma
+        out["iterations"] = self.iterations
+        out["converged"] = self.converged
+        out["batched"] = self.batched
+        return out
+
+    def summary(self) -> str:
+        """One-line mean ± std digest of the ensemble."""
+        m = self.measures
+        mean, std = m.mean(axis=0), m.std(axis=0)
+        shape = (
+            f"{self.n_tasks}x{self.n_machines}"
+            if self.n_tasks is not None
+            else "ragged"
+        )
+        return (
+            f"{len(self)} environments ({shape}): "
+            f"MPH {mean[0]:.3f}±{std[0]:.3f}  "
+            f"TDH {mean[1]:.3f}±{std[1]:.3f}  "
+            f"TMA {mean[2]:.3f}±{std[2]:.3f}  "
+            f"[{int(self.batched.sum())} batched, "
+            f"{int((~self.converged).sum())} non-converged]"
+        )
+
+
+def _characterize_columns(args: tuple) -> tuple:
+    """Module-level worker (picklable): scalar columns of one member."""
+    from ..measures.report import characterize
+
+    matrix, tol, tma_fallback = args
+    profile = characterize(matrix, tol=tol, tma_fallback=tma_fallback)
+    iterations = (
+        profile.sinkhorn_iterations
+        if profile.sinkhorn_iterations is not None
+        else -1
+    )
+    converged = (
+        profile.sinkhorn_residual is not None
+        and profile.sinkhorn_residual <= tol
+    )
+    return (profile.mph, profile.tdh, profile.tma, iterations, converged)
+
+
+def characterize_ensemble(
+    environments,
+    *,
+    task_weights=None,
+    machine_weights=None,
+    tol: float = DEFAULT_TOL,
+    max_iterations: int = 100_000,
+    tma_fallback: str = "limit",
+    batched: bool = True,
+    n_jobs: int | None = None,
+) -> EnsembleCharacterization:
+    """Characterize a whole ensemble of environments in one call.
+
+    Parameters
+    ----------
+    environments : numpy.ndarray of shape (N, T, M), or sequence
+        A pre-built stack, or any sequence of raw arrays /
+        :class:`~repro.core.ECSMatrix` / :class:`~repro.core.ETCMatrix`
+        (wrapper weighting factors are folded in, as everywhere else).
+        Same-shape sequences are stacked automatically; ragged ones
+        fall back to the scalar path.
+    task_weights, machine_weights : array-like, optional
+        Weighting factors applied to every member.  Only valid for
+        raw-array input (wrappers carry their own weights; mixing the
+        two would double-weight).
+    tol, max_iterations
+        Sinkhorn controls for the standard form.
+    tma_fallback : {"limit", "column", "raise"}
+        Section-VI handling for zero-patterned members (these always
+        take the scalar path; see :func:`repro.measures.characterize`).
+    batched : bool
+        Force the scalar path with ``False`` (useful for differential
+        testing and for memory-constrained very large stacks — the
+        batched path materializes the full ``(N, T, M)`` standard-form
+        copy).
+    n_jobs : int, optional
+        Process-pool width for the scalar path (ignored on the batched
+        path, which needs no pool).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> stack = np.stack([np.ones((2, 2)), np.eye(2) + 0.01])
+    >>> result = characterize_ensemble(stack)
+    >>> [round(float(v), 2) for v in result.tma]
+    [0.0, 0.98]
+    >>> bool(result.batched.all()), bool(result.converged.all())
+    (True, True)
+    """
+    if tma_fallback not in ("limit", "column", "raise"):
+        raise MatrixValueError(
+            f"tma_fallback must be 'limit', 'column' or 'raise', got "
+            f"{tma_fallback!r}"
+        )
+    if isinstance(environments, np.ndarray) and environments.ndim == 3:
+        stack = as_ecs_stack(environments)
+    elif isinstance(environments, np.ndarray):
+        raise MatrixShapeError(
+            "array input must be a 3-D (N, T, M) stack, got ndim="
+            f"{environments.ndim} (shape {environments.shape}); wrap a "
+            "single matrix as matrix[None, :, :] or pass a list"
+        )
+    else:
+        from ..core.environment import ECSMatrix, ETCMatrix
+
+        environments = list(environments)
+        if any(
+            isinstance(env, (ECSMatrix, ETCMatrix)) for env in environments
+        ) and (task_weights is not None or machine_weights is not None):
+            raise WeightError(
+                "explicit task_weights/machine_weights require raw-array "
+                "environments (matrix wrappers carry their own weights)"
+            )
+        stack = stack_environments(environments)
+
+    if stack is not None and (task_weights is not None or machine_weights is not None):
+        from .._validation import check_weights
+
+        w_t = check_weights(task_weights, stack.shape[1], name="task_weights")
+        w_m = check_weights(machine_weights, stack.shape[2], name="machine_weights")
+        stack = w_t[None, :, None] * w_m[None, None, :] * stack
+
+    if stack is None:
+        # Ragged shapes: scalar path for every member.
+        from .._parallel import parallel_map
+        from ..normalize.standard_form import _coerce_ecs
+
+        items = [(_coerce_ecs(env), tol, tma_fallback) for env in environments]
+        columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
+        return _from_columns(columns, n_tasks=None, n_machines=None)
+
+    n_slices, n_tasks, n_machines = stack.shape
+    positive = (stack > 0).all(axis=(1, 2))
+    if not batched:
+        positive = np.zeros(n_slices, dtype=bool)
+
+    mph = np.empty(n_slices, dtype=np.float64)
+    tdh = np.empty(n_slices, dtype=np.float64)
+    tma = np.empty(n_slices, dtype=np.float64)
+    iterations = np.empty(n_slices, dtype=np.int64)
+    converged = np.zeros(n_slices, dtype=bool)
+
+    if positive.any():
+        sub = stack[positive]
+        # Same reductions characterize() performs on the weighted
+        # matrix, lifted one axis: MP is the column-sum rows, TD the
+        # row-sum rows.
+        mph[positive] = average_adjacent_ratio_batched(sub.sum(axis=1))
+        tdh[positive] = average_adjacent_ratio_batched(sub.sum(axis=2))
+        standard = standardize_batched(
+            sub,
+            tol=tol,
+            max_iterations=max_iterations,
+            require_convergence=False,
+        )
+        values = np.linalg.svd(standard.matrices, compute_uv=False)
+        if values.shape[1] < 2:
+            tma[positive] = 0.0
+        else:
+            tma[positive] = np.clip(
+                values[:, 1:].sum(axis=1) / (values.shape[1] - 1), 0.0, 1.0
+            )
+        iterations[positive] = standard.iterations
+        converged[positive] = standard.converged
+
+    fallback = ~positive
+    if fallback.any():
+        from .._parallel import parallel_map
+
+        items = [(stack[i], tol, tma_fallback) for i in np.nonzero(fallback)[0]]
+        columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
+        for i, (m, t, a, its, conv) in zip(np.nonzero(fallback)[0], columns):
+            mph[i], tdh[i], tma[i] = m, t, a
+            iterations[i] = its
+            converged[i] = conv
+
+    return EnsembleCharacterization(
+        mph=mph,
+        tdh=tdh,
+        tma=tma,
+        iterations=iterations,
+        converged=converged,
+        batched=positive,
+        n_tasks=n_tasks,
+        n_machines=n_machines,
+    )
+
+
+def _from_columns(
+    columns, *, n_tasks: int | None, n_machines: int | None
+) -> EnsembleCharacterization:
+    """Assemble a columnar result from per-member scalar tuples."""
+    arr = np.array(columns, dtype=np.float64).reshape(-1, 5)
+    return EnsembleCharacterization(
+        mph=arr[:, 0].copy(),
+        tdh=arr[:, 1].copy(),
+        tma=arr[:, 2].copy(),
+        iterations=arr[:, 3].astype(np.int64),
+        converged=arr[:, 4].astype(bool),
+        batched=np.zeros(arr.shape[0], dtype=bool),
+        n_tasks=n_tasks,
+        n_machines=n_machines,
+    )

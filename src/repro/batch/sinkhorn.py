@@ -1,0 +1,269 @@
+"""Batched alternating row/column scaling over ``(N, T, M)`` stacks.
+
+:func:`sinkhorn_knopp_batched` runs the paper's eq. (9) iteration on a
+whole ensemble of same-shape matrices at once: one iteration is two
+broadcast sums and two broadcast multiplies over the full stack, so the
+per-matrix Python overhead of the scalar loop disappears.  Slices
+converge independently — a per-slice *active mask* freezes a slice the
+moment its residual drops below ``tol``, which keeps every slice's
+iterate sequence identical to what the scalar
+:func:`repro.normalize.sinkhorn_knopp` would produce on that matrix
+alone (the differential harness in ``tests/batch/`` pins this to
+≤ 1e-10).
+
+:func:`standardize_batched` applies the Theorem-2 targets
+(rows ``sqrt(M/T)``, columns ``sqrt(T/M)``) to a stack.  Unlike the
+scalar :func:`repro.normalize.standardize` it performs **no** Menon
+normalizability pre-test: zero-patterned slices that admit no standard
+form simply fail to converge and are reported through the ``converged``
+mask (or a :class:`~repro.exceptions.ConvergenceError` naming the
+slices when ``require_convergence=True``).  Callers that need the
+Section-VI limit semantics should route zero-containing slices through
+the scalar path — :func:`repro.batch.characterize_ensemble` does
+exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_positive_scalar
+from ..exceptions import ConvergenceError, MatrixValueError
+from ..normalize.sinkhorn import NormalizationResult
+from ..normalize.standard_form import standard_targets
+from ._stack import as_float_stack
+
+__all__ = [
+    "BatchNormalizationResult",
+    "sinkhorn_knopp_batched",
+    "standardize_batched",
+]
+
+
+@dataclass(frozen=True)
+class BatchNormalizationResult:
+    """Columnar outcome of the batched alternating-scaling iteration.
+
+    Attributes
+    ----------
+    matrices : numpy.ndarray, shape (N, T, M)
+        The scaled stack; slice ``i`` is ``D1_i @ A_i @ D2_i``.
+    row_scale : numpy.ndarray, shape (N, T)
+        Per-slice diagonals of ``D1``.
+    col_scale : numpy.ndarray, shape (N, M)
+        Per-slice diagonals of ``D2``.
+    converged : numpy.ndarray of bool, shape (N,)
+        Per-slice convergence mask.
+    iterations : numpy.ndarray of int, shape (N,)
+        Full (column pass + row pass) iterations each slice ran before
+        freezing.
+    residual : numpy.ndarray, shape (N,)
+        Final per-slice residual (largest absolute row/column-sum
+        deviation from its target).
+    residual_histories : tuple of tuple of float
+        Per-slice residual trace; entry 0 of each is the residual of
+        the *input* slice, matching the scalar result's convention.
+    row_target, col_target : float
+        The target sums the iteration aimed for.
+    """
+
+    matrices: np.ndarray
+    row_scale: np.ndarray
+    col_scale: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    residual: np.ndarray
+    residual_histories: tuple[tuple[float, ...], ...] = field(repr=False)
+    row_target: float = 1.0
+    col_target: float = 1.0
+
+    def __len__(self) -> int:
+        return self.matrices.shape[0]
+
+    def slice(self, index: int) -> NormalizationResult:
+        """The scalar-compatible :class:`NormalizationResult` of slice
+        ``index`` (a bridge for code written against the scalar API)."""
+        return NormalizationResult(
+            matrix=self.matrices[index].copy(),
+            row_scale=self.row_scale[index].copy(),
+            col_scale=self.col_scale[index].copy(),
+            converged=bool(self.converged[index]),
+            iterations=int(self.iterations[index]),
+            residual=float(self.residual[index]),
+            residual_history=self.residual_histories[index],
+            row_target=self.row_target,
+            col_target=self.col_target,
+        )
+
+
+def _residuals(stack: np.ndarray, row_target: float, col_target: float) -> np.ndarray:
+    """Per-slice residual of an (n, T, M) stack."""
+    row_err = np.abs(stack.sum(axis=2) - row_target).max(axis=1)
+    col_err = np.abs(stack.sum(axis=1) - col_target).max(axis=1)
+    return np.maximum(row_err, col_err)
+
+
+def sinkhorn_knopp_batched(
+    stack,
+    *,
+    row_target: float = 1.0,
+    col_target: float | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 100_000,
+    require_convergence: bool = True,
+) -> BatchNormalizationResult:
+    """Scale every slice of ``stack`` so rows sum to ``row_target`` and
+    columns to ``col_target``.
+
+    Semantics per slice are identical to the scalar
+    :func:`repro.normalize.sinkhorn_knopp` (same validation, same
+    column-then-row pass order, same joint stopping rule); the batching
+    is purely an execution strategy.  A slice stops iterating the
+    moment it converges, so already-converged slices are not perturbed
+    while stragglers continue.
+
+    Parameters
+    ----------
+    stack : array-like, shape (N, T, M)
+        Stack of non-negative matrices, none with an all-zero row or
+        column.
+    row_target, col_target, tol, max_iterations
+        As in the scalar kernel; ``col_target`` defaults to the unique
+        consistent value ``T * row_target / M``.
+    require_convergence : bool
+        When True (default) a :class:`~repro.exceptions.ConvergenceError`
+        is raised if *any* slice misses the tolerance, naming the
+        offending slice indices; when False the best iterates are
+        returned with the per-slice ``converged`` mask.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> stack = np.array([[[1.0, 2.0], [3.0, 4.0]],
+    ...                   [[5.0, 1.0], [1.0, 5.0]]])
+    >>> result = sinkhorn_knopp_batched(stack)
+    >>> bool(result.converged.all())
+    True
+    >>> np.round(result.matrices.sum(axis=2), 6)
+    array([[1., 1.],
+           [1., 1.]])
+    """
+    work = as_float_stack(stack, name="stack").copy()
+    if np.isinf(work).any():
+        raise MatrixValueError("stack must be finite (got inf entries)")
+    if (work < 0).any():
+        raise MatrixValueError("stack must be non-negative")
+    n_slices, n_rows, n_cols = work.shape
+    row_target = check_positive_scalar(row_target, name="row_target")
+    implied = n_rows * row_target / n_cols
+    if col_target is None:
+        col_target = implied
+    else:
+        col_target = check_positive_scalar(col_target, name="col_target")
+        if not np.isclose(col_target, implied, rtol=1e-12, atol=0.0):
+            raise MatrixValueError(
+                "inconsistent targets: need T*row_target == M*col_target "
+                f"({n_rows}*{row_target} != {n_cols}*{col_target})"
+            )
+    zero_line = (work.sum(axis=2) == 0).any(axis=1) | (
+        work.sum(axis=1) == 0
+    ).any(axis=1)
+    if zero_line.any():
+        bad = np.nonzero(zero_line)[0]
+        raise MatrixValueError(
+            "stack has an all-zero row or column in slice(s) "
+            f"{bad[:5].tolist()}{'...' if bad.size > 5 else ''}; "
+            "no scaling can fix that"
+        )
+
+    row_scale = np.ones((n_slices, n_rows), dtype=np.float64)
+    col_scale = np.ones((n_slices, n_cols), dtype=np.float64)
+    residual = _residuals(work, row_target, col_target)
+    histories: list[list[float]] = [[float(r)] for r in residual]
+    converged = residual <= tol
+    iterations = np.zeros(n_slices, dtype=np.int64)
+    active = ~converged
+    it = 0
+    while active.any() and it < max_iterations:
+        idx = np.nonzero(active)[0]
+        sub = work[idx]
+        # Column pass (eq. 9, odd k).  As in the scalar kernel, the
+        # accumulated diagonal scales can overflow for non-normalizable
+        # zero patterns while the matrix iterates stay bounded.
+        factors = col_target / sub.sum(axis=1)
+        sub *= factors[:, None, :]
+        with np.errstate(over="ignore"):
+            col_scale[idx] *= factors
+        # Row pass (eq. 9, even k).
+        factors = row_target / sub.sum(axis=2)
+        sub *= factors[:, :, None]
+        with np.errstate(over="ignore"):
+            row_scale[idx] *= factors
+        work[idx] = sub
+        it += 1
+        iterations[idx] = it
+        res = _residuals(sub, row_target, col_target)
+        residual[idx] = res
+        for pos, i in enumerate(idx):
+            histories[i].append(float(res[pos]))
+        done = res <= tol
+        converged[idx] = done
+        active[idx] = ~done
+    if active.any() and require_convergence:
+        bad = np.nonzero(active)[0]
+        raise ConvergenceError(
+            f"{bad.size} of {n_slices} slices did not reach tol={tol:g} "
+            f"within {max_iterations} iterations (first failing slices: "
+            f"{bad[:5].tolist()}); the matrices may be decomposable — see "
+            "repro.structure.is_normalizable",
+            iterations=int(it),
+            residual=float(residual[bad].max()),
+        )
+    return BatchNormalizationResult(
+        matrices=work,
+        row_scale=row_scale,
+        col_scale=col_scale,
+        converged=converged,
+        iterations=iterations,
+        residual=residual,
+        residual_histories=tuple(tuple(h) for h in histories),
+        row_target=row_target,
+        col_target=col_target,
+    )
+
+
+def standardize_batched(
+    stack,
+    *,
+    tol: float = 1e-8,
+    max_iterations: int = 100_000,
+    require_convergence: bool = True,
+) -> BatchNormalizationResult:
+    """Convert every slice of a stack to the standard ECS form.
+
+    Applies the Theorem-2 targets (rows ``sqrt(M/T)``, columns
+    ``sqrt(T/M)``) so the largest singular value of every converged
+    slice is 1.  No Menon pre-test is performed: slices whose zero
+    pattern admits no standard form show up as non-converged (see the
+    module docstring for the fallback rules).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> result = standardize_batched(np.array([[[1.0, 0.0], [0.0, 3.0]]]))
+    >>> np.round(result.matrices[0], 6)
+    array([[1., 0.],
+           [0., 1.]])
+    """
+    work = as_float_stack(stack, name="stack")
+    row_target, col_target = standard_targets(work.shape[1], work.shape[2])
+    return sinkhorn_knopp_batched(
+        work,
+        row_target=row_target,
+        col_target=col_target,
+        tol=tol,
+        max_iterations=max_iterations,
+        require_convergence=require_convergence,
+    )

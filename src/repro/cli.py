@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated log-space sigma levels",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="characterize each level's trial stack through the "
+        "vectorized repro.batch kernels (--no-batched forces the "
+        "per-trial scalar loop)",
+    )
 
     p = sub.add_parser("report", help="full Markdown heterogeneity report")
     p.add_argument("file")
@@ -233,7 +241,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 float(x) for x in args.noise.split(",") if x.strip()
             )
             result = sensitivity_study(
-                env, noise_levels=levels, trials=args.trials, seed=args.seed
+                env,
+                noise_levels=levels,
+                trials=args.trials,
+                seed=args.seed,
+                batched=args.batched,
             )
             print(result.table())
         elif args.command == "report":

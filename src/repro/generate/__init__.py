@@ -34,8 +34,10 @@ from .correlated import correlated
 from .ensembles import (
     heterogeneity_grid,
     random_ecs,
+    random_ecs_stack,
     EnsembleMember,
     perturb,
+    perturb_stack,
 )
 
 __all__ = [
@@ -53,6 +55,8 @@ __all__ = [
     "correlated",
     "heterogeneity_grid",
     "random_ecs",
+    "random_ecs_stack",
     "EnsembleMember",
     "perturb",
+    "perturb_stack",
 ]

@@ -19,7 +19,14 @@ from ..exceptions import GenerationError
 from ._rng import resolve_rng
 from .target_driven import TargetSpec, from_targets
 
-__all__ = ["EnsembleMember", "heterogeneity_grid", "random_ecs", "perturb"]
+__all__ = [
+    "EnsembleMember",
+    "heterogeneity_grid",
+    "random_ecs",
+    "random_ecs_stack",
+    "perturb",
+    "perturb_stack",
+]
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,46 @@ def random_ecs(
     return ECSMatrix(values)
 
 
+def random_ecs_stack(
+    n_matrices: int,
+    n_tasks: int,
+    n_machines: int,
+    *,
+    zero_fraction: float = 0.0,
+    spread: float = 10.0,
+    seed=None,
+) -> np.ndarray:
+    """Sample an ``(N, T, M)`` stack of log-uniform random ECS matrices.
+
+    Slice ``i`` is exactly :func:`random_ecs` called with the ``i``-th
+    child seed derived from ``seed``, so a stack and a per-item loop
+    over the same master seed see identical matrices — the invariant
+    that lets the batched study paths (e.g.
+    :func:`repro.analysis.measure_correlations`) reproduce the scalar
+    results bit for bit.  The stack feeds
+    :func:`repro.batch.characterize_ensemble` directly.
+
+    Examples
+    --------
+    >>> random_ecs_stack(4, 3, 2, seed=0).shape
+    (4, 3, 2)
+    """
+    n_matrices = check_positive_int(n_matrices, name="n_matrices")
+    rng = resolve_rng(seed)
+    return np.stack(
+        [
+            random_ecs(
+                n_tasks,
+                n_machines,
+                zero_fraction=zero_fraction,
+                spread=spread,
+                seed=int(rng.integers(0, 2**63 - 1)),
+            ).values
+            for _ in range(n_matrices)
+        ]
+    )
+
+
 def perturb(matrix, rel_noise: float, *, seed=None) -> np.ndarray:
     """Multiplicatively perturb positive entries: ``x * exp(N(0, σ))``.
 
@@ -134,3 +181,31 @@ def perturb(matrix, rel_noise: float, *, seed=None) -> np.ndarray:
     rng = resolve_rng(seed)
     factors = np.exp(rng.normal(0.0, rel_noise, size=arr.shape))
     return np.where(arr > 0, arr * factors, 0.0)
+
+
+def perturb_stack(
+    matrix, rel_noise: float, n_draws: int, *, seed=None
+) -> np.ndarray:
+    """Stack ``n_draws`` independent :func:`perturb` draws of ``matrix``.
+
+    Returns an ``(N, T, M)`` array; draw ``i`` uses the ``i``-th child
+    seed derived from ``seed``, so the stack matches a per-draw loop
+    over the same master seed exactly (the sensitivity study relies on
+    this to keep its batched and scalar paths interchangeable).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> perturb_stack(np.ones((3, 2)), 0.1, n_draws=5, seed=0).shape
+    (5, 3, 2)
+    """
+    n_draws = check_positive_int(n_draws, name="n_draws")
+    rng = resolve_rng(seed)
+    return np.stack(
+        [
+            perturb(
+                matrix, rel_noise, seed=int(rng.integers(0, 2**63 - 1))
+            )
+            for _ in range(n_draws)
+        ]
+    )

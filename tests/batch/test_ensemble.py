@@ -1,0 +1,201 @@
+"""`characterize_ensemble` dispatch rules and the rewired study paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ECSMatrix, ETCMatrix
+from repro.batch import (
+    ENSEMBLE_DTYPE,
+    characterize_ensemble,
+    stack_environments,
+)
+from repro.exceptions import MatrixShapeError, MatrixValueError, WeightError
+from repro.generate import perturb_stack, random_ecs, random_ecs_stack
+from repro.measures import characterize
+
+
+@pytest.fixture
+def positive_stack():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0.5, 5.0, size=(12, 5, 4))
+
+
+class TestDispatch:
+    def test_positive_stack_goes_fully_batched(self, positive_stack):
+        result = characterize_ensemble(positive_stack)
+        assert result.batched.all()
+        assert result.converged.all()
+        assert (result.n_tasks, result.n_machines) == (5, 4)
+        assert len(result) == 12
+
+    def test_matches_scalar_characterize(self, positive_stack):
+        result = characterize_ensemble(positive_stack)
+        for i, matrix in enumerate(positive_stack):
+            profile = characterize(matrix)
+            assert result.mph[i] == pytest.approx(profile.mph, abs=1e-10)
+            assert result.tdh[i] == pytest.approx(profile.tdh, abs=1e-10)
+            assert result.tma[i] == pytest.approx(profile.tma, abs=1e-10)
+            assert result.iterations[i] == profile.sinkhorn_iterations
+
+    def test_zero_slices_fall_back_to_scalar(self):
+        rng = np.random.default_rng(1)
+        stack = rng.uniform(0.5, 5.0, size=(4, 3, 3))
+        stack[2, 0, 1] = 0.0  # normalizable zero pattern
+        result = characterize_ensemble(stack)
+        assert result.batched.tolist() == [True, True, False, True]
+        profile = characterize(stack[2])
+        assert result.tma[2] == pytest.approx(profile.tma, abs=1e-10)
+
+    def test_batched_false_forces_scalar_path(self, positive_stack):
+        batched = characterize_ensemble(positive_stack)
+        scalar = characterize_ensemble(positive_stack, batched=False)
+        assert not scalar.batched.any()
+        np.testing.assert_allclose(batched.mph, scalar.mph, atol=1e-10)
+        np.testing.assert_allclose(batched.tdh, scalar.tdh, atol=1e-10)
+        np.testing.assert_allclose(batched.tma, scalar.tma, atol=1e-10)
+        np.testing.assert_array_equal(batched.iterations, scalar.iterations)
+
+    def test_ragged_sequence_falls_back(self):
+        envs = [np.ones((2, 2)), np.ones((3, 2))]
+        result = characterize_ensemble(envs)
+        assert result.n_tasks is None and result.n_machines is None
+        assert not result.batched.any()
+        np.testing.assert_allclose(result.mph, 1.0)
+
+    def test_wrapper_sequence_is_stacked(self):
+        envs = [
+            ETCMatrix([[2.0, 1.0], [1.0, 2.0]]),
+            ECSMatrix([[1.0, 2.0], [2.0, 1.0]]),
+        ]
+        result = characterize_ensemble(envs)
+        assert result.batched.all()
+        for i, env in enumerate(envs):
+            assert result.tma[i] == pytest.approx(
+                characterize(env).tma, abs=1e-10
+            )
+
+    def test_weights_fold_into_the_stack(self, positive_stack):
+        w_t = np.linspace(1.0, 2.0, positive_stack.shape[1])
+        w_m = np.linspace(0.5, 1.5, positive_stack.shape[2])
+        result = characterize_ensemble(
+            positive_stack, task_weights=w_t, machine_weights=w_m
+        )
+        profile = characterize(
+            positive_stack[0], task_weights=w_t, machine_weights=w_m
+        )
+        assert result.mph[0] == pytest.approx(profile.mph, abs=1e-10)
+        assert result.tma[0] == pytest.approx(profile.tma, abs=1e-10)
+
+    def test_weights_rejected_for_wrappers(self):
+        envs = [ECSMatrix(np.ones((2, 2))) for _ in range(2)]
+        with pytest.raises(WeightError):
+            characterize_ensemble(envs, task_weights=[1.0, 2.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(MatrixShapeError):
+            characterize_ensemble(np.empty((0, 2, 2)))
+        with pytest.raises(MatrixValueError):
+            characterize_ensemble(np.ones((1, 2, 2)), tma_fallback="nope")
+        with pytest.raises(MatrixShapeError):
+            characterize_ensemble([])
+
+
+class TestColumnarResult:
+    def test_records_structured_array(self, positive_stack):
+        records = characterize_ensemble(positive_stack).records()
+        assert records.dtype == ENSEMBLE_DTYPE
+        assert records.shape == (12,)
+        assert (records["mph"] > 0).all()
+        assert records["converged"].all()
+
+    def test_measures_matrix_shape(self, positive_stack):
+        result = characterize_ensemble(positive_stack)
+        assert result.measures.shape == (12, 3)
+        np.testing.assert_array_equal(result.measures[:, 2], result.tma)
+
+    def test_summary_mentions_batching(self, positive_stack):
+        text = characterize_ensemble(positive_stack).summary()
+        assert "12 environments" in text and "12 batched" in text
+
+
+class TestStackHelpers:
+    def test_random_ecs_stack_matches_per_item_draws(self):
+        stack = random_ecs_stack(5, 4, 3, seed=42)
+        rng = np.random.default_rng(42)
+        for i in range(5):
+            child = int(rng.integers(0, 2**63 - 1))
+            expected = random_ecs(4, 3, seed=child).values
+            np.testing.assert_array_equal(stack[i], expected)
+
+    def test_perturb_stack_matches_per_item_draws(self):
+        from repro.generate import perturb
+
+        base = np.ones((3, 3))
+        stack = perturb_stack(base, 0.2, n_draws=4, seed=9)
+        rng = np.random.default_rng(9)
+        for i in range(4):
+            child = int(rng.integers(0, 2**63 - 1))
+            np.testing.assert_array_equal(
+                stack[i], perturb(base, 0.2, seed=child)
+            )
+
+    def test_stack_environments_ragged_returns_none(self):
+        assert stack_environments([np.ones((2, 2)), np.ones((2, 3))]) is None
+
+
+class TestRewiredStudies:
+    def test_sensitivity_batched_matches_scalar(self):
+        from repro.analysis import sensitivity_study
+
+        matrix = np.random.default_rng(0).uniform(1, 5, (6, 4))
+        batched = sensitivity_study(matrix, trials=5, seed=3)
+        scalar = sensitivity_study(matrix, trials=5, seed=3, batched=False)
+        np.testing.assert_allclose(
+            batched.mean_shift, scalar.mean_shift, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            batched.max_shift, scalar.max_shift, atol=1e-10
+        )
+
+    def test_correlations_batched_matches_scalar(self):
+        from repro.analysis import measure_correlations
+
+        batched = measure_correlations(samples=25, seed=4)
+        scalar = measure_correlations(samples=25, seed=4, batched=False)
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_generator_footprint_batched_matches_scalar(self):
+        from repro.analysis.regimes import characterize_generator
+        from repro.generate import braun_case
+
+        factory = lambda s: braun_case(
+            "hilo-i", n_tasks=8, n_machines=4, seed=s
+        )
+        batched = characterize_generator("hilo-i", factory, samples=4, seed=5)
+        scalar = characterize_generator(
+            "hilo-i", factory, samples=4, seed=5, batched=False
+        )
+        np.testing.assert_allclose(
+            batched.samples, scalar.samples, atol=1e-10
+        )
+
+    def test_cli_no_batched_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.io import save_etc_csv
+        from repro.core.environment import ETCMatrix
+
+        path = str(tmp_path / "env.csv")
+        save_etc_csv(
+            ETCMatrix(np.random.default_rng(0).uniform(1, 9, (4, 3))), path
+        )
+        for flag in (["--batched"], ["--no-batched"]):
+            assert (
+                main(
+                    ["sensitivity", path, "--trials", "2", "--noise", "0.05"]
+                    + flag
+                )
+                == 0
+            )
+            assert "sigma" in capsys.readouterr().out

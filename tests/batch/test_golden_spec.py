@@ -1,0 +1,108 @@
+"""Golden regression pins for the SPEC figures (paper Figs. 6 and 7).
+
+The paper reports the CINT/CFP measures at two decimals; these tests
+additionally pin the full-precision triples this implementation
+produces, so a kernel refactor that drifts the reproduced numbers —
+even below the paper's printed precision — fails loudly instead of
+silently.  The batched path is held to the same pinned values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import characterize_ensemble
+from repro.measures import characterize
+from repro.spec import load_dataset
+
+#: Full-precision golden triples (mph, tdh, tma) and standard-form
+#: iteration counts, computed by this implementation at tol=1e-8.
+#: The pin tolerance leaves room for BLAS-level reassociation across
+#: platforms while still catching any algorithmic drift.
+GOLDEN = {
+    "cint2006rate": {
+        "mph": 0.8199921650161445,
+        "tdh": 0.8999959005995641,
+        "tma": 0.07000576281132756,
+        "iterations": 5,
+    },
+    "cfp2006rate": {
+        "mph": 0.829997320954615,
+        "tdh": 0.9099996166264752,
+        "tma": 0.17235520101788454,
+        "iterations": 8,
+    },
+}
+
+#: Paper-reported two-decimal values (Figs. 6 and 7).
+PAPER = {
+    "cint2006rate": (0.82, 0.90, 0.07),
+    "cfp2006rate": (0.83, 0.91, 0.17),
+}
+
+PIN_ATOL = 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_scalar_pipeline_pinned(name):
+    profile = characterize(load_dataset(name))
+    golden = GOLDEN[name]
+    assert profile.mph == pytest.approx(golden["mph"], abs=PIN_ATOL)
+    assert profile.tdh == pytest.approx(golden["tdh"], abs=PIN_ATOL)
+    assert profile.tma == pytest.approx(golden["tma"], abs=PIN_ATOL)
+    assert profile.sinkhorn_iterations == golden["iterations"]
+
+
+@pytest.mark.parametrize("name", sorted(PAPER))
+def test_paper_reported_values(name):
+    profile = characterize(load_dataset(name))
+    mph, tdh, tma = PAPER[name]
+    assert profile.mph == pytest.approx(mph, abs=5e-3)
+    assert profile.tdh == pytest.approx(tdh, abs=5e-3)
+    assert profile.tma == pytest.approx(tma, abs=5e-3)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_batched_pipeline_pinned(name):
+    """The batched kernels reproduce the pinned SPEC triples on a
+    single-slice stack (CINT and CFP have different shapes, so they
+    can't share one)."""
+    env = load_dataset(name)
+    stack = env.to_ecs().weighted_values()[None, :, :]
+    result = characterize_ensemble(stack)
+    golden = GOLDEN[name]
+    assert result.batched.all() and result.converged.all()
+    assert result.mph[0] == pytest.approx(golden["mph"], abs=PIN_ATOL)
+    assert result.tdh[0] == pytest.approx(golden["tdh"], abs=PIN_ATOL)
+    assert result.tma[0] == pytest.approx(golden["tma"], abs=PIN_ATOL)
+    assert int(result.iterations[0]) == golden["iterations"]
+
+
+def test_batched_matches_scalar_on_spec_to_differential_tolerance():
+    """Acceptance bound from the ISSUE: ≤ 1e-10 per-slice agreement of
+    the two paths on the convergent SPEC environments."""
+    for name in GOLDEN:
+        env = load_dataset(name)
+        profile = characterize(env)
+        stack = env.to_ecs().weighted_values()[None, :, :]
+        result = characterize_ensemble(stack)
+        assert result.mph[0] == pytest.approx(profile.mph, abs=1e-10)
+        assert result.tdh[0] == pytest.approx(profile.tdh, abs=1e-10)
+        assert result.tma[0] == pytest.approx(profile.tma, abs=1e-10)
+
+
+def test_spec_ensemble_perturbation_stays_batched():
+    """A realistic fig. 6 ensemble use: noisy CINT replicas form a
+    positive stack, so every slice takes the batched path."""
+    from repro.generate import perturb_stack
+
+    ecs = load_dataset("cint2006rate").to_ecs().weighted_values()
+    stack = perturb_stack(ecs, 0.05, n_draws=16, seed=0)
+    result = characterize_ensemble(stack)
+    assert result.batched.all()
+    golden = GOLDEN["cint2006rate"]
+    # 5% multiplicative noise moves the measures only slightly.
+    assert np.abs(result.mph - golden["mph"]).max() < 0.1
+    assert np.abs(result.tdh - golden["tdh"]).max() < 0.1
+    assert np.abs(result.tma - golden["tma"]).max() < 0.1
