@@ -7,7 +7,6 @@ and looser tolerances (1e-3) already land within ~1e-4 of the converged
 value — the measure is not fragile in the knob.
 """
 
-import numpy as np
 import scipy.linalg
 
 from repro.normalize import standardize

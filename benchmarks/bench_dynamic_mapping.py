@@ -6,8 +6,6 @@ mix, immediate-mode policies (MCT / MET / OLB / KPB / the
 heterogeneity-aware auto policy), swept across arrival rates.
 """
 
-import numpy as np
-
 from repro.scheduling import (
     expand_workload,
     poisson_arrivals,

@@ -45,6 +45,10 @@ Subpackages
     Batched ensemble kernels over ``(N, T, M)`` stacks (stacked
     Sinkhorn, vectorized MPH/TDH/TMA, columnar
     :func:`characterize_ensemble`).
+``repro.obs``
+    Zero-dependency structured tracing of the Sinkhorn/SVD/scheduling
+    hot paths: :func:`recording`, :func:`span`, :func:`traced`,
+    :func:`summary`, pluggable sinks.
 """
 
 from .core import (
@@ -85,6 +89,7 @@ from .measures import (
 from .normalize import (
     CanonicalFormResult,
     NormalizationResult,
+    ScalingOutcome,
     StandardFormResult,
     canonical_form,
     column_normalize,
@@ -92,6 +97,7 @@ from .normalize import (
     standard_targets,
     standardize,
 )
+from .obs import recording, span, summary, traced
 from .structure import (
     has_support,
     has_total_support,
@@ -142,8 +148,14 @@ __all__ = [
     "column_normalize",
     "canonical_form",
     "NormalizationResult",
+    "ScalingOutcome",
     "StandardFormResult",
     "CanonicalFormResult",
+    # obs
+    "recording",
+    "span",
+    "traced",
+    "summary",
     # structure
     "has_support",
     "has_total_support",

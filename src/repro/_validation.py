@@ -25,10 +25,27 @@ __all__ = [
     "as_etc_array",
     "as_positive_vector",
     "check_weights",
+    "check_choice",
     "check_probability",
     "check_positive_scalar",
     "check_positive_int",
 ]
+
+
+def check_choice(value, *, name: str, choices) -> str:
+    """Validate a keyword that takes one of a fixed set of strings.
+
+    Every mode-selecting kwarg in the library (``zeros=``, ``method=``,
+    ``tma_fallback=``) funnels through this helper so the accepted
+    values are spelled out the same way and the error type is uniformly
+    :class:`MatrixValueError` (which is also a ``ValueError``).
+    """
+    if value not in choices:
+        expected = ", ".join(repr(c) for c in choices)
+        raise MatrixValueError(
+            f"{name} must be one of {expected}; got {value!r}"
+        )
+    return value
 
 
 def as_float_matrix(values, *, name: str = "matrix") -> np.ndarray:

@@ -22,9 +22,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..exceptions import MatrixValueError
+from .._validation import check_choice
 from ..generate.ensembles import random_ecs
 from ..generate.target_driven import TargetSpec, from_targets
+from ..obs import current_recorder, span as _obs_span
 from ..measures.machine_performance import mph as _mph
 from ..measures.task_difficulty import tdh as _tdh
 from ..measures.affinity import tma as _tma
@@ -89,10 +90,7 @@ def independence_study(
     jitter, seed
         Generator controls (see :func:`repro.generate.from_targets`).
     """
-    if swept not in _MEASURES:
-        raise MatrixValueError(
-            f"swept must be one of {_MEASURES}, got {swept!r}"
-        )
+    check_choice(swept, name="swept", choices=_MEASURES)
     if targets is None:
         targets = (
             np.linspace(0.05, 0.85, 9)
@@ -103,18 +101,24 @@ def independence_study(
     pinned = {name: 0.7 for name in _MEASURES if name != swept}
     if fixed:
         pinned.update(fixed)
+    rec = current_recorder()
+    if rec is not None:
+        rec.counter("independence.trials", int(targets.shape[0]))
     achieved = np.empty((targets.shape[0], 3))
-    for row, value in enumerate(targets):
-        spec_kwargs = dict(pinned)
-        spec_kwargs[swept] = float(value)
-        env = from_targets(
-            n_tasks,
-            n_machines,
-            TargetSpec(**spec_kwargs),
-            jitter=jitter,
-            seed=seed,
-        )
-        achieved[row] = (_mph(env), _tdh(env), _tma(env))
+    with _obs_span(
+        "analysis.independence", swept=swept, points=int(targets.shape[0])
+    ):
+        for row, value in enumerate(targets):
+            spec_kwargs = dict(pinned)
+            spec_kwargs[swept] = float(value)
+            env = from_targets(
+                n_tasks,
+                n_machines,
+                TargetSpec(**spec_kwargs),
+                jitter=jitter,
+                seed=seed,
+            )
+            achieved[row] = (_mph(env), _tdh(env), _tma(env))
     return IndependenceResult(
         swept=swept, targets=targets, achieved=achieved, fixed=pinned
     )
@@ -154,6 +158,9 @@ def measure_correlations(
     """
     rng = np.random.default_rng(seed)
     item_seeds = [int(rng.integers(0, 2**63 - 1)) for _ in range(samples)]
+    rec = current_recorder()
+    if rec is not None:
+        rec.counter("independence.trials", samples)
     if batched:
         from ..batch import characterize_ensemble
         from ..generate.ensembles import random_ecs

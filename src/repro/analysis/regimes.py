@@ -19,7 +19,7 @@ Two services on top of the three measures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable
 
 import numpy as np
 

@@ -22,6 +22,7 @@ import numpy as np
 from .._validation import as_ecs_array, check_positive_int
 from ..generate._rng import resolve_rng
 from ..generate.ensembles import perturb
+from ..obs import current_recorder, span as _obs_span
 from ..measures.machine_performance import mph as _mph
 from ..measures.task_difficulty import tdh as _tdh
 from ..measures.affinity import tma as _tma
@@ -140,24 +141,30 @@ def sensitivity_study(
     base_vec = np.array([baseline[m] for m in _MEASURES])
     from .._parallel import parallel_map
 
+    rec = current_recorder()
+    if rec is not None:
+        rec.counter("sensitivity.trials", int(levels.size) * trials)
     mean_shift = np.empty((levels.size, 3))
     max_shift = np.empty((levels.size, 3))
     for li, sigma in enumerate(levels):
         item_seeds = [int(rng.integers(0, 2**63 - 1)) for _ in range(trials)]
-        if batched:
-            from ..batch import characterize_ensemble
+        with _obs_span(
+            "analysis.sensitivity_level", sigma=float(sigma), trials=trials
+        ):
+            if batched:
+                from ..batch import characterize_ensemble
 
-            stack = np.stack(
-                [perturb(ecs, float(sigma), seed=s) for s in item_seeds]
-            )
-            measured = characterize_ensemble(
-                stack, tma_fallback="limit"
-            ).measures
-        else:
-            jobs = [(ecs, float(sigma), s) for s in item_seeds]
-            measured = np.asarray(
-                parallel_map(_perturbed_measures, jobs, n_jobs=n_jobs)
-            )
+                stack = np.stack(
+                    [perturb(ecs, float(sigma), seed=s) for s in item_seeds]
+                )
+                measured = characterize_ensemble(
+                    stack, tma_fallback="limit"
+                ).measures
+            else:
+                jobs = [(ecs, float(sigma), s) for s in item_seeds]
+                measured = np.asarray(
+                    parallel_map(_perturbed_measures, jobs, n_jobs=n_jobs)
+                )
         shifts = np.abs(measured - base_vec[None, :])
         mean_shift[li] = shifts.mean(axis=0)
         max_shift[li] = shifts.max(axis=0)

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..exceptions import MatrixShapeError, MatrixValueError, WeightError
 from ..normalize.standard_form import DEFAULT_TOL
+from ..obs import current_recorder, span as _obs_span, traced
 from ._stack import as_ecs_stack, stack_environments
 from .measures import average_adjacent_ratio_batched
 from .sinkhorn import standardize_batched
@@ -133,6 +134,7 @@ def _characterize_columns(args: tuple) -> tuple:
     return (profile.mph, profile.tdh, profile.tma, iterations, converged)
 
 
+@traced(name="batch.characterize_ensemble")
 def characterize_ensemble(
     environments,
     *,
@@ -220,6 +222,10 @@ def characterize_ensemble(
         from .._parallel import parallel_map
         from ..normalize.standard_form import _coerce_ecs
 
+        rec = current_recorder()
+        if rec is not None:
+            rec.counter("ensemble.slices", len(environments))
+            rec.counter("ensemble.fallback_slices", len(environments))
         items = [(_coerce_ecs(env), tol, tma_fallback) for env in environments]
         columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
         return _from_columns(columns, n_tasks=None, n_machines=None)
@@ -228,6 +234,11 @@ def characterize_ensemble(
     positive = (stack > 0).all(axis=(1, 2))
     if not batched:
         positive = np.zeros(n_slices, dtype=bool)
+    rec = current_recorder()
+    if rec is not None:
+        rec.counter("ensemble.slices", n_slices)
+        rec.counter("ensemble.batched_slices", int(positive.sum()))
+        rec.counter("ensemble.fallback_slices", int((~positive).sum()))
 
     mph = np.empty(n_slices, dtype=np.float64)
     tdh = np.empty(n_slices, dtype=np.float64)
@@ -248,7 +259,13 @@ def characterize_ensemble(
             max_iterations=max_iterations,
             require_convergence=False,
         )
-        values = np.linalg.svd(standard.matrices, compute_uv=False)
+        with _obs_span(
+            "svd.batched",
+            slices=sub.shape[0],
+            rows=sub.shape[1],
+            cols=sub.shape[2],
+        ):
+            values = np.linalg.svd(standard.matrix, compute_uv=False)
         if values.shape[1] < 2:
             tma[positive] = 0.0
         else:

@@ -18,6 +18,7 @@ import numpy as np
 from .._validation import check_weights
 from ..exceptions import MatrixValueError
 from ..normalize.standard_form import DEFAULT_TOL
+from ..obs import span as _obs_span
 from ._stack import as_ecs_stack
 from .sinkhorn import standardize_batched
 
@@ -153,7 +154,11 @@ def standard_singular_values_batched(
         max_iterations=max_iterations,
         require_convergence=require_convergence,
     )
-    return np.linalg.svd(standard.matrices, compute_uv=False)
+    shape = standard.matrix.shape
+    with _obs_span(
+        "svd.batched", slices=shape[0], rows=shape[1], cols=shape[2]
+    ):
+        return np.linalg.svd(standard.matrix, compute_uv=False)
 
 
 def tma_batched(

@@ -31,7 +31,9 @@ import numpy as np
 
 from .._validation import check_positive_scalar
 from ..exceptions import ConvergenceError, MatrixValueError
+from ..normalize.outcome import _deprecated_alias
 from ..normalize.sinkhorn import NormalizationResult
+from ..obs import current_recorder, span as _obs_span
 from ..normalize.standard_form import standard_targets
 from ._stack import as_float_stack
 
@@ -46,9 +48,15 @@ __all__ = [
 class BatchNormalizationResult:
     """Columnar outcome of the batched alternating-scaling iteration.
 
+    Field names follow the :class:`~repro.normalize.ScalingOutcome`
+    protocol shared with the scalar results — ``matrix`` is the whole
+    scaled stack here, and the diagnostics are per-slice arrays instead
+    of scalars.  The pre-1.1 names ``matrices`` and
+    ``residual_histories`` remain as deprecated aliases.
+
     Attributes
     ----------
-    matrices : numpy.ndarray, shape (N, T, M)
+    matrix : numpy.ndarray, shape (N, T, M)
         The scaled stack; slice ``i`` is ``D1_i @ A_i @ D2_i``.
     row_scale : numpy.ndarray, shape (N, T)
         Per-slice diagonals of ``D1``.
@@ -62,37 +70,42 @@ class BatchNormalizationResult:
     residual : numpy.ndarray, shape (N,)
         Final per-slice residual (largest absolute row/column-sum
         deviation from its target).
-    residual_histories : tuple of tuple of float
+    residual_history : tuple of tuple of float
         Per-slice residual trace; entry 0 of each is the residual of
         the *input* slice, matching the scalar result's convention.
     row_target, col_target : float
         The target sums the iteration aimed for.
     """
 
-    matrices: np.ndarray
+    matrix: np.ndarray
     row_scale: np.ndarray
     col_scale: np.ndarray
     converged: np.ndarray
     iterations: np.ndarray
     residual: np.ndarray
-    residual_histories: tuple[tuple[float, ...], ...] = field(repr=False)
+    residual_history: tuple[tuple[float, ...], ...] = field(repr=False)
     row_target: float = 1.0
     col_target: float = 1.0
 
+    matrices = _deprecated_alias("matrices", "matrix")
+    residual_histories = _deprecated_alias(
+        "residual_histories", "residual_history"
+    )
+
     def __len__(self) -> int:
-        return self.matrices.shape[0]
+        return self.matrix.shape[0]
 
     def slice(self, index: int) -> NormalizationResult:
         """The scalar-compatible :class:`NormalizationResult` of slice
         ``index`` (a bridge for code written against the scalar API)."""
         return NormalizationResult(
-            matrix=self.matrices[index].copy(),
+            matrix=self.matrix[index].copy(),
             row_scale=self.row_scale[index].copy(),
             col_scale=self.col_scale[index].copy(),
             converged=bool(self.converged[index]),
             iterations=int(self.iterations[index]),
             residual=float(self.residual[index]),
-            residual_history=self.residual_histories[index],
+            residual_history=self.residual_history[index],
             row_target=self.row_target,
             col_target=self.col_target,
         )
@@ -146,7 +159,7 @@ def sinkhorn_knopp_batched(
     >>> result = sinkhorn_knopp_batched(stack)
     >>> bool(result.converged.all())
     True
-    >>> np.round(result.matrices.sum(axis=2), 6)
+    >>> np.round(result.matrix.sum(axis=2), 6)
     array([[1., 1.],
            [1., 1.]])
     """
@@ -186,31 +199,44 @@ def sinkhorn_knopp_batched(
     iterations = np.zeros(n_slices, dtype=np.int64)
     active = ~converged
     it = 0
-    while active.any() and it < max_iterations:
-        idx = np.nonzero(active)[0]
-        sub = work[idx]
-        # Column pass (eq. 9, odd k).  As in the scalar kernel, the
-        # accumulated diagonal scales can overflow for non-normalizable
-        # zero patterns while the matrix iterates stay bounded.
-        factors = col_target / sub.sum(axis=1)
-        sub *= factors[:, None, :]
-        with np.errstate(over="ignore"):
-            col_scale[idx] *= factors
-        # Row pass (eq. 9, even k).
-        factors = row_target / sub.sum(axis=2)
-        sub *= factors[:, :, None]
-        with np.errstate(over="ignore"):
-            row_scale[idx] *= factors
-        work[idx] = sub
-        it += 1
-        iterations[idx] = it
-        res = _residuals(sub, row_target, col_target)
-        residual[idx] = res
-        for pos, i in enumerate(idx):
-            histories[i].append(float(res[pos]))
-        done = res <= tol
-        converged[idx] = done
-        active[idx] = ~done
+    rec = current_recorder()
+    with _obs_span(
+        "sinkhorn.batched", slices=n_slices, rows=n_rows, cols=n_cols
+    ) as sp:
+        while active.any() and it < max_iterations:
+            idx = np.nonzero(active)[0]
+            if rec is not None:
+                # Active-mask occupancy: how many slices still iterate.
+                sp.sample("active_slices", idx.size)
+            sub = work[idx]
+            # Column pass (eq. 9, odd k).  As in the scalar kernel, the
+            # accumulated diagonal scales can overflow for
+            # non-normalizable zero patterns while the matrix iterates
+            # stay bounded.
+            factors = col_target / sub.sum(axis=1)
+            sub *= factors[:, None, :]
+            with np.errstate(over="ignore"):
+                col_scale[idx] *= factors
+            # Row pass (eq. 9, even k).
+            factors = row_target / sub.sum(axis=2)
+            sub *= factors[:, :, None]
+            with np.errstate(over="ignore"):
+                row_scale[idx] *= factors
+            work[idx] = sub
+            it += 1
+            iterations[idx] = it
+            res = _residuals(sub, row_target, col_target)
+            residual[idx] = res
+            for pos, i in enumerate(idx):
+                histories[i].append(float(res[pos]))
+            done = res <= tol
+            converged[idx] = done
+            active[idx] = ~done
+        sp.note(
+            iterations=int(it),
+            converged_slices=int(converged.sum()),
+            max_residual=float(residual.max()),
+        )
     if active.any() and require_convergence:
         bad = np.nonzero(active)[0]
         raise ConvergenceError(
@@ -222,13 +248,13 @@ def sinkhorn_knopp_batched(
             residual=float(residual[bad].max()),
         )
     return BatchNormalizationResult(
-        matrices=work,
+        matrix=work,
         row_scale=row_scale,
         col_scale=col_scale,
         converged=converged,
         iterations=iterations,
         residual=residual,
-        residual_histories=tuple(tuple(h) for h in histories),
+        residual_history=tuple(tuple(h) for h in histories),
         row_target=row_target,
         col_target=col_target,
     )
@@ -253,7 +279,7 @@ def standardize_batched(
     --------
     >>> import numpy as np
     >>> result = standardize_batched(np.array([[[1.0, 0.0], [0.0, 3.0]]]))
-    >>> np.round(result.matrices[0], 6)
+    >>> np.round(result.matrix[0], 6)
     array([[1., 0.],
            [0., 1.]])
     """

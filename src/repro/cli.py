@@ -24,6 +24,11 @@ Subcommands
 ``recommend FILE``
     Measure-driven mapping-heuristic recommendation (and optionally the
     measured makespan ranking to check it).
+``profile FILE``
+    Run the characterize + scheduling pipeline under the
+    :mod:`repro.obs` recorder and print the span/counter summary
+    (Sinkhorn, SVD and heuristic hot paths).  ``FILE`` is an ETC CSV
+    path or a bundled dataset name.
 """
 
 from __future__ import annotations
@@ -136,6 +141,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="also run every heuristic and show the ranking")
     p.add_argument("--total", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace the measure/scheduling hot paths (repro.obs)",
+    )
+    p.add_argument(
+        "file",
+        help="labelled ETC CSV, or a bundled dataset name "
+        "(see `repro-hc dataset --list`)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also stream the raw trace events to this JSONL file",
+    )
+    p.add_argument("--total", type=int, default=None,
+                   help="task instances for the scheduling stage")
     p.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -275,6 +300,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ):
                     marker = "  <- recommended" if h == name else ""
                     print(f"  {h:<10} ratio={ratio:.2f}{marker}")
+        elif args.command == "profile":
+            from .obs import recording
+
+            if args.file in list_datasets():
+                env = load_dataset(args.file)
+            else:
+                env = load_etc_csv(args.file)
+            with recording(trace_path=args.output) as rec:
+                profile = characterize(env)
+                comparison = compare_heuristics(
+                    env, total=args.total, seed=args.seed
+                )
+                stats = rec.summary()
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "file": args.file,
+                            "n_tasks": profile.n_tasks,
+                            "n_machines": profile.n_machines,
+                            "measures": {
+                                "mph": profile.mph,
+                                "tdh": profile.tdh,
+                                "tma": profile.tma,
+                            },
+                            "best_heuristic": comparison.best,
+                            **stats.to_dict(),
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                print(profile.summary())
+                print(f"best heuristic: {comparison.best}")
+                print()
+                print(stats.table())
+                if args.output:
+                    print(f"\ntrace events written to {args.output}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -31,12 +31,13 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
-from ..exceptions import MatrixValueError
+from .._validation import check_choice
 from ..normalize.standard_form import (
     DEFAULT_TOL,
     column_normalize,
     standardize,
 )
+from ..obs import span as _obs_span
 
 __all__ = ["tma", "task_machine_affinity", "standard_singular_values"]
 
@@ -44,6 +45,8 @@ __all__ = ["tma", "task_machine_affinity", "standard_singular_values"]
 def standard_singular_values(
     matrix,
     *,
+    task_weights=None,
+    machine_weights=None,
     tol: float = DEFAULT_TOL,
     max_iterations: int = 100_000,
     zeros: str = "strict",
@@ -55,17 +58,27 @@ def standard_singular_values(
     ``scipy.linalg.svdvals`` is used — values only, no singular vectors,
     the economical call the guides recommend for this access pattern.
     ``zeros`` selects the Section-VI handling (see
-    :func:`repro.normalize.standardize`).
+    :func:`repro.normalize.standardize`); weighting factors follow the
+    canonical override rule shared by every measure.
     """
     standard = standardize(
-        matrix, tol=tol, max_iterations=max_iterations, zeros=zeros
+        matrix,
+        task_weights=task_weights,
+        machine_weights=machine_weights,
+        tol=tol,
+        max_iterations=max_iterations,
+        zeros=zeros,
     )
-    return scipy.linalg.svdvals(standard.matrix)
+    shape = standard.matrix.shape
+    with _obs_span("svd.scalar", rows=shape[0], cols=shape[1]):
+        return scipy.linalg.svdvals(standard.matrix)
 
 
 def tma(
     matrix,
     *,
+    task_weights=None,
+    machine_weights=None,
     method: str = "standard",
     tol: float = DEFAULT_TOL,
     max_iterations: int = 100_000,
@@ -78,6 +91,10 @@ def tma(
     matrix : ECSMatrix, ETCMatrix or array-like
         The environment.  ECSMatrix weighting factors are applied before
         normalization; ETC inputs are converted through eq. 1.
+    task_weights, machine_weights : array-like, optional
+        Explicit weighting factors, overriding any wrapper-stored ones
+        — the same convention as :func:`repro.measures.mph` and
+        :func:`repro.measures.tdh`.
     method : {"standard", "column"}
         ``"standard"`` — eq. 8 on the standard-form matrix (requires the
         zero pattern to be normalizable; raises
@@ -109,24 +126,33 @@ def tma(
     >>> round(tma([[1.0, 0.0], [0.0, 1.0]]), 9)
     1.0
     """
+    check_choice(method, name="method", choices=("standard", "column"))
     if method == "standard":
         values = standard_singular_values(
-            matrix, tol=tol, max_iterations=max_iterations, zeros=zeros
+            matrix,
+            task_weights=task_weights,
+            machine_weights=machine_weights,
+            tol=tol,
+            max_iterations=max_iterations,
+            zeros=zeros,
         )
         if values.shape[0] < 2:
             return 0.0
         # sigma_1 == 1 by Theorem 2 (up to tol); eq. 8 drops the 1/sigma_1.
         raw = float(values[1:].sum() / (values.shape[0] - 1))
-    elif method == "column":
-        normalized = column_normalize(matrix)
-        values = scipy.linalg.svdvals(normalized)
+    else:
+        normalized = column_normalize(
+            matrix,
+            task_weights=task_weights,
+            machine_weights=machine_weights,
+        )
+        with _obs_span(
+            "svd.scalar", rows=normalized.shape[0], cols=normalized.shape[1]
+        ):
+            values = scipy.linalg.svdvals(normalized)
         if values.shape[0] < 2:
             return 0.0
         raw = float(values[1:].sum() / ((values.shape[0] - 1) * values[0]))
-    else:
-        raise MatrixValueError(
-            f"method must be 'standard' or 'column', got {method!r}"
-        )
     # Clamp tiny numerical excursions (|error| ~ tol) into the range.
     return float(min(max(raw, 0.0), 1.0))
 

@@ -14,12 +14,10 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.linalg
 
-from ..exceptions import (
-    ConvergenceError,
-    MatrixValueError,
-    NotNormalizableError,
-)
+from .._validation import check_choice
+from ..exceptions import ConvergenceError, NotNormalizableError
 from ..normalize.standard_form import DEFAULT_TOL, standardize
+from ..obs import span as _obs_span
 from ._coerce import coerce_ecs_and_weights
 from .affinity import tma
 from .alternatives import (
@@ -96,7 +94,9 @@ class HeterogeneityProfile:
 
 def _tma_from_standard(standard) -> float:
     """eq. 8 on an already-computed standard form (no second Sinkhorn)."""
-    values = scipy.linalg.svdvals(standard.matrix)
+    shape = standard.matrix.shape
+    with _obs_span("svd.scalar", rows=shape[0], cols=shape[1]):
+        values = scipy.linalg.svdvals(standard.matrix)
     if values.shape[0] < 2:
         return 0.0
     return float(min(max(values[1:].sum() / (values.shape[0] - 1), 0.0), 1.0))
@@ -138,11 +138,9 @@ def characterize(
     >>> round(profile.mph, 4), round(profile.tdh, 4), round(profile.tma, 4)
     (0.5, 0.5, 0.0)
     """
-    if tma_fallback not in ("limit", "column", "raise"):
-        raise MatrixValueError(
-            f"tma_fallback must be 'limit', 'column' or 'raise', got "
-            f"{tma_fallback!r}"
-        )
+    check_choice(
+        tma_fallback, name="tma_fallback", choices=("limit", "column", "raise")
+    )
     ecs, w_t, w_m = coerce_ecs_and_weights(matrix, task_weights, machine_weights)
     weighted = w_t[:, None] * w_m[None, :] * ecs
     mp = weighted.sum(axis=0)
@@ -151,31 +149,35 @@ def characterize(
     iterations: int | None = None
     residual: float | None = None
     method = "standard"
-    try:
-        standard = standardize(weighted, tol=tol, zeros="strict")
-        iterations = standard.iterations
-        residual = standard.residual
-        tma_value = _tma_from_standard(standard)
-    except (NotNormalizableError, ConvergenceError):
-        if tma_fallback == "raise":
-            raise
-        if tma_fallback == "limit":
-            try:
-                standard = standardize(weighted, tol=tol, zeros="limit")
-            except NotNormalizableError:
-                # Even the eq. 9 limit may not exist (the margins can be
-                # infeasible outright, e.g. one machine compatible with
-                # a single task type); eq. 5 always is.
+    with _obs_span(
+        "measures.characterize", rows=ecs.shape[0], cols=ecs.shape[1]
+    ) as sp:
+        try:
+            standard = standardize(weighted, tol=tol, zeros="strict")
+            iterations = standard.iterations
+            residual = standard.residual
+            tma_value = _tma_from_standard(standard)
+        except (NotNormalizableError, ConvergenceError):
+            if tma_fallback == "raise":
+                raise
+            if tma_fallback == "limit":
+                try:
+                    standard = standardize(weighted, tol=tol, zeros="limit")
+                except NotNormalizableError:
+                    # Even the eq. 9 limit may not exist (the margins can
+                    # be infeasible outright, e.g. one machine compatible
+                    # with a single task type); eq. 5 always is.
+                    method = "column"
+                    tma_value = tma(weighted, method="column")
+                else:
+                    method = "limit"
+                    iterations = standard.iterations
+                    residual = standard.residual
+                    tma_value = _tma_from_standard(standard)
+            else:
                 method = "column"
                 tma_value = tma(weighted, method="column")
-            else:
-                method = "limit"
-                iterations = standard.iterations
-                residual = standard.residual
-                tma_value = _tma_from_standard(standard)
-        else:
-            method = "column"
-            tma_value = tma(weighted, method="column")
+        sp.note(tma_method=method, iterations=iterations)
 
     return HeterogeneityProfile(
         mph=average_adjacent_ratio(mp),

@@ -18,6 +18,7 @@ This package implements:
   by difficulty (ascending), the ordering MPH and TDH are defined on.
 """
 
+from .outcome import ScalingOutcome
 from .sinkhorn import (
     NormalizationResult,
     sinkhorn_knopp,
@@ -39,6 +40,7 @@ from .diagnostics import (
 )
 
 __all__ = [
+    "ScalingOutcome",
     "NormalizationResult",
     "sinkhorn_knopp",
     "scale_to_margins",

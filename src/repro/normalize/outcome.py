@@ -1,0 +1,90 @@
+"""The unified result-object protocol for scaling/normalization outcomes.
+
+Three result classes report the outcome of an alternating-scaling run:
+
+* :class:`~repro.normalize.NormalizationResult` — one matrix, one
+  Sinkhorn run (``sinkhorn_knopp`` / ``scale_to_margins``);
+* :class:`~repro.normalize.StandardFormResult` — one matrix with the
+  Theorem-2 targets (``standardize``), wrapping a NormalizationResult;
+* :class:`~repro.batch.BatchNormalizationResult` — an ``(N, T, M)``
+  stack (``sinkhorn_knopp_batched`` / ``standardize_batched``), with
+  per-slice diagnostic arrays.
+
+Historically they drifted apart (``matrices`` vs ``matrix``,
+``residual_histories`` vs ``residual_history``); all three now expose
+the same five core fields, captured by the :class:`ScalingOutcome`
+protocol:
+
+=====================  ====================================================
+field                  meaning
+=====================  ====================================================
+``matrix``             the scaled matrix (or the whole scaled stack)
+``iterations``         full column+row iterations run (int or (N,) array)
+``converged``          tolerance reached (bool or (N,) bool array)
+``residual``           final max row/column-sum error (float or (N,) array)
+``residual_history``   residual after each iteration, entry 0 = the input
+=====================  ====================================================
+
+Code written against these five names works on any of the three
+results; the old batch-specific spellings remain as deprecated
+properties that emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["ScalingOutcome"]
+
+
+@runtime_checkable
+class ScalingOutcome(Protocol):
+    """Structural protocol every scaling result satisfies.
+
+    ``isinstance(result, ScalingOutcome)`` checks that the five core
+    fields are present (it is a :func:`typing.runtime_checkable`
+    protocol); the field *types* are scalars for single-matrix results
+    and per-slice arrays for batch results.
+
+    Examples
+    --------
+    >>> from repro.normalize import ScalingOutcome, sinkhorn_knopp
+    >>> result = sinkhorn_knopp([[1.0, 2.0], [3.0, 4.0]])
+    >>> isinstance(result, ScalingOutcome)
+    True
+    """
+
+    @property
+    def matrix(self) -> Any: ...
+
+    @property
+    def iterations(self) -> Any: ...
+
+    @property
+    def converged(self) -> Any: ...
+
+    @property
+    def residual(self) -> Any: ...
+
+    @property
+    def residual_history(self) -> Any: ...
+
+
+def _deprecated_alias(old: str, new: str) -> property:
+    """A read-only property forwarding ``old`` to ``new`` with a
+    :class:`DeprecationWarning` (used to keep pre-protocol field names
+    alive on the result dataclasses)."""
+
+    def getter(self):
+        warnings.warn(
+            f"{type(self).__name__}.{old} is deprecated; use .{new} "
+            "(the ScalingOutcome field name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new)
+
+    getter.__name__ = old
+    getter.__doc__ = f"Deprecated alias for :attr:`{new}`."
+    return property(getter)

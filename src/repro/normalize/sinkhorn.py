@@ -26,6 +26,7 @@ from .._validation import (
     check_positive_scalar,
 )
 from ..exceptions import ConvergenceError, MatrixValueError
+from ..obs import span as _obs_span
 
 __all__ = [
     "NormalizationResult",
@@ -158,27 +159,32 @@ def sinkhorn_knopp(
     history = [_residual(work, row_target, col_target)]
     converged = history[0] <= tol
     iterations = 0
-    while not converged and iterations < max_iterations:
-        # Column pass (eq. 9, odd k): scale columns to col_target.
-        # The accumulated diagonal scales can overflow for
-        # non-normalizable zero patterns (they genuinely diverge while
-        # the matrix iterates stay bounded); that is reported through
-        # ConvergenceError, not a warning.
-        col_sums = work.sum(axis=0)
-        factors = col_target / col_sums
-        work *= factors[None, :]
-        with np.errstate(over="ignore"):
-            col_scale *= factors
-        # Row pass (eq. 9, even k): scale rows to row_target.
-        row_sums = work.sum(axis=1)
-        factors = row_target / row_sums
-        work *= factors[:, None]
-        with np.errstate(over="ignore"):
-            row_scale *= factors
-        iterations += 1
-        residual = _residual(work, row_target, col_target)
-        history.append(residual)
-        converged = residual <= tol
+    with _obs_span("sinkhorn.scalar", rows=n_rows, cols=n_cols) as sp:
+        while not converged and iterations < max_iterations:
+            # Column pass (eq. 9, odd k): scale columns to col_target.
+            # The accumulated diagonal scales can overflow for
+            # non-normalizable zero patterns (they genuinely diverge
+            # while the matrix iterates stay bounded); that is reported
+            # through ConvergenceError, not a warning.
+            col_sums = work.sum(axis=0)
+            factors = col_target / col_sums
+            work *= factors[None, :]
+            with np.errstate(over="ignore"):
+                col_scale *= factors
+            # Row pass (eq. 9, even k): scale rows to row_target.
+            row_sums = work.sum(axis=1)
+            factors = row_target / row_sums
+            work *= factors[:, None]
+            with np.errstate(over="ignore"):
+                row_scale *= factors
+            iterations += 1
+            residual = _residual(work, row_target, col_target)
+            history.append(residual)
+            converged = residual <= tol
+        sp.note(
+            iterations=iterations, converged=converged, residual=history[-1]
+        )
+        sp.sample("residual", history)
     if not converged and require_convergence:
         raise ConvergenceError(
             f"row/column normalization did not reach tol={tol:g} within "
@@ -266,17 +272,22 @@ def scale_to_margins(
     history = [residual(work)]
     converged = history[0] <= tol
     iterations = 0
-    while not converged and iterations < max_iterations:
-        factors = c / work.sum(axis=0)
-        work *= factors[None, :]
-        col_scale *= factors
-        factors = r / work.sum(axis=1)
-        work *= factors[:, None]
-        row_scale *= factors
-        iterations += 1
-        res = residual(work)
-        history.append(res)
-        converged = res <= tol
+    with _obs_span("sinkhorn.margins", rows=n_rows, cols=n_cols) as sp:
+        while not converged and iterations < max_iterations:
+            factors = c / work.sum(axis=0)
+            work *= factors[None, :]
+            col_scale *= factors
+            factors = r / work.sum(axis=1)
+            work *= factors[:, None]
+            row_scale *= factors
+            iterations += 1
+            res = residual(work)
+            history.append(res)
+            converged = res <= tol
+        sp.note(
+            iterations=iterations, converged=converged, residual=history[-1]
+        )
+        sp.sample("residual", history)
     if not converged and require_convergence:
         raise ConvergenceError(
             f"margin scaling did not reach tol={tol:g} within "

@@ -20,9 +20,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import as_ecs_array
+from .._validation import as_ecs_array, check_choice, check_weights
 from ..core.environment import ECSMatrix, ETCMatrix
-from ..exceptions import MatrixValueError, NotNormalizableError
+from ..exceptions import NotNormalizableError
 from .sinkhorn import NormalizationResult, sinkhorn_knopp
 
 __all__ = [
@@ -84,19 +84,48 @@ class StandardFormResult:
     def residual(self) -> float:
         return self.normalization.residual
 
+    @property
+    def residual_history(self) -> tuple[float, ...]:
+        """Residual after each iteration (ScalingOutcome field; entry 0
+        is the residual of the input matrix)."""
+        return self.normalization.residual_history
 
-def _coerce_ecs(matrix) -> np.ndarray:
-    """Accept ECSMatrix (weights applied), ETCMatrix (converted), or array."""
-    if isinstance(matrix, ECSMatrix):
-        return as_ecs_array(matrix.weighted_values())
+
+def _coerce_ecs(
+    matrix, task_weights=None, machine_weights=None
+) -> np.ndarray:
+    """Canonical environment coercion (the normalize-side twin of
+    :func:`repro.measures._coerce.coerce_ecs_and_weights`).
+
+    Accepts an :class:`~repro.core.ECSMatrix` (stored weights applied
+    unless explicitly overridden), an :class:`~repro.core.ETCMatrix`
+    (converted through paper eq. 1 first), or a raw array-like.
+    Explicit ``task_weights``/``machine_weights`` follow the same
+    override rule as the measure functions: they replace the wrapper's
+    stored weights for this call.
+    """
     if isinstance(matrix, ETCMatrix):
-        return as_ecs_array(matrix.to_ecs().weighted_values())
-    return as_ecs_array(matrix)
+        matrix = matrix.to_ecs()
+    if isinstance(matrix, ECSMatrix):
+        if task_weights is None:
+            task_weights = matrix.task_weights
+        if machine_weights is None:
+            machine_weights = matrix.machine_weights
+        ecs = matrix.values
+    else:
+        ecs = as_ecs_array(matrix)
+    if task_weights is None and machine_weights is None:
+        return ecs
+    w_t = check_weights(task_weights, ecs.shape[0], name="task_weights")
+    w_m = check_weights(machine_weights, ecs.shape[1], name="machine_weights")
+    return w_t[:, None] * w_m[None, :] * ecs
 
 
 def standardize(
     matrix,
     *,
+    task_weights=None,
+    machine_weights=None,
     tol: float = DEFAULT_TOL,
     max_iterations: int = 100_000,
     require_convergence: bool = True,
@@ -110,6 +139,9 @@ def standardize(
         The environment.  An :class:`~repro.core.ECSMatrix` has its
         weighting factors folded in first; an
         :class:`~repro.core.ETCMatrix` is converted through eq. (1).
+    task_weights, machine_weights : array-like, optional
+        Weighting factors (eqs. 4/6); wrapper-stored weights are used
+        when omitted, exactly as in the measure functions.
     tol, max_iterations, require_convergence
         Passed to :func:`repro.normalize.sinkhorn_knopp`.
     zeros : {"strict", "limit"}
@@ -148,11 +180,8 @@ def standardize(
     >>> res.zeroed_entries
     ((1, 0),)
     """
-    ecs = _coerce_ecs(matrix)
-    if zeros not in ("strict", "limit"):
-        raise MatrixValueError(
-            f"zeros must be 'strict' or 'limit', got {zeros!r}"
-        )
+    ecs = _coerce_ecs(matrix, task_weights, machine_weights)
+    check_choice(zeros, name="zeros", choices=("strict", "limit"))
     zeroed: tuple[tuple[int, int], ...] = ()
     if (ecs == 0).any():
         from ..structure import normalizability_report
@@ -191,15 +220,19 @@ def standardize(
     )
 
 
-def column_normalize(matrix) -> np.ndarray:
+def column_normalize(
+    matrix, *, task_weights=None, machine_weights=None
+) -> np.ndarray:
     """Scale every column of an ECS matrix to sum to 1 (1-norm).
 
     This is the normalization used in the paper's precursor [2] and in
     TMA eq. (5).  The MPH of the result is 1 by construction; row sums
     are *not* equalized, which is exactly why this paper introduces the
-    full standard form once TDH joins the measure set.
+    full standard form once TDH joins the measure set.  Weighting
+    factors follow the canonical override rule (wrapper-stored weights
+    unless explicitly given).
     """
-    ecs = _coerce_ecs(matrix)
+    ecs = _coerce_ecs(matrix, task_weights, machine_weights)
     return ecs / ecs.sum(axis=0, keepdims=True)
 
 

@@ -1,0 +1,65 @@
+"""repro.obs — zero-dependency structured tracing for the compute layers.
+
+The observability subsystem answers "where do time and iterations go"
+for the library's hot paths: Sinkhorn normalization (scalar and
+batched), the SVD behind TMA, the scheduling heuristics and the
+analysis fan-outs.  It is pure stdlib (contextvars + time + json +
+logging) and costs almost nothing when disabled.
+
+Quickstart
+----------
+>>> from repro import characterize
+>>> from repro.obs import recording, summary
+>>> with recording() as rec:
+...     _ = characterize([[1.0, 2.0], [2.0, 1.0]])
+>>> stats = summary(rec)
+>>> stats.covers("sinkhorn") and stats.covers("svd")
+True
+
+Core pieces
+-----------
+* :func:`recording` — activate a contextvar-scoped :class:`Recorder`
+  for a ``with`` block (optionally wiring a JSONL trace file or a
+  :mod:`logging` bridge).
+* :func:`span` / :func:`traced` — instrument a region / a function;
+  no-ops when no recorder is active.
+* :func:`current_recorder` — ambient-recorder lookup for hot loops
+  that guard per-iteration sampling.
+* :func:`summary` — count/total/p50/p95 aggregation per span name,
+  the table behind ``repro-hc profile``.
+* Sinks: :class:`MemorySink`, :class:`JsonlSink`, :class:`LoggingSink`
+  (anything matching the :class:`Sink` protocol works).
+
+See ``docs/OBSERVABILITY.md`` for the recorder model, sink selection
+and measured overhead numbers.
+"""
+
+from .events import CounterEvent, GaugeEvent, SpanEvent
+from .recorder import (
+    Recorder,
+    current_recorder,
+    recording,
+    span,
+    traced,
+)
+from .sinks import JsonlSink, LoggingSink, MemorySink, Sink
+from .summary import SpanStats, SpanSummary, summarize, summary
+
+__all__ = [
+    "Recorder",
+    "recording",
+    "span",
+    "traced",
+    "current_recorder",
+    "summary",
+    "summarize",
+    "SpanSummary",
+    "SpanStats",
+    "SpanEvent",
+    "CounterEvent",
+    "GaugeEvent",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "LoggingSink",
+]

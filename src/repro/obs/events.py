@@ -1,0 +1,139 @@
+"""Structured event records emitted by the :mod:`repro.obs` recorder.
+
+Three event kinds cover the instrumentation needs of the compute
+layers:
+
+* :class:`SpanEvent` — one timed region (a Sinkhorn run, an SVD call,
+  one heuristic execution) with wall/CPU duration, nesting depth,
+  free-form metadata and optional per-iteration sample series
+  (e.g. the residual after every Sinkhorn iteration).
+* :class:`CounterEvent` — a monotonically accumulated count (trials
+  fanned out, scheduling decisions committed).
+* :class:`GaugeEvent` — a point-in-time value (active-mask occupancy,
+  stack memory footprint).
+
+Events are plain frozen dataclasses with a :meth:`to_record` method
+producing the JSON-safe dict representation every sink consumes, so
+new sinks never need to know about the dataclasses themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["SpanEvent", "CounterEvent", "GaugeEvent", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort coercion of metadata values to JSON-safe types.
+
+    Numpy scalars (which carry ``item()``), bools, ints, floats and
+    strings pass through; sequences are converted element-wise; anything
+    else falls back to ``str`` so a sink can never raise on emit.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return jsonable(value.item())
+        except (ValueError, TypeError):
+            return str(value)
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)) or (
+        hasattr(value, "__iter__") and hasattr(value, "__len__")
+    ):
+        return [jsonable(v) for v in value]
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One closed timed region.
+
+    Attributes
+    ----------
+    name : str
+        Dotted span name (``"sinkhorn.scalar"``, ``"svd.batched"``,
+        ``"scheduling.min_min"`` ...).
+    index : int
+        Sequence number within the recorder (0-based, close order).
+    depth : int
+        Nesting depth at entry (0 = top level).
+    start : float
+        Entry time in seconds relative to the recorder's epoch.
+    wall_s, cpu_s : float
+        Wall-clock and process-CPU duration of the region.
+    meta : dict
+        Free-form annotations attached via ``span.note(...)`` (matrix
+        shape, iteration count, makespan, ...).
+    samples : dict of str -> tuple of float
+        Named per-iteration series attached via ``span.sample(...)``
+        (convergence residuals, active-mask occupancy, ...).
+    error : str or None
+        Exception type name when the region exited by raising.
+    """
+
+    name: str
+    index: int
+    depth: int
+    start: float
+    wall_s: float
+    cpu_s: float
+    meta: dict = field(default_factory=dict)
+    samples: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_record(self) -> dict:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "index": self.index,
+            "depth": self.depth,
+            "start": self.start,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "meta": {k: jsonable(v) for k, v in self.meta.items()},
+        }
+        if self.samples:
+            record["samples"] = {
+                k: [float(v) for v in vs] for k, vs in self.samples.items()
+            }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One counter increment (the recorder also keeps running totals)."""
+
+    name: str
+    value: float
+    start: float
+
+    def to_record(self) -> dict:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "value": self.value,
+            "start": self.start,
+        }
+
+
+@dataclass(frozen=True)
+class GaugeEvent:
+    """One point-in-time measurement."""
+
+    name: str
+    value: float
+    start: float
+
+    def to_record(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "start": self.start,
+        }

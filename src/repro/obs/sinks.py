@@ -1,0 +1,111 @@
+"""Pluggable destinations for :mod:`repro.obs` event records.
+
+A sink is anything with ``emit(record: dict)`` and ``close()`` — the
+:class:`Sink` protocol below.  Three stdlib-only implementations ship
+with the library:
+
+* :class:`MemorySink` — append records to an in-process list (the
+  default for tests and interactive use; the recorder's own event list
+  usually suffices, this exists for sink-API symmetry and fan-out).
+* :class:`JsonlSink` — one JSON object per line, append-mode file.
+  The file is opened lazily on the first record so constructing the
+  sink never touches the filesystem.
+* :class:`LoggingSink` — bridge into :mod:`logging`; each record
+  becomes one ``DEBUG`` (spans/gauges) or ``INFO`` (counters at close)
+  message on the ``repro.obs`` logger, so existing logging
+  configuration picks up traces with no extra wiring.
+
+Records are plain dicts (see :meth:`repro.obs.events.SpanEvent.to_record`)
+and are already JSON-safe when they reach a sink.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Sink", "MemorySink", "JsonlSink", "LoggingSink"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive event records."""
+
+    def emit(self, record: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class MemorySink:
+    """Collect records in an in-process list (``sink.records``)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink:
+    """Write one JSON object per line to ``path`` (append mode).
+
+    The file handle is opened on the first :meth:`emit` and closed by
+    :meth:`close` (which :func:`repro.obs.recording` calls on exit).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._handle = None
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class LoggingSink:
+    """Forward records to a :mod:`logging` logger.
+
+    Spans log at DEBUG as ``span sinkhorn.scalar wall=1.23ms cpu=1.10ms``;
+    counters and gauges log their name and value.  Pass a ``logger`` to
+    override the default ``repro.obs`` logger (e.g. to attach handlers
+    in a service).
+    """
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self.logger = logger or logging.getLogger("repro.obs")
+
+    def emit(self, record: dict) -> None:
+        kind = record.get("type", "event")
+        if kind == "span":
+            self.logger.debug(
+                "span %s wall=%.3fms cpu=%.3fms depth=%d meta=%s",
+                record["name"],
+                record["wall_s"] * 1e3,
+                record["cpu_s"] * 1e3,
+                record["depth"],
+                record.get("meta", {}),
+            )
+        elif kind == "counter":
+            self.logger.info(
+                "counter %s += %s", record["name"], record["value"]
+            )
+        else:
+            self.logger.debug(
+                "%s %s = %s", kind, record.get("name"), record.get("value")
+            )
+
+    def close(self) -> None:
+        pass

@@ -90,4 +90,5 @@ __all__ = [
     "RobustnessReport",
     "robustness_radius",
     "robustness_comparison",
+    "gantt_text",
 ]

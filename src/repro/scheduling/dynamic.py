@@ -31,6 +31,7 @@ import numpy as np
 from .._validation import check_positive_scalar, check_probability
 from ..exceptions import SchedulingError
 from ..generate._rng import resolve_rng
+from ..obs import span as _obs_span
 from .workload import Workload
 
 __all__ = [
@@ -193,33 +194,37 @@ def simulate_online(
     starts = np.empty(n_tasks)
     completions = np.empty(n_tasks)
 
-    for i in range(n_tasks):
-        row = etc[i]
-        compatible = np.isfinite(row)
-        if policy == "met":
-            choice = int(np.argmin(np.where(compatible, row, np.inf)))
-        elif policy == "olb":
-            candidates = np.where(compatible, ready, np.inf)
-            best = np.nonzero(candidates == candidates.min())[0]
-            choice = int(best[0] if best.size == 1 else rng.choice(best))
-        elif policy == "kpb":
-            cands = _kpb_candidates(row, k)
-            finish = np.maximum(ready[cands], arrivals[i]) + row[cands]
-            choice = int(cands[np.argmin(finish)])
-        else:  # mct
-            finish = np.where(
-                compatible, np.maximum(ready, arrivals[i]) + row, np.inf
-            )
-            choice = int(np.argmin(finish))
-        start = max(ready[choice], arrivals[i])
-        end = start + row[choice]
-        ready[choice] = end
-        busy[choice] += row[choice]
-        assignment[i] = choice
-        starts[i] = start
-        completions[i] = end
+    with _obs_span(
+        "scheduling.online", policy=label, tasks=n_tasks, machines=n_machines
+    ) as sp:
+        for i in range(n_tasks):
+            row = etc[i]
+            compatible = np.isfinite(row)
+            if policy == "met":
+                choice = int(np.argmin(np.where(compatible, row, np.inf)))
+            elif policy == "olb":
+                candidates = np.where(compatible, ready, np.inf)
+                best = np.nonzero(candidates == candidates.min())[0]
+                choice = int(best[0] if best.size == 1 else rng.choice(best))
+            elif policy == "kpb":
+                cands = _kpb_candidates(row, k)
+                finish = np.maximum(ready[cands], arrivals[i]) + row[cands]
+                choice = int(cands[np.argmin(finish)])
+            else:  # mct
+                finish = np.where(
+                    compatible, np.maximum(ready, arrivals[i]) + row, np.inf
+                )
+                choice = int(np.argmin(finish))
+            start = max(ready[choice], arrivals[i])
+            end = start + row[choice]
+            ready[choice] = end
+            busy[choice] += row[choice]
+            assignment[i] = choice
+            starts[i] = start
+            completions[i] = end
 
-    makespan = float(completions.max())
+        makespan = float(completions.max())
+        sp.note(makespan=makespan)
     return OnlineResult(
         assignment=assignment,
         start_times=starts,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import SchedulingError
 from ..generate._rng import resolve_rng
+from ..obs import current_recorder, span as _obs_span
 from .mapping import Mapping, evaluate_mapping
 from .workload import Workload
 
@@ -260,11 +261,21 @@ def run_heuristic(name: str, etc, *, seed=None, **kwargs) -> Mapping:
     >>> run_heuristic("min_min", [[1.0, 2.0], [2.0, 1.0]]).makespan
     1.0
     """
+    name = name.lower()
     try:
-        fn = HEURISTICS[name.lower()]
+        fn = HEURISTICS[name]
     except KeyError:
         raise SchedulingError(
             f"unknown heuristic {name!r}; available: "
             f"{', '.join(sorted(HEURISTICS))}"
         ) from None
-    return fn(etc, seed=seed, **kwargs)
+    with _obs_span(f"scheduling.{name}") as sp:
+        mapping = fn(etc, seed=seed, **kwargs)
+        sp.note(
+            tasks=int(mapping.assignment.shape[0]),
+            makespan=mapping.makespan,
+        )
+    rec = current_recorder()
+    if rec is not None:
+        rec.counter("scheduling.decisions", int(mapping.assignment.shape[0]))
+    return mapping

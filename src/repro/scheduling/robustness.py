@@ -30,7 +30,7 @@ from .._validation import check_positive_scalar
 from ..exceptions import SchedulingError
 from .heuristics import HEURISTICS, run_heuristic
 from .mapping import Mapping
-from .workload import Workload, expand_workload
+from .workload import expand_workload
 
 __all__ = [
     "RobustnessReport",

@@ -37,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..generate._rng import resolve_rng
-from ..generate.target_driven import _bisect_theta, affinity_core
+from ..generate.target_driven import _bisect_theta
 from ..normalize.sinkhorn import scale_to_margins
 
 __all__ = [

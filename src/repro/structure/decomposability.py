@@ -136,7 +136,6 @@ def find_zero_block(matrix) -> tuple[list[int], list[int]] | None:
             if len(match) < n - 1:
                 # König: a vertex cover of size < n - 1 exists in the
                 # minor; recover a Hall violator among its columns.
-                rows_keep = [i for i in range(n) if i != r]
                 cols_keep = [j for j in range(n) if j != c]
                 violator = _hall_violator(sub)
                 if violator is None:  # pragma: no cover - defensive

@@ -1,7 +1,6 @@
 """Tests for labelled text rendering of environment matrices."""
 
 import numpy as np
-import pytest
 
 from repro import ECSMatrix, ETCMatrix
 from repro.spec import cint2006rate

@@ -86,14 +86,9 @@ class TestConsistency:
         rng = np.random.default_rng(5)
         etc = rng.uniform(1, 100, size=(20, 8))
         out = make_partially_consistent(etc, 0.5, seed=6)
-        sorted_cols = [
-            j
-            for j in range(8)
-            if (out[:, j][:, None] <= out[:, j:][:, :]).all()
-        ]
-        # At least some columns end up pairwise ordered; exact count
-        # depends on the draw, but the matrix must differ from both the
-        # raw and the fully consistent versions.
+        # The matrix must differ from both the raw and the fully
+        # consistent versions (exact ordered-column count depends on
+        # the draw).
         assert not np.array_equal(out, etc)
         assert not np.array_equal(out, make_consistent(etc))
 

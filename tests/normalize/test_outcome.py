@@ -1,0 +1,78 @@
+"""The unified ScalingOutcome result protocol and deprecated aliases."""
+
+import numpy as np
+import pytest
+
+from repro import ScalingOutcome, sinkhorn_knopp, standardize
+from repro.batch import sinkhorn_knopp_batched, standardize_batched
+
+ENV = np.array([[1.0, 2.0], [2.0, 1.0]])
+STACK = np.stack([ENV, ENV * 3.0])
+
+
+class TestProtocolConformance:
+    def test_scalar_results_conform(self):
+        assert isinstance(sinkhorn_knopp(ENV, row_target=1.0), ScalingOutcome)
+        assert isinstance(standardize(ENV), ScalingOutcome)
+
+    def test_batched_results_conform(self):
+        assert isinstance(
+            sinkhorn_knopp_batched(STACK, row_target=1.0), ScalingOutcome
+        )
+        assert isinstance(standardize_batched(STACK), ScalingOutcome)
+
+    def test_unrelated_object_does_not_conform(self):
+        assert not isinstance(object(), ScalingOutcome)
+
+    @pytest.mark.parametrize(
+        "result",
+        [
+            sinkhorn_knopp(ENV, row_target=1.0),
+            standardize(ENV),
+            sinkhorn_knopp_batched(STACK, row_target=1.0),
+        ],
+        ids=["scalar", "standard_form", "batched"],
+    )
+    def test_field_types_line_up(self, result):
+        assert isinstance(result.matrix, np.ndarray)
+        assert np.asarray(result.converged).all()
+        assert np.all(np.asarray(result.iterations) >= 0)
+        assert np.all(np.asarray(result.residual) >= 0)
+        history = result.residual_history
+        assert len(history) >= 1
+
+    def test_generic_consumer_works_across_results(self):
+        def final_residual(outcome: ScalingOutcome) -> float:
+            return float(np.max(np.asarray(outcome.residual)))
+
+        for outcome in (
+            sinkhorn_knopp(ENV, row_target=1.0),
+            standardize(ENV),
+            sinkhorn_knopp_batched(STACK, row_target=1.0),
+        ):
+            assert final_residual(outcome) <= 1e-8
+
+
+class TestDeprecatedAliases:
+    def test_matrices_alias_warns_and_matches(self):
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with pytest.warns(DeprecationWarning, match="matrices is deprecated"):
+            old = result.matrices
+        assert old is result.matrix
+
+    def test_residual_histories_alias_warns_and_matches(self):
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with pytest.warns(
+            DeprecationWarning, match="residual_histories is deprecated"
+        ):
+            old = result.residual_histories
+        assert old == result.residual_history
+
+    def test_new_names_do_not_warn(self):
+        import warnings
+
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = result.matrix
+            _ = result.residual_history

@@ -1,7 +1,6 @@
 """Tests for the measure-driven heuristic recommendation."""
 
 import numpy as np
-import pytest
 
 from repro.measures import characterize
 from repro.scheduling import (
