@@ -49,6 +49,10 @@ Subpackages
     Zero-dependency structured tracing of the Sinkhorn/SVD/scheduling
     hot paths: :func:`recording`, :func:`span`, :func:`traced`,
     :func:`summary`, pluggable sinks.
+``repro.robust``
+    Fault-tolerant ensemble pipeline: quarantine/repair policies
+    (:class:`QuarantineReport`, :class:`Budget`), the repair ladder and
+    seedable chaos fault injection (:class:`FaultPlan`).
 """
 
 from .core import (
@@ -115,6 +119,15 @@ from .batch import (
     tdh_batched,
     tma_batched,
 )
+from .robust import (
+    Budget,
+    FaultPlan,
+    MemberFault,
+    QuarantineReport,
+    RobustEnsembleCharacterization,
+    characterize_ensemble_robust,
+    repaired_matrix,
+)
 
 __version__ = "1.0.0"
 
@@ -171,6 +184,14 @@ __all__ = [
     "mph_batched",
     "tdh_batched",
     "tma_batched",
+    # robust
+    "Budget",
+    "FaultPlan",
+    "MemberFault",
+    "QuarantineReport",
+    "RobustEnsembleCharacterization",
+    "characterize_ensemble_robust",
+    "repaired_matrix",
     # exceptions
     "ReproError",
     "MatrixShapeError",

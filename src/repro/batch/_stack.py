@@ -15,11 +15,16 @@ from ..exceptions import MatrixShapeError, MatrixValueError
 __all__ = ["as_float_stack", "as_ecs_stack", "stack_environments"]
 
 
-def as_float_stack(values, *, name: str = "stack") -> np.ndarray:
+def as_float_stack(
+    values, *, name: str = "stack", allow_nan: bool = False
+) -> np.ndarray:
     """Coerce ``values`` to a 3-D C-contiguous float64 array.
 
     Raises :class:`MatrixShapeError` for non-3D or empty input and
-    :class:`MatrixValueError` for NaN entries.
+    :class:`MatrixValueError` for NaN entries.  ``allow_nan=True``
+    skips the NaN screen — the robust pipeline coerces corrupt stacks
+    deliberately so it can quarantine the offending slices per member
+    instead of rejecting the whole stack.
     """
     arr = np.ascontiguousarray(values, dtype=np.float64)
     if arr.ndim != 3:
@@ -29,7 +34,7 @@ def as_float_stack(values, *, name: str = "stack") -> np.ndarray:
         )
     if arr.size == 0:
         raise MatrixShapeError(f"{name} must be non-empty, got shape {arr.shape}")
-    if np.isnan(arr).any():
+    if not allow_nan and np.isnan(arr).any():
         raise MatrixValueError(f"{name} contains NaN entries")
     return arr
 

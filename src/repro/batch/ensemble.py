@@ -134,6 +134,96 @@ def _characterize_columns(args: tuple) -> tuple:
     return (profile.mph, profile.tdh, profile.tma, iterations, converged)
 
 
+def _coerce_input(
+    environments, task_weights=None, machine_weights=None
+) -> tuple[np.ndarray | None, list | None]:
+    """Shared input coercion for the plain and robust pipelines.
+
+    Returns ``(stack, members)``: a weighted ``(N, T, M)`` float stack
+    (and ``members=None``) when the input stacks, or ``stack=None`` and
+    the list of coerced 2-D member arrays when the shapes are ragged.
+    """
+    if isinstance(environments, np.ndarray) and environments.ndim == 3:
+        stack = as_ecs_stack(environments)
+    elif isinstance(environments, np.ndarray):
+        raise MatrixShapeError(
+            "array input must be a 3-D (N, T, M) stack, got ndim="
+            f"{environments.ndim} (shape {environments.shape}); wrap a "
+            "single matrix as matrix[None, :, :] or pass a list"
+        )
+    else:
+        from ..core.environment import ECSMatrix, ETCMatrix
+
+        environments = list(environments)
+        if any(
+            isinstance(env, (ECSMatrix, ETCMatrix)) for env in environments
+        ) and (task_weights is not None or machine_weights is not None):
+            raise WeightError(
+                "explicit task_weights/machine_weights require raw-array "
+                "environments (matrix wrappers carry their own weights)"
+            )
+        stack = stack_environments(environments)
+
+    if stack is not None and (
+        task_weights is not None or machine_weights is not None
+    ):
+        from .._validation import check_weights
+
+        w_t = check_weights(task_weights, stack.shape[1], name="task_weights")
+        w_m = check_weights(
+            machine_weights, stack.shape[2], name="machine_weights"
+        )
+        stack = w_t[None, :, None] * w_m[None, None, :] * stack
+
+    if stack is None:
+        from ..normalize.standard_form import _coerce_ecs
+
+        return None, [_coerce_ecs(env) for env in environments]
+    return stack, None
+
+
+def _characterize_stack_batched(
+    sub: np.ndarray,
+    *,
+    tol: float,
+    max_iterations: int,
+    deadline_s: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched (MPH, TDH, TMA, iterations, converged) columns of a
+    strictly positive sub-stack.
+
+    The same reductions :func:`repro.measures.characterize` performs on
+    the weighted matrix, lifted one axis: MP is the column-sum rows, TD
+    the row-sum rows, TMA the mean trailing singular value of the
+    standard form (eq. 8).  Per-slice results are independent of which
+    other slices share the stack, which is what lets the robust
+    pipeline promise bit-identical healthy members.
+    """
+    mph = average_adjacent_ratio_batched(sub.sum(axis=1))
+    tdh = average_adjacent_ratio_batched(sub.sum(axis=2))
+    standard = standardize_batched(
+        sub,
+        tol=tol,
+        max_iterations=max_iterations,
+        require_convergence=False,
+        deadline_s=deadline_s,
+    )
+    with _obs_span(
+        "svd.batched",
+        slices=sub.shape[0],
+        rows=sub.shape[1],
+        cols=sub.shape[2],
+    ):
+        values = np.linalg.svd(standard.matrix, compute_uv=False)
+    if values.shape[1] < 2:
+        tma = np.zeros(sub.shape[0], dtype=np.float64)
+    else:
+        tma = np.clip(
+            values[:, 1:].sum(axis=1) / (values.shape[1] - 1), 0.0, 1.0
+        )
+    return mph, tdh, tma, standard.iterations, standard.converged
+
+
 @traced(name="batch.characterize_ensemble")
 def characterize_ensemble(
     environments,
@@ -145,6 +235,9 @@ def characterize_ensemble(
     tma_fallback: str = "limit",
     batched: bool = True,
     n_jobs: int | None = None,
+    policy: str = "raise",
+    budget=None,
+    fault_plan=None,
 ) -> EnsembleCharacterization:
     """Characterize a whole ensemble of environments in one call.
 
@@ -173,6 +266,24 @@ def characterize_ensemble(
     n_jobs : int, optional
         Process-pool width for the scalar path (ignored on the batched
         path, which needs no pool).
+    policy : {"raise", "quarantine", "repair"}
+        Fault handling (see :mod:`repro.robust`).  ``"raise"`` (the
+        default) propagates the first member failure, aborting the
+        whole call — the historical behavior.  ``"quarantine"``
+        isolates failing members into a structured
+        :class:`~repro.robust.QuarantineReport` (their result rows are
+        NaN-masked) while every healthy member completes with
+        bit-identical results; ``"repair"`` additionally retries
+        quarantined members through the
+        :mod:`repro.robust.repair` ladder.  Both return a
+        :class:`~repro.robust.RobustEnsembleCharacterization`.
+    budget : repro.robust.Budget, optional
+        Wall-clock / retry budgets; only valid with a robust policy.
+    fault_plan : repro.robust.FaultPlan, optional
+        Fault injection for chaos drills.  Data faults are applied
+        under any policy (so a drill can also demonstrate the
+        ``"raise"`` crash); ``stall`` faults need a robust policy,
+        whose worker path hosts the injected sleep.
 
     Examples
     --------
@@ -189,44 +300,49 @@ def characterize_ensemble(
             f"tma_fallback must be 'limit', 'column' or 'raise', got "
             f"{tma_fallback!r}"
         )
-    if isinstance(environments, np.ndarray) and environments.ndim == 3:
-        stack = as_ecs_stack(environments)
-    elif isinstance(environments, np.ndarray):
-        raise MatrixShapeError(
-            "array input must be a 3-D (N, T, M) stack, got ndim="
-            f"{environments.ndim} (shape {environments.shape}); wrap a "
-            "single matrix as matrix[None, :, :] or pass a list"
+    if policy not in ("raise", "quarantine", "repair"):
+        raise MatrixValueError(
+            f"policy must be 'raise', 'quarantine' or 'repair', got "
+            f"{policy!r}"
         )
-    else:
-        from ..core.environment import ECSMatrix, ETCMatrix
+    if policy != "raise":
+        from ..robust.ensemble import characterize_ensemble_robust
 
-        environments = list(environments)
-        if any(
-            isinstance(env, (ECSMatrix, ETCMatrix)) for env in environments
-        ) and (task_weights is not None or machine_weights is not None):
-            raise WeightError(
-                "explicit task_weights/machine_weights require raw-array "
-                "environments (matrix wrappers carry their own weights)"
-            )
-        stack = stack_environments(environments)
-
-    if stack is not None and (task_weights is not None or machine_weights is not None):
-        from .._validation import check_weights
-
-        w_t = check_weights(task_weights, stack.shape[1], name="task_weights")
-        w_m = check_weights(machine_weights, stack.shape[2], name="machine_weights")
-        stack = w_t[None, :, None] * w_m[None, None, :] * stack
+        return characterize_ensemble_robust(
+            environments,
+            task_weights=task_weights,
+            machine_weights=machine_weights,
+            tol=tol,
+            max_iterations=max_iterations,
+            tma_fallback=tma_fallback,
+            batched=batched,
+            n_jobs=n_jobs,
+            policy=policy,
+            budget=budget,
+            fault_plan=fault_plan,
+        )
+    if budget is not None:
+        raise MatrixValueError(
+            "budget requires policy='quarantine' or policy='repair'"
+        )
+    stack, members = _coerce_input(environments, task_weights, machine_weights)
+    if fault_plan is not None:
+        if stack is not None:
+            stack = fault_plan.apply(stack)
+        else:
+            members = [
+                fault_plan.apply_member(i, m) for i, m in enumerate(members)
+            ]
 
     if stack is None:
         # Ragged shapes: scalar path for every member.
         from .._parallel import parallel_map
-        from ..normalize.standard_form import _coerce_ecs
 
         rec = current_recorder()
         if rec is not None:
-            rec.counter("ensemble.slices", len(environments))
-            rec.counter("ensemble.fallback_slices", len(environments))
-        items = [(_coerce_ecs(env), tol, tma_fallback) for env in environments]
+            rec.counter("ensemble.slices", len(members))
+            rec.counter("ensemble.fallback_slices", len(members))
+        items = [(member, tol, tma_fallback) for member in members]
         columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
         return _from_columns(columns, n_tasks=None, n_machines=None)
 
@@ -247,33 +363,15 @@ def characterize_ensemble(
     converged = np.zeros(n_slices, dtype=bool)
 
     if positive.any():
-        sub = stack[positive]
-        # Same reductions characterize() performs on the weighted
-        # matrix, lifted one axis: MP is the column-sum rows, TD the
-        # row-sum rows.
-        mph[positive] = average_adjacent_ratio_batched(sub.sum(axis=1))
-        tdh[positive] = average_adjacent_ratio_batched(sub.sum(axis=2))
-        standard = standardize_batched(
-            sub,
-            tol=tol,
-            max_iterations=max_iterations,
-            require_convergence=False,
+        (
+            mph[positive],
+            tdh[positive],
+            tma[positive],
+            iterations[positive],
+            converged[positive],
+        ) = _characterize_stack_batched(
+            stack[positive], tol=tol, max_iterations=max_iterations
         )
-        with _obs_span(
-            "svd.batched",
-            slices=sub.shape[0],
-            rows=sub.shape[1],
-            cols=sub.shape[2],
-        ):
-            values = np.linalg.svd(standard.matrix, compute_uv=False)
-        if values.shape[1] < 2:
-            tma[positive] = 0.0
-        else:
-            tma[positive] = np.clip(
-                values[:, 1:].sum(axis=1) / (values.shape[1] - 1), 0.0, 1.0
-            )
-        iterations[positive] = standard.iterations
-        converged[positive] = standard.converged
 
     fallback = ~positive
     if fallback.any():

@@ -25,6 +25,7 @@ exactly that.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +33,11 @@ import numpy as np
 from .._validation import check_positive_scalar
 from ..exceptions import ConvergenceError, MatrixValueError
 from ..normalize.outcome import _deprecated_alias
-from ..normalize.sinkhorn import NormalizationResult
+from ..normalize.sinkhorn import (
+    NormalizationResult,
+    _check_deadline,
+    convergence_message,
+)
 from ..obs import current_recorder, span as _obs_span
 from ..normalize.standard_form import standard_targets
 from ._stack import as_float_stack
@@ -126,6 +131,7 @@ def sinkhorn_knopp_batched(
     tol: float = 1e-8,
     max_iterations: int = 100_000,
     require_convergence: bool = True,
+    deadline_s: float | None = None,
 ) -> BatchNormalizationResult:
     """Scale every slice of ``stack`` so rows sum to ``row_target`` and
     columns to ``col_target``.
@@ -150,6 +156,12 @@ def sinkhorn_knopp_batched(
         is raised if *any* slice misses the tolerance, naming the
         offending slice indices; when False the best iterates are
         returned with the per-slice ``converged`` mask.
+    deadline_s : float or None
+        Wall-clock budget in seconds (checked once per iteration over
+        the whole stack).  When it expires, still-active slices freeze
+        as non-converged — graceful degradation instead of burning the
+        full iteration budget on a straggling slice.  ``None`` (the
+        default) means unbounded.
 
     Examples
     --------
@@ -199,11 +211,16 @@ def sinkhorn_knopp_batched(
     iterations = np.zeros(n_slices, dtype=np.int64)
     active = ~converged
     it = 0
+    t_end = _check_deadline(deadline_s)
+    timed_out = False
     rec = current_recorder()
     with _obs_span(
         "sinkhorn.batched", slices=n_slices, rows=n_rows, cols=n_cols
     ) as sp:
         while active.any() and it < max_iterations:
+            if t_end is not None and time.monotonic() >= t_end:
+                timed_out = True
+                break
             idx = np.nonzero(active)[0]
             if rec is not None:
                 # Active-mask occupancy: how many slices still iterate.
@@ -236,14 +253,19 @@ def sinkhorn_knopp_batched(
             iterations=int(it),
             converged_slices=int(converged.sum()),
             max_residual=float(residual.max()),
+            timed_out=timed_out,
         )
     if active.any() and require_convergence:
         bad = np.nonzero(active)[0]
         raise ConvergenceError(
-            f"{bad.size} of {n_slices} slices did not reach tol={tol:g} "
-            f"within {max_iterations} iterations (first failing slices: "
-            f"{bad[:5].tolist()}); the matrices may be decomposable — see "
-            "repro.structure.is_normalizable",
+            convergence_message(
+                f"{bad.size} of {n_slices} slices",
+                tol=tol,
+                iterations=int(it),
+                residual=float(residual[bad].max()),
+                failing=bad[:5].tolist(),
+                deadline_s=deadline_s if timed_out else None,
+            ),
             iterations=int(it),
             residual=float(residual[bad].max()),
         )
@@ -266,6 +288,10 @@ def standardize_batched(
     tol: float = 1e-8,
     max_iterations: int = 100_000,
     require_convergence: bool = True,
+    deadline_s: float | None = None,
+    policy: str = "raise",
+    budget=None,
+    fault_plan=None,
 ) -> BatchNormalizationResult:
     """Convert every slice of a stack to the standard ECS form.
 
@@ -275,6 +301,15 @@ def standardize_batched(
     pattern admits no standard form show up as non-converged (see the
     module docstring for the fallback rules).
 
+    ``policy`` selects the fault semantics: ``"raise"`` (default) is
+    the historical behavior described above; ``"quarantine"`` /
+    ``"repair"`` delegate to
+    :func:`repro.robust.standardize_batched_robust`, which isolates
+    corrupt or structurally hopeless slices into a
+    :class:`~repro.robust.QuarantineReport` (NaN result rows) instead
+    of rejecting the whole stack, honouring the optional ``budget``
+    and applying the optional chaos ``fault_plan``.
+
     Examples
     --------
     >>> import numpy as np
@@ -283,6 +318,27 @@ def standardize_batched(
     array([[1., 0.],
            [0., 1.]])
     """
+    if policy not in ("raise", "quarantine", "repair"):
+        raise MatrixValueError(
+            f"policy must be 'raise', 'quarantine' or 'repair', got "
+            f"{policy!r}"
+        )
+    if policy != "raise":
+        from ..robust.ensemble import standardize_batched_robust
+
+        return standardize_batched_robust(
+            stack,
+            tol=tol,
+            max_iterations=max_iterations,
+            policy=policy,
+            budget=budget,
+            fault_plan=fault_plan,
+        )
+    if budget is not None or fault_plan is not None:
+        raise MatrixValueError(
+            "budget/fault_plan require policy='quarantine' or "
+            "policy='repair'"
+        )
     work = as_float_stack(stack, name="stack")
     row_target, col_target = standard_targets(work.shape[1], work.shape[2])
     return sinkhorn_knopp_batched(
@@ -292,4 +348,5 @@ def standardize_batched(
         tol=tol,
         max_iterations=max_iterations,
         require_convergence=require_convergence,
+        deadline_s=deadline_s,
     )

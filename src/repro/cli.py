@@ -28,7 +28,16 @@ Subcommands
     Run the characterize + scheduling pipeline under the
     :mod:`repro.obs` recorder and print the span/counter summary
     (Sinkhorn, SVD and heuristic hot paths).  ``FILE`` is an ETC CSV
-    path or a bundled dataset name.
+    path or a bundled dataset name.  ``--ensemble N`` adds a batched
+    ensemble characterization stage (optionally with a robust
+    ``--policy`` and injected ``--inject-faults``), surfacing the
+    ``ensemble.*`` / ``robust.*`` counters in the summary.
+``characterize FILE``
+    Fault-tolerant ensemble characterization (``repro.robust``): draw a
+    perturbation ensemble around an ETC CSV or bundled dataset, apply a
+    quarantine/repair policy and print the per-member measures plus the
+    quarantine report.  ``--inject-faults "nan=1,stall=2"`` runs a
+    seeded chaos drill against the pipeline.
 """
 
 from __future__ import annotations
@@ -162,7 +171,125 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total", type=int, default=None,
                    help="task instances for the scheduling stage")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ensemble",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also profile an N-member perturbation-ensemble "
+        "characterization (surfaces the ensemble.* counters)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=("raise", "quarantine", "repair"),
+        default="raise",
+        help="fault policy for the --ensemble stage (repro.robust)",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="chaos spec for the --ensemble stage, e.g. 'nan=1,stall=2'",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "characterize",
+        help="fault-tolerant ensemble characterization (repro.robust)",
+    )
+    p.add_argument(
+        "file",
+        help="labelled ETC CSV, or a bundled dataset name "
+        "(see `repro-hc dataset --list`)",
+    )
+    p.add_argument(
+        "--members", type=int, default=16,
+        help="ensemble size drawn around the input matrix",
+    )
+    p.add_argument(
+        "--noise", type=float, default=0.05,
+        help="relative perturbation of each ensemble draw",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--policy",
+        choices=("raise", "quarantine", "repair"),
+        default="quarantine",
+        help="fault handling: raise aborts on the first faulty member, "
+        "quarantine isolates them, repair also retries them",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="seeded chaos drill: comma-separated kind=count, kinds: "
+        "nan, zero-row, zero-col, decomposable, non-convergent, stall",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--severity", type=float, default=None,
+        help="corner dynamic range for injected non-convergent members",
+    )
+    p.add_argument(
+        "--stall-seconds", type=float, default=None,
+        help="injected straggler sleep for stall faults",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-member worker timeout in seconds (straggler guard)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget for the whole run in seconds",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="repair-ladder attempts per quarantined member",
+    )
+    p.add_argument("--jobs", type=int, default=None,
+                   help="process-pool width for the scalar/worker path")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
     return parser
+
+
+def _json_float(value) -> float | None:
+    """NaN-safe float for JSON payloads (NaN rows become null)."""
+    value = float(value)
+    return None if value != value else value
+
+
+def _load_env(file: str):
+    """Load an ETC environment from a CSV path or bundled dataset name."""
+    if file in list_datasets():
+        return load_dataset(file)
+    return load_etc_csv(file)
+
+
+def _ensemble_stack(env, members: int, noise: float, seed: int):
+    """An (N, T, M) perturbation ensemble around ``env``'s ECS matrix."""
+    from .generate.ensembles import perturb_stack
+    from .normalize.standard_form import _coerce_ecs
+
+    return perturb_stack(_coerce_ecs(env), noise, members, seed=seed)
+
+
+def _build_fault_plan(args, n_members: int):
+    """A seeded FaultPlan from --inject-faults, or None."""
+    if args.inject_faults is None:
+        return None
+    from .robust import FaultPlan
+    from .robust.chaos import DEFAULT_SEVERITY, DEFAULT_STALL_S
+
+    severity = getattr(args, "severity", None)
+    stall_s = getattr(args, "stall_seconds", None)
+    return FaultPlan.random(
+        n_members,
+        faults=args.inject_faults,
+        seed=args.fault_seed,
+        severity=DEFAULT_SEVERITY if severity is None else severity,
+        stall_s=DEFAULT_STALL_S if stall_s is None else stall_s,
+    )
 
 
 def _print_profile(profile, as_json: bool) -> None:
@@ -303,41 +430,100 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "profile":
             from .obs import recording
 
-            if args.file in list_datasets():
-                env = load_dataset(args.file)
-            else:
-                env = load_etc_csv(args.file)
+            env = _load_env(args.file)
+            ensemble = None
             with recording(trace_path=args.output) as rec:
                 profile = characterize(env)
                 comparison = compare_heuristics(
                     env, total=args.total, seed=args.seed
                 )
+                if args.ensemble:
+                    from .batch import characterize_ensemble
+
+                    ensemble = characterize_ensemble(
+                        _ensemble_stack(
+                            env, args.ensemble, 0.05, args.seed
+                        ),
+                        policy=args.policy,
+                        fault_plan=_build_fault_plan(args, args.ensemble),
+                    )
                 stats = rec.summary()
             if args.json:
-                print(
-                    json.dumps(
-                        {
-                            "file": args.file,
-                            "n_tasks": profile.n_tasks,
-                            "n_machines": profile.n_machines,
-                            "measures": {
-                                "mph": profile.mph,
-                                "tdh": profile.tdh,
-                                "tma": profile.tma,
-                            },
-                            "best_heuristic": comparison.best,
-                            **stats.to_dict(),
-                        },
-                        indent=2,
-                    )
-                )
+                payload = {
+                    "file": args.file,
+                    "n_tasks": profile.n_tasks,
+                    "n_machines": profile.n_machines,
+                    "measures": {
+                        "mph": profile.mph,
+                        "tdh": profile.tdh,
+                        "tma": profile.tma,
+                    },
+                    "best_heuristic": comparison.best,
+                    **stats.to_dict(),
+                }
+                if ensemble is not None:
+                    payload["ensemble"] = ensemble.summary()
+                print(json.dumps(payload, indent=2))
             else:
                 print(profile.summary())
                 print(f"best heuristic: {comparison.best}")
+                if ensemble is not None:
+                    print(f"ensemble: {ensemble.summary()}")
                 print()
                 print(stats.table())
                 if args.output:
                     print(f"\ntrace events written to {args.output}")
+        elif args.command == "characterize":
+            env = _load_env(args.file)
+            stack = _ensemble_stack(env, args.members, args.noise, args.seed)
+            plan = _build_fault_plan(args, args.members)
+            budget = None
+            if args.policy != "raise":
+                from .robust import Budget
+
+                budget = Budget(
+                    deadline_s=args.deadline,
+                    member_timeout_s=args.timeout,
+                    max_attempts=args.max_attempts,
+                )
+            from .batch import characterize_ensemble
+
+            result = characterize_ensemble(
+                stack,
+                policy=args.policy,
+                budget=budget,
+                fault_plan=plan,
+                n_jobs=args.jobs,
+            )
+            report = getattr(result, "report", None)
+            if args.json:
+                payload = {
+                    "file": args.file,
+                    "members": len(result),
+                    "policy": args.policy,
+                    "mph": [_json_float(v) for v in result.mph],
+                    "tdh": [_json_float(v) for v in result.tdh],
+                    "tma": [_json_float(v) for v in result.tma],
+                    "converged": result.converged.tolist(),
+                }
+                if plan is not None:
+                    payload["injected"] = {
+                        str(k): v
+                        for k, v in plan.expected_categories().items()
+                    }
+                if report is not None:
+                    payload["quarantined"] = list(report.quarantined)
+                    payload["repaired"] = list(report.repaired)
+                    payload["categories"] = {
+                        str(k): v for k, v in report.categories().items()
+                    }
+                print(json.dumps(payload, indent=2))
+            else:
+                if plan is not None:
+                    print(plan.summary())
+                print(result.summary())
+                if report is not None:
+                    print(report.summary())
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -17,6 +17,7 @@ broadcast multiplies, O(T·M) with no Python-level loops over entries.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +35,60 @@ __all__ = [
     "scale_to_margins",
     "scale_by_diagonals",
 ]
+
+#: The continuation hint every ConvergenceError carries, scalar and
+#: batched alike (asserted by tests/normalize/test_convergence_messages).
+CONVERGENCE_HINT = (
+    "the matrix may be decomposable — see repro.structure.is_normalizable"
+)
+
+
+def convergence_message(
+    what: str,
+    *,
+    tol: float,
+    iterations: int,
+    residual: float | None = None,
+    failing=None,
+    deadline_s: float | None = None,
+) -> str:
+    """The unified non-convergence message shared by every variant.
+
+    ``what`` names the failing subject ("row/column normalization",
+    "margin scaling", "3 of 8 slices"); the optional details name the
+    final residual, the first failing slice indices (batched variants)
+    and an expired wall-clock deadline.  Every message ends with the
+    same :data:`CONVERGENCE_HINT` continuation so operators always get
+    the Section-VI pointer.
+    """
+    message = f"{what} did not reach tol={tol:g} within {iterations} iterations"
+    details = []
+    if residual is not None:
+        details.append(f"residual={residual:.3e}")
+    if failing is not None:
+        details.append(f"first failing slices: {failing}")
+    if deadline_s is not None:
+        details.append(f"deadline_s={deadline_s:g} expired")
+    if details:
+        message += f" ({', '.join(details)})"
+    return f"{message}; {CONVERGENCE_HINT}"
+
+
+def _check_deadline(deadline_s: float | None) -> float | None:
+    """Validate ``deadline_s`` and convert it to a monotonic end time."""
+    if deadline_s is None:
+        return None
+    if isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float)):
+        raise MatrixValueError(
+            f"deadline_s must be a non-negative number or None, got "
+            f"{deadline_s!r}"
+        )
+    if deadline_s < 0 or np.isnan(deadline_s):
+        raise MatrixValueError(
+            f"deadline_s must be a non-negative number or None, got "
+            f"{deadline_s!r}"
+        )
+    return time.monotonic() + float(deadline_s)
 
 
 @dataclass(frozen=True)
@@ -91,6 +146,7 @@ def sinkhorn_knopp(
     tol: float = 1e-8,
     max_iterations: int = 100_000,
     require_convergence: bool = True,
+    deadline_s: float | None = None,
 ) -> NormalizationResult:
     """Scale ``matrix`` so rows sum to ``row_target`` and columns to
     ``col_target`` by alternating column and row normalizations.
@@ -117,6 +173,13 @@ def sinkhorn_knopp(
         iterate is returned with ``converged=False`` so callers can
         inspect the residual history (useful for the decomposable
         matrices of Section VI).
+    deadline_s : float, optional
+        Wall-clock budget for the iteration.  When it expires the loop
+        stops exactly as if ``max_iterations`` had been exhausted: the
+        best iterate is returned flagged ``converged=False`` (or a
+        :class:`~repro.exceptions.ConvergenceError` naming the expired
+        deadline is raised under ``require_convergence=True``), so a
+        non-normalizable input can never hang a caller past its budget.
 
     Returns
     -------
@@ -159,8 +222,13 @@ def sinkhorn_knopp(
     history = [_residual(work, row_target, col_target)]
     converged = history[0] <= tol
     iterations = 0
+    t_end = _check_deadline(deadline_s)
+    timed_out = False
     with _obs_span("sinkhorn.scalar", rows=n_rows, cols=n_cols) as sp:
         while not converged and iterations < max_iterations:
+            if t_end is not None and time.monotonic() >= t_end:
+                timed_out = True
+                break
             # Column pass (eq. 9, odd k): scale columns to col_target.
             # The accumulated diagonal scales can overflow for
             # non-normalizable zero patterns (they genuinely diverge
@@ -182,14 +250,21 @@ def sinkhorn_knopp(
             history.append(residual)
             converged = residual <= tol
         sp.note(
-            iterations=iterations, converged=converged, residual=history[-1]
+            iterations=iterations,
+            converged=converged,
+            residual=history[-1],
+            timed_out=timed_out,
         )
         sp.sample("residual", history)
     if not converged and require_convergence:
         raise ConvergenceError(
-            f"row/column normalization did not reach tol={tol:g} within "
-            f"{max_iterations} iterations (residual={history[-1]:.3e}); the "
-            "matrix may be decomposable — see repro.structure.is_normalizable",
+            convergence_message(
+                "row/column normalization",
+                tol=tol,
+                iterations=iterations,
+                residual=history[-1],
+                deadline_s=deadline_s if timed_out else None,
+            ),
             iterations=iterations,
             residual=history[-1],
         )
@@ -214,6 +289,7 @@ def scale_to_margins(
     tol: float = 1e-10,
     max_iterations: int = 100_000,
     require_convergence: bool = True,
+    deadline_s: float | None = None,
 ) -> NormalizationResult:
     """Scale ``matrix`` to *prescribed, possibly unequal* margins.
 
@@ -272,8 +348,13 @@ def scale_to_margins(
     history = [residual(work)]
     converged = history[0] <= tol
     iterations = 0
+    t_end = _check_deadline(deadline_s)
+    timed_out = False
     with _obs_span("sinkhorn.margins", rows=n_rows, cols=n_cols) as sp:
         while not converged and iterations < max_iterations:
+            if t_end is not None and time.monotonic() >= t_end:
+                timed_out = True
+                break
             factors = c / work.sum(axis=0)
             work *= factors[None, :]
             col_scale *= factors
@@ -285,13 +366,21 @@ def scale_to_margins(
             history.append(res)
             converged = res <= tol
         sp.note(
-            iterations=iterations, converged=converged, residual=history[-1]
+            iterations=iterations,
+            converged=converged,
+            residual=history[-1],
+            timed_out=timed_out,
         )
         sp.sample("residual", history)
     if not converged and require_convergence:
         raise ConvergenceError(
-            f"margin scaling did not reach tol={tol:g} within "
-            f"{max_iterations} iterations (residual={history[-1]:.3e})",
+            convergence_message(
+                "margin scaling",
+                tol=tol,
+                iterations=iterations,
+                residual=history[-1],
+                deadline_s=deadline_s if timed_out else None,
+            ),
             iterations=iterations,
             residual=history[-1],
         )

@@ -130,6 +130,7 @@ def standardize(
     max_iterations: int = 100_000,
     require_convergence: bool = True,
     zeros: str = "strict",
+    deadline_s: float | None = None,
 ) -> StandardFormResult:
     """Convert an ECS matrix to standard form.
 
@@ -142,8 +143,10 @@ def standardize(
     task_weights, machine_weights : array-like, optional
         Weighting factors (eqs. 4/6); wrapper-stored weights are used
         when omitted, exactly as in the measure functions.
-    tol, max_iterations, require_convergence
-        Passed to :func:`repro.normalize.sinkhorn_knopp`.
+    tol, max_iterations, require_convergence, deadline_s
+        Passed to :func:`repro.normalize.sinkhorn_knopp`; ``deadline_s``
+        bounds the iteration in wall-clock time (graceful degradation —
+        see :mod:`repro.robust`).
     zeros : {"strict", "limit"}
         How to treat zero patterns for which no exact scaling
         ``D1 (ECS) D2`` with the required sums exists (Section VI):
@@ -214,6 +217,7 @@ def standardize(
         tol=tol,
         max_iterations=max_iterations,
         require_convergence=require_convergence,
+        deadline_s=deadline_s,
     )
     return StandardFormResult(
         matrix=norm.matrix, normalization=norm, zeroed_entries=zeroed

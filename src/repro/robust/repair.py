@@ -1,0 +1,217 @@
+"""Retry-with-repair for quarantined ensemble members.
+
+The ladder maps each fault category to its recovery move:
+
+* ``timeout`` — the member's data is fine, only its worker straggled:
+  recompute locally (the coded-computation move — re-issue the
+  straggler's work instead of waiting for it).
+* ``empty-line`` / ``decomposable`` / ``infeasible`` — pattern surgery
+  via :func:`repro.structure.suggest_repairs`: drop the Marshall–Olkin
+  blocking entries (exact submatrix extraction) when the margins are
+  feasible, otherwise greedily add compatibilities (zero-fill with a
+  plausible speed) until the pattern normalizes.
+* ``non-convergent`` — exponential residual-tolerance backoff: attempt
+  ``k`` reruns the standard-form iteration at ``tol * backoff**k`` with
+  a ``growth**k`` larger iteration budget, so slow-but-convergent
+  members recover at a documented, relaxed tolerance.
+
+Corrupt data (``nan``, ``non-finite``, ``negative``, shapes, unknown
+worker errors) is never "repaired" — inventing entries would silently
+fabricate measures — so those members stay quarantined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import MatrixValueError, ReproError
+from ..measures.alternatives import average_adjacent_ratio
+from ..normalize.standard_form import standardize
+from .budget import Budget, Deadline
+from .taxonomy import UNREPAIRABLE_CATEGORIES
+
+__all__ = ["MemberRecovery", "repair_member", "repaired_matrix"]
+
+
+@dataclass(frozen=True)
+class MemberRecovery:
+    """A successful repair: the recovered profile columns plus how.
+
+    ``columns`` matches the ensemble column layout:
+    ``(mph, tdh, tma, iterations, converged)``.
+    """
+
+    columns: tuple[float, float, float, int, bool]
+    attempts: int
+    repair: str
+
+
+def repaired_matrix(matrix, *, fill: float | None = None) -> np.ndarray:
+    """Pattern-repair ``matrix`` into a normalizable copy.
+
+    Tries the exact ``drop`` plan first (unique blocking set,
+    Marshall–Olkin submatrix extraction); falls back to the greedy
+    ``add`` plan when the margins are infeasible outright (e.g. an
+    all-zero row, which only new compatibilities can fix).  Added
+    entries are filled with ``fill`` — by default the median positive
+    entry, a plausible ECS speed for the new compatibility.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.structure import is_normalizable
+    >>> eq10 = np.array([[0, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=float)
+    >>> bool(is_normalizable(repaired_matrix(eq10)))
+    True
+    """
+    from ..structure import suggest_repairs
+
+    arr = np.asarray(matrix, dtype=np.float64)
+    if fill is None:
+        positive = arr[arr > 0]
+        fill = float(np.median(positive)) if positive.size else 1.0
+    try:
+        plan = suggest_repairs(arr, strategy="drop")
+    except MatrixValueError:
+        plan = suggest_repairs(arr, strategy="add")
+    return plan.apply(arr, fill=fill)
+
+
+def _columns_from_profile(matrix, *, tol, max_iterations, deadline_s=None):
+    """Scalar profile columns with an explicit iteration/deadline budget.
+
+    The ensemble's scalar worker (``repro.measures.characterize``) does
+    not expose ``max_iterations``; the repair ladder needs it, so this
+    computes the same three measures directly: MPH/TDH from the
+    weighted row/column sums, TMA from the standard form (eq. 8).
+    Raises any :class:`~repro.exceptions.ReproError` the kernels raise.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    mph = average_adjacent_ratio(arr.sum(axis=0))
+    tdh = average_adjacent_ratio(arr.sum(axis=1))
+    standard = standardize(
+        arr,
+        tol=tol,
+        max_iterations=max_iterations,
+        require_convergence=False,
+        zeros="limit",
+        deadline_s=deadline_s,
+    )
+    if not standard.converged:
+        return None
+    values = np.linalg.svd(standard.matrix, compute_uv=False)
+    tma = (
+        0.0
+        if values.shape[0] < 2
+        else float(np.clip(values[1:].sum() / (values.shape[0] - 1), 0.0, 1.0))
+    )
+    return (mph, tdh, tma, standard.iterations, True)
+
+
+def repair_member(
+    matrix,
+    category: str,
+    *,
+    tol: float,
+    max_iterations: int,
+    budget: Budget,
+    deadline: Deadline | None = None,
+) -> tuple[MemberRecovery | None, int]:
+    """Attempt to recover one quarantined member.
+
+    Returns ``(recovery, attempts_used)``; ``recovery`` is None when
+    the member is unrepairable, every attempt failed, or the deadline
+    budget ran out first.  ``matrix`` must be the member's (weighted)
+    ECS array as the pipeline saw it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.robust import Budget
+    >>> eq10 = np.array([[0, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=float)
+    >>> recovery, attempts = repair_member(
+    ...     eq10, "decomposable", tol=1e-8, max_iterations=10_000,
+    ...     budget=Budget())
+    >>> recovery.repair, attempts
+    ('drop:1', 1)
+    """
+    if category in UNREPAIRABLE_CATEGORIES:
+        return None, 0
+    deadline = deadline if deadline is not None else Deadline(None)
+
+    if category == "timeout":
+        # Straggler: the data is healthy, re-run the work locally.
+        if deadline.expired():
+            return None, 0
+        try:
+            columns = _columns_from_profile(
+                matrix,
+                tol=tol,
+                max_iterations=max_iterations,
+                deadline_s=deadline.remaining(),
+            )
+        except ReproError:
+            return None, 1
+        if columns is None:
+            return None, 1
+        return MemberRecovery(columns, attempts=1, repair="local-retry"), 1
+
+    if category in ("empty-line", "decomposable", "infeasible"):
+        if deadline.expired():
+            return None, 0
+        from ..structure import suggest_repairs
+
+        arr = np.asarray(matrix, dtype=np.float64)
+        try:
+            try:
+                plan = suggest_repairs(arr, strategy="drop")
+                strategy = "drop"
+            except MatrixValueError:
+                plan = suggest_repairs(arr, strategy="add")
+                strategy = "add"
+            positive = arr[arr > 0]
+            fill = float(np.median(positive)) if positive.size else 1.0
+            columns = _columns_from_profile(
+                plan.apply(arr, fill=fill),
+                tol=tol,
+                max_iterations=max_iterations,
+                deadline_s=deadline.remaining(),
+            )
+        except ReproError:
+            return None, 1
+        if columns is None:
+            return None, 1
+        repair = f"{strategy}:{len(plan.entries)}"
+        return MemberRecovery(columns, attempts=1, repair=repair), 1
+
+    if category == "non-convergent":
+        tolerances = budget.attempt_tolerances(tol)
+        iteration_budgets = budget.attempt_iterations(max_iterations)
+        attempts = 0
+        for tol_k, iters_k in zip(tolerances, iteration_budgets):
+            if deadline.expired():
+                break
+            attempts += 1
+            try:
+                columns = _columns_from_profile(
+                    matrix,
+                    tol=tol_k,
+                    max_iterations=iters_k,
+                    deadline_s=deadline.remaining(),
+                )
+            except ReproError:
+                continue
+            if columns is not None:
+                return (
+                    MemberRecovery(
+                        columns,
+                        attempts=attempts,
+                        repair=f"tol-backoff:{tol_k:g}",
+                    ),
+                    attempts,
+                )
+        return None, attempts
+
+    return None, 0

@@ -1,0 +1,87 @@
+"""Unified non-convergence messages across scalar and batched kernels.
+
+Every ``require_convergence=True`` failure — scalar Sinkhorn, margin
+scaling, batched Sinkhorn — must raise the same message shape with the
+same Section-VI continuation hint, so operators always learn about
+:func:`repro.structure.is_normalizable` no matter which kernel tripped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import sinkhorn_knopp_batched
+from repro.exceptions import ConvergenceError
+from repro.normalize import sinkhorn_knopp
+from repro.normalize.sinkhorn import (
+    CONVERGENCE_HINT,
+    convergence_message,
+    scale_to_margins,
+)
+
+#: Decomposable (eq. 10) pattern: Sinkhorn can never converge exactly.
+EQ10 = np.array([[0, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=float)
+
+
+class TestConvergenceMessage:
+    def test_shape_minimal(self):
+        msg = convergence_message("row/column normalization", tol=1e-8,
+                                  iterations=50)
+        assert msg == (
+            "row/column normalization did not reach tol=1e-08 within "
+            f"50 iterations; {CONVERGENCE_HINT}"
+        )
+
+    def test_shape_with_details(self):
+        msg = convergence_message(
+            "2 of 4 slices",
+            tol=1e-8,
+            iterations=100,
+            residual=3.25e-4,
+            failing=[1, 3],
+            deadline_s=0.5,
+        )
+        assert "residual=3.250e-04" in msg
+        assert "first failing slices: [1, 3]" in msg
+        assert "deadline_s=0.5 expired" in msg
+        assert msg.endswith(CONVERGENCE_HINT)
+
+
+class TestScalarAndBatchedAgree:
+    def test_scalar_sinkhorn_hint(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            sinkhorn_knopp(EQ10, max_iterations=50)
+        message = str(excinfo.value)
+        assert message.startswith(
+            "row/column normalization did not reach tol="
+        )
+        assert "within 50 iterations" in message
+        assert CONVERGENCE_HINT in message
+
+    def test_scale_to_margins_hint(self):
+        with pytest.raises(ConvergenceError) as excinfo:
+            scale_to_margins(EQ10, np.ones(3), np.ones(3), max_iterations=50)
+        message = str(excinfo.value)
+        assert message.startswith("margin scaling did not reach tol=")
+        assert CONVERGENCE_HINT in message
+
+    def test_batched_hint_names_failing_slices(self):
+        stack = np.stack([np.ones((3, 3)), EQ10])
+        with pytest.raises(ConvergenceError) as excinfo:
+            sinkhorn_knopp_batched(stack, max_iterations=50)
+        message = str(excinfo.value)
+        assert "1 of 2 slices did not reach tol=" in message
+        assert "first failing slices: [1]" in message
+        assert CONVERGENCE_HINT in message
+
+    def test_all_variants_share_the_continuation(self):
+        messages = []
+        with pytest.raises(ConvergenceError) as scalar:
+            sinkhorn_knopp(EQ10, max_iterations=50)
+        messages.append(str(scalar.value))
+        with pytest.raises(ConvergenceError) as batched:
+            sinkhorn_knopp_batched(EQ10[None], max_iterations=50)
+        messages.append(str(batched.value))
+        suffixes = {m.rsplit("; ", 1)[-1] for m in messages}
+        assert suffixes == {CONVERGENCE_HINT}

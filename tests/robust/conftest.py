@@ -1,0 +1,23 @@
+"""Shared fixtures for the fault-tolerance (chaos) suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def base_stack() -> np.ndarray:
+    """A healthy, strictly positive (8, 4, 4) ensemble.
+
+    Square slices so every fault kind (including ``decomposable``) can
+    be injected; moderate dynamic range so every slice converges in a
+    handful of Sinkhorn iterations.
+    """
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.5, 2.0, size=(8, 4, 4))
+
+
+def healthy_indices(n: int, plan) -> list[int]:
+    """Members of an ``n``-ensemble the plan does not touch."""
+    return [i for i in range(n) if i not in set(plan.members)]

@@ -1,0 +1,129 @@
+"""Budget/Deadline semantics and no-hang guarantees."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch import characterize_ensemble, sinkhorn_knopp_batched
+from repro.exceptions import MatrixValueError
+from repro.normalize import sinkhorn_knopp, standardize
+from repro.robust import Budget, FaultPlan
+from repro.robust.budget import DEFAULT_BUDGET, Deadline
+
+#: A corner so slow (rate (1 - 2/sqrt(1e14))^2 per sweep) that any
+#: realistic iteration budget is effectively infinite — only a
+#: wall-clock deadline can stop it early.
+GLACIAL = np.array([[1.0, 1.0], [1.0, 1.0e14]])
+
+
+class TestDeadline:
+    def test_unbounded(self):
+        d = Deadline(None)
+        assert not d.expired()
+        assert d.remaining() is None
+        assert d.clamp(5.0) == 5.0
+        assert d.clamp(None) is None
+
+    def test_zero_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+
+    def test_clamp_takes_the_tighter_bound(self):
+        d = Deadline(60.0)
+        assert d.clamp(None) <= 60.0
+        assert d.clamp(1.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(MatrixValueError):
+            Deadline(-1.0)
+
+
+class TestBudget:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": -1.0},
+            {"member_timeout_s": -0.5},
+            {"max_attempts": 0},
+            {"max_attempts": 1.5},
+            {"tol_backoff": 0.5},
+            {"iteration_growth": 0.9},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(MatrixValueError):
+            Budget(**kwargs)
+
+    def test_default_is_unbounded(self):
+        assert DEFAULT_BUDGET.deadline_s is None
+        assert DEFAULT_BUDGET.member_timeout_s is None
+        assert not DEFAULT_BUDGET.start().expired()
+
+    def test_attempt_ladders(self):
+        b = Budget(max_attempts=3, tol_backoff=10.0, iteration_growth=4.0)
+        assert b.attempt_tolerances(1e-8) == [1e-7, 1e-6, 1e-5]
+        assert b.attempt_iterations(100) == [400, 1600, 6400]
+
+
+class TestDeadlineNoHang:
+    """deadline_s must win against an effectively infinite iteration cap."""
+
+    def test_scalar_sinkhorn_deadline(self):
+        start = time.monotonic()
+        result = sinkhorn_knopp(
+            GLACIAL,
+            max_iterations=10**9,
+            require_convergence=False,
+            deadline_s=0.3,
+        )
+        assert time.monotonic() - start < 5.0
+        assert not result.converged
+
+    def test_standardize_deadline(self):
+        start = time.monotonic()
+        result = standardize(
+            GLACIAL,
+            max_iterations=10**9,
+            require_convergence=False,
+            deadline_s=0.3,
+        )
+        assert time.monotonic() - start < 5.0
+        assert not result.converged
+
+    def test_batched_sinkhorn_deadline_partial_outcome(self):
+        stack = np.stack([np.ones((2, 2)), GLACIAL])
+        start = time.monotonic()
+        result = sinkhorn_knopp_batched(
+            stack,
+            max_iterations=10**9,
+            require_convergence=False,
+            deadline_s=0.3,
+        )
+        assert time.monotonic() - start < 5.0
+        # Partial outcome: the healthy slice converged, the glacial one
+        # is flagged rather than hung.
+        assert bool(result.converged[0])
+        assert not result.converged[1]
+
+    def test_ensemble_budget_deadline(self, base_stack):
+        plan = FaultPlan.random(8, faults="non-convergent=1", seed=6)
+        start = time.monotonic()
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            budget=Budget(deadline_s=1.0),
+            max_iterations=10**9,
+        )
+        assert time.monotonic() - start < 10.0
+        assert result.report.categories()[plan.members[0]] == "non-convergent"
+
+    def test_budget_requires_non_raise_policy(self, base_stack):
+        with pytest.raises(MatrixValueError):
+            characterize_ensemble(
+                base_stack, policy="raise", budget=Budget(deadline_s=1.0)
+            )

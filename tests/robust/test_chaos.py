@@ -1,0 +1,261 @@
+"""Chaos suite: the parametrized fault-injection matrix.
+
+The central contract under test: with faults injected into k of N
+members, ``characterize_ensemble(policy="quarantine")`` returns the
+other N−k members with results **bit-identical** to a fault-free run,
+and a quarantine report naming exactly the injected members with the
+categories the plan predicted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import characterize_ensemble
+from repro.exceptions import (
+    GenerationError,
+    MatrixValueError,
+    ReproError,
+)
+from repro.robust import FAULT_KINDS, KIND_CATEGORY, Budget, FaultPlan, FaultSpec
+
+from .conftest import healthy_indices
+
+#: Data-fault kinds (stall manifests in the worker, tested separately).
+DATA_KINDS = ("nan", "zero-row", "zero-col", "decomposable", "non-convergent")
+
+#: Iteration cap for the suite: healthy members converge in tens of
+#: iterations; injected non-convergent members (severity 1e14) need
+#: ~1e7, so this cap keeps the fault cheap while keeping it a fault.
+MAX_ITER = 2_000
+
+
+def _assert_healthy_bit_identical(result, baseline, healthy) -> None:
+    idx = np.asarray(healthy)
+    for field in ("mph", "tdh", "tma", "iterations", "converged", "batched"):
+        np.testing.assert_array_equal(
+            getattr(result, field)[idx],
+            getattr(baseline, field)[idx],
+            err_msg=f"healthy members not bit-identical in {field}",
+        )
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(10, faults="nan=2,zero-row=1", seed=5)
+        b = FaultPlan.random(10, faults="nan=2,zero-row=1", seed=5)
+        assert a == b
+        assert len(a.faults) == 3
+        assert len(set(a.members)) == 3
+
+    def test_spec_string_and_dict_agree(self):
+        a = FaultPlan.random(10, faults="nan=2,stall=1", seed=0)
+        b = FaultPlan.random(10, faults={"nan": 2, "stall": 1}, seed=0)
+        assert a == b
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(MatrixValueError):
+            FaultPlan.random(8, faults="meteor=1", seed=0)
+        with pytest.raises(MatrixValueError):
+            FaultPlan.random(8, faults="nan=zero", seed=0)
+        with pytest.raises(MatrixValueError):
+            FaultPlan.random(8, faults="", seed=0)
+        with pytest.raises(MatrixValueError):
+            FaultPlan.random(2, faults="nan=3", seed=0)
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(MatrixValueError):
+            FaultPlan(
+                faults=(
+                    FaultSpec(kind="nan", member=1),
+                    FaultSpec(kind="zero-row", member=1),
+                )
+            )
+
+    def test_every_kind_maps_to_a_category(self):
+        assert set(KIND_CATEGORY) == set(FAULT_KINDS)
+
+    def test_apply_only_touches_targets(self, base_stack):
+        plan = FaultPlan.random(8, faults="nan=1,zero-col=1", seed=3)
+        corrupted = plan.apply(base_stack)
+        for i in healthy_indices(8, plan):
+            np.testing.assert_array_equal(corrupted[i], base_stack[i])
+        for i in plan.members:
+            assert not np.array_equal(corrupted[i], base_stack[i])
+
+    def test_decomposable_requires_square(self):
+        plan = FaultPlan(faults=(FaultSpec(kind="decomposable", member=0),))
+        with pytest.raises(GenerationError):
+            plan.apply(np.ones((2, 3, 4)))
+
+    def test_out_of_range_member(self, base_stack):
+        plan = FaultPlan(faults=(FaultSpec(kind="nan", member=99),))
+        with pytest.raises(MatrixValueError):
+            plan.apply(base_stack)
+
+
+class TestQuarantineMatrix:
+    """One test per data-fault kind, two injected members each."""
+
+    @pytest.mark.parametrize("kind", DATA_KINDS)
+    def test_healthy_members_bit_identical(self, base_stack, kind):
+        baseline = characterize_ensemble(
+            base_stack, tma_fallback="raise", max_iterations=MAX_ITER
+        )
+        plan = FaultPlan.random(8, faults={kind: 2}, seed=7)
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            tma_fallback="raise",
+            max_iterations=MAX_ITER,
+        )
+        _assert_healthy_bit_identical(
+            result, baseline, healthy_indices(8, plan)
+        )
+        assert set(result.report.quarantined) == set(plan.members)
+        assert result.report.categories() == plan.expected_categories()
+        for i in plan.members:
+            assert np.isnan(result.mph[i])
+            assert np.isnan(result.tdh[i])
+            assert np.isnan(result.tma[i])
+            assert not result.converged[i]
+            assert result.iterations[i] == -1
+
+    def test_mixed_fault_cocktail(self, base_stack):
+        baseline = characterize_ensemble(
+            base_stack, tma_fallback="raise", max_iterations=MAX_ITER
+        )
+        plan = FaultPlan.random(
+            8,
+            faults="nan=1,zero-row=1,decomposable=1,non-convergent=1",
+            seed=13,
+        )
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            tma_fallback="raise",
+            max_iterations=MAX_ITER,
+        )
+        assert len(result.report) == 4
+        assert result.report.categories() == plan.expected_categories()
+        _assert_healthy_bit_identical(
+            result, baseline, healthy_indices(8, plan)
+        )
+        assert sorted(result.report.by_category()) == sorted(
+            set(plan.expected_categories().values())
+        )
+
+    def test_raise_policy_crashes_on_injected_fault(self, base_stack):
+        plan = FaultPlan.random(8, faults="nan=1", seed=1)
+        with pytest.raises(ReproError):
+            characterize_ensemble(
+                base_stack, policy="raise", fault_plan=plan
+            )
+
+    def test_quarantine_under_limit_fallback_keeps_decomposable(
+        self, base_stack
+    ):
+        # Under tma_fallback="limit" a decomposable member is healthy
+        # (eq. 9 limit semantics), so nothing is quarantined.
+        plan = FaultPlan.random(8, faults="decomposable=1", seed=2)
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            tma_fallback="limit",
+            max_iterations=MAX_ITER,
+        )
+        assert not result.report
+        assert bool(result.converged[plan.members[0]])
+
+    def test_scalar_path_quarantines_too(self, base_stack):
+        plan = FaultPlan.random(8, faults="nan=1,zero-row=1", seed=9)
+        batched = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            max_iterations=MAX_ITER,
+        )
+        scalar = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            batched=False,
+            max_iterations=MAX_ITER,
+        )
+        assert scalar.report.categories() == batched.report.categories()
+        healthy = healthy_indices(8, plan)
+        np.testing.assert_allclose(
+            scalar.mph[healthy], batched.mph[healthy], atol=1e-10, rtol=0
+        )
+        np.testing.assert_allclose(
+            scalar.tma[healthy], batched.tma[healthy], atol=1e-10, rtol=0
+        )
+
+    def test_corrupt_stack_without_plan(self, base_stack):
+        corrupt = base_stack.copy()
+        corrupt[3, 0, 0] = np.nan
+        corrupt[5, :, 1] = 0.0
+        result = characterize_ensemble(corrupt, policy="quarantine")
+        assert result.report.categories() == {3: "nan", 5: "empty-line"}
+
+    def test_ragged_ensemble_quarantine(self):
+        members = [
+            np.ones((2, 2)),
+            np.ones((3, 4)),
+            np.array([[1.0, np.inf], [1.0, 1.0]]),
+        ]
+        result = characterize_ensemble(members, policy="quarantine")
+        assert result.report.categories() == {2: "non-finite"}
+        assert result.n_tasks is None
+        assert np.isfinite(result.mph[:2]).all()
+
+    def test_non_array_member_quarantined(self):
+        # numpy can't even coerce a string; it must quarantine as
+        # invalid-shape instead of crashing the whole ensemble.
+        members = [np.ones((2, 2)), np.ones((3, 4)), "garbage"]
+        result = characterize_ensemble(members, policy="quarantine")
+        assert result.report.categories() == {2: "invalid-shape"}
+        assert np.isfinite(result.mph[:2]).all()
+
+
+class TestWorkerFaults:
+    @pytest.mark.slow
+    def test_stall_times_out_and_is_quarantined(self, base_stack):
+        import time
+
+        plan = FaultPlan.random(8, faults="stall=1", seed=4, stall_s=5.0)
+        baseline = characterize_ensemble(base_stack, max_iterations=MAX_ITER)
+        start = time.monotonic()
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            budget=Budget(member_timeout_s=0.75),
+            n_jobs=2,
+            max_iterations=MAX_ITER,
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0, "stalled worker must not block the pipeline"
+        assert result.report.categories() == plan.expected_categories()
+        assert result.report.categories()[plan.stalled[0]] == "timeout"
+        _assert_healthy_bit_identical(
+            result, baseline, healthy_indices(8, plan)
+        )
+
+    @pytest.mark.slow
+    def test_stall_without_timeout_completes(self, base_stack):
+        # No timeout budget: the straggler is simply slow, not faulty.
+        plan = FaultPlan.random(8, faults="stall=1", seed=4, stall_s=0.5)
+        result = characterize_ensemble(
+            base_stack,
+            policy="quarantine",
+            fault_plan=plan,
+            n_jobs=2,
+            max_iterations=MAX_ITER,
+        )
+        assert not result.report
+        assert result.converged.all()

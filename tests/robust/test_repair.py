@@ -1,0 +1,169 @@
+"""Repair-ladder tests, including the Theorem-2 round-trip property."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.normalize import standard_targets, standardize
+from repro.robust import Budget, repair_member, repaired_matrix
+from repro.robust.repair import MemberRecovery
+from repro.robust.budget import Deadline
+from repro.structure import is_normalizable
+from tests.conftest import ecs_matrices
+
+#: Sinkhorn rate for the [[1, 1], [1, B]] corner is (1 - 2/sqrt(B))^2
+#: per sweep, so B = 1e6 needs ~4e3 sweeps to reach 1e-7 — out of reach
+#: at the base budget below, in reach after one backoff attempt.
+SLOW_CORNER = np.array([[1.0, 1.0], [1.0, 1.0e6]])
+
+
+class TestRepairedMatrix:
+    def test_eq10_drop(self):
+        eq10 = np.array([[0, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=float)
+        fixed = repaired_matrix(eq10)
+        assert is_normalizable(fixed)
+        # drop strategy removes the single blocking entry.
+        assert np.count_nonzero(fixed) == np.count_nonzero(eq10) - 1
+
+    def test_zero_row_falls_back_to_add(self):
+        m = np.array([[0.0, 0.0], [3.0, 5.0]])
+        fixed = repaired_matrix(m)
+        assert is_normalizable(fixed)
+        assert (fixed > 0).any(axis=1).all()
+        # Added entries use the median positive speed by default.
+        added = fixed[(m == 0) & (fixed > 0)]
+        assert added.size
+        np.testing.assert_allclose(added, np.median([3.0, 5.0]))
+
+    def test_explicit_fill(self):
+        m = np.array([[0.0, 0.0], [3.0, 5.0]])
+        fixed = repaired_matrix(m, fill=7.0)
+        assert set(np.unique(fixed[(m == 0) & (fixed > 0)])) == {7.0}
+
+    def test_healthy_matrix_is_a_no_op(self):
+        m = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(repaired_matrix(m), m)
+
+    @given(ecs_matrices(min_side=2, max_side=5, positive_only=False))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_satisfies_theorem_2(self, ecs):
+        """Every repairable matrix round-trips to Theorem-2 margins.
+
+        ``ecs_matrices(positive_only=False)`` guarantees row/column
+        support, so every draw is structurally repairable; after
+        :func:`repaired_matrix` the standard form must hit the exact
+        ``sqrt(M/T)`` / ``sqrt(T/M)`` margins to 1e-10.
+        """
+        fixed = repaired_matrix(ecs)
+        assert is_normalizable(fixed)
+        result = standardize(fixed, tol=1e-11, max_iterations=200_000)
+        assert result.converged
+        row, col = standard_targets(*fixed.shape)
+        np.testing.assert_allclose(
+            result.matrix.sum(axis=1), row, atol=1e-10, rtol=0
+        )
+        np.testing.assert_allclose(
+            result.matrix.sum(axis=0), col, atol=1e-10, rtol=0
+        )
+
+
+class TestRepairMember:
+    def _budget(self, **kw):
+        return Budget(**kw)
+
+    @pytest.mark.parametrize(
+        "category",
+        ["nan", "non-finite", "negative", "invalid-shape", "worker-error"],
+    )
+    def test_unrepairable_categories(self, category):
+        recovery, attempts = repair_member(
+            np.ones((2, 2)),
+            category,
+            tol=1e-8,
+            max_iterations=1000,
+            budget=self._budget(),
+        )
+        assert recovery is None
+        assert attempts == 0
+
+    def test_timeout_local_retry(self):
+        recovery, attempts = repair_member(
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            "timeout",
+            tol=1e-8,
+            max_iterations=10_000,
+            budget=self._budget(),
+        )
+        assert isinstance(recovery, MemberRecovery)
+        assert recovery.repair == "local-retry"
+        assert attempts == 1
+        mph, tdh, tma, iterations, converged = recovery.columns
+        assert converged and iterations > 0
+        assert 0.0 <= tma <= 1.0
+
+    def test_decomposable_drop(self):
+        eq10 = np.array([[0, 0, 1], [1, 0, 1], [0, 1, 0]], dtype=float)
+        recovery, attempts = repair_member(
+            eq10,
+            "decomposable",
+            tol=1e-8,
+            max_iterations=10_000,
+            budget=self._budget(),
+        )
+        assert recovery.repair == "drop:1"
+        assert attempts == 1
+
+    def test_empty_line_add(self):
+        m = np.array([[0.0, 0.0], [3.0, 5.0]])
+        recovery, _ = repair_member(
+            m,
+            "empty-line",
+            tol=1e-8,
+            max_iterations=10_000,
+            budget=self._budget(),
+        )
+        assert recovery is not None
+        assert recovery.repair.startswith("add:")
+
+    def test_non_convergent_backoff_recovers(self):
+        recovery, attempts = repair_member(
+            SLOW_CORNER,
+            "non-convergent",
+            tol=1e-8,
+            max_iterations=2_000,
+            budget=self._budget(),
+        )
+        assert recovery is not None
+        assert recovery.repair.startswith("tol-backoff:")
+        assert attempts == recovery.attempts >= 1
+        assert recovery.columns[4] is True
+
+    def test_non_convergent_exhausts_attempts(self):
+        hopeless = np.array([[1.0, 1.0], [1.0, 1.0e14]])
+        budget = self._budget(max_attempts=2)
+        recovery, attempts = repair_member(
+            hopeless,
+            "non-convergent",
+            tol=1e-10,
+            max_iterations=50,
+            budget=budget,
+        )
+        assert recovery is None
+        assert attempts == budget.max_attempts
+
+    def test_expired_deadline_skips_work(self):
+        deadline = Deadline(0.0)
+        assert deadline.expired()
+        for category in ("timeout", "decomposable", "non-convergent"):
+            recovery, attempts = repair_member(
+                np.ones((2, 2)),
+                category,
+                tol=1e-8,
+                max_iterations=1000,
+                budget=self._budget(),
+                deadline=deadline,
+            )
+            assert recovery is None
+            assert attempts == 0

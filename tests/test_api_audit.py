@@ -2,8 +2,8 @@
 
 Two guarantees:
 
-* every ``from repro... import name`` shown in docs/API.md resolves —
-  the API guide cannot drift from the code;
+* every ``from repro... import name`` shown in any docs/*.md guide
+  resolves — the guides cannot drift from the code;
 * every name in each public package's ``__all__`` actually exists on
   the package (no stale exports).
 """
@@ -14,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-API_MD = Path(__file__).resolve().parent.parent / "docs" / "API.md"
+DOCS_DIR = Path(__file__).resolve().parent.parent / "docs"
 
 _IMPORT_RE = re.compile(r"from\s+(repro(?:\.\w+)*)\s+import\s+(.*)$")
 
@@ -30,6 +30,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.batch",
     "repro.obs",
+    "repro.robust",
 ]
 
 
@@ -38,42 +39,48 @@ def _strip_comment(line: str) -> str:
 
 
 def _documented_imports():
-    """(module, name) pairs for every import statement in docs/API.md."""
-    lines = API_MD.read_text(encoding="utf-8").splitlines()
-    pairs = []
-    i = 0
-    while i < len(lines):
-        match = _IMPORT_RE.match(lines[i].strip())
-        if match:
-            module, rest = match.group(1), _strip_comment(match.group(2))
-            if rest.startswith("("):
-                rest = rest[1:]
-                while ")" not in rest:
-                    i += 1
-                    rest += "," + _strip_comment(lines[i])
-                rest = rest.split(")", 1)[0]
-            for raw in rest.split(","):
-                name = raw.strip()
-                if name and name.isidentifier():
-                    pairs.append((module, name))
-        i += 1
-    return sorted(set(pairs))
+    """(doc, module, name) triples for every import in docs/*.md."""
+    triples = []
+    for doc in sorted(DOCS_DIR.glob("*.md")):
+        lines = doc.read_text(encoding="utf-8").splitlines()
+        i = 0
+        while i < len(lines):
+            match = _IMPORT_RE.match(lines[i].strip())
+            if match:
+                module, rest = match.group(1), _strip_comment(match.group(2))
+                if rest.startswith("("):
+                    rest = rest[1:]
+                    while ")" not in rest:
+                        i += 1
+                        rest += "," + _strip_comment(lines[i])
+                    rest = rest.split(")", 1)[0]
+                for raw in rest.split(","):
+                    name = raw.strip()
+                    if name and name.isidentifier():
+                        triples.append((doc.name, module, name))
+            i += 1
+    return sorted(set(triples))
 
 
 DOCUMENTED = _documented_imports()
 
 
-def test_api_md_has_import_statements():
+def test_docs_have_import_statements():
     # Guard against the regex silently matching nothing.
     assert len(DOCUMENTED) > 40
+    docs_seen = {doc for doc, _, _ in DOCUMENTED}
+    assert "API.md" in docs_seen
+    assert "ROBUSTNESS.md" in docs_seen
 
 
 @pytest.mark.parametrize(
-    "module,name", DOCUMENTED, ids=[f"{m}:{n}" for m, n in DOCUMENTED]
+    "doc,module,name",
+    DOCUMENTED,
+    ids=[f"{d}:{m}:{n}" for d, m, n in DOCUMENTED],
 )
-def test_documented_name_imports(module, name):
+def test_documented_name_imports(doc, module, name):
     mod = importlib.import_module(module)
-    assert hasattr(mod, name), f"docs/API.md documents {module}.{name}"
+    assert hasattr(mod, name), f"docs/{doc} documents {module}.{name}"
 
 
 @pytest.mark.parametrize("module", PUBLIC_MODULES)
@@ -93,5 +100,19 @@ def test_obs_entry_points_at_top_level():
     import repro
 
     for name in ("recording", "span", "traced", "summary", "ScalingOutcome"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+
+def test_robust_entry_points_at_top_level():
+    import repro
+
+    for name in (
+        "Budget",
+        "FaultPlan",
+        "QuarantineReport",
+        "characterize_ensemble_robust",
+        "repaired_matrix",
+    ):
         assert name in repro.__all__
         assert hasattr(repro, name)

@@ -176,6 +176,125 @@ class TestRecommend:
         assert "ratio=" in out
 
 
+class TestCharacterize:
+    def test_healthy_ensemble(self, etc_csv, capsys):
+        assert main(["characterize", etc_csv, "--members", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "6 environments" in out
+        assert "all members healthy" in out
+
+    def test_injected_faults_text(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "characterize", etc_csv,
+                    "--members", "6",
+                    "--inject-faults", "nan=1,zero-row=1",
+                    "--fault-seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 quarantined" in out
+        assert "nan" in out and "empty-line" in out
+
+    def test_injected_faults_json(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "characterize", etc_csv,
+                    "--members", "8",
+                    "--inject-faults", "nan=1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["members"] == 8
+        assert doc["policy"] == "quarantine"
+        assert list(doc["injected"].values()) == ["nan"]
+        assert doc["quarantined"] == [int(k) for k in doc["injected"]]
+        (bad,) = doc["quarantined"]
+        assert doc["mph"][bad] is None  # NaN serializes as null
+        assert sum(v is None for v in doc["mph"]) == 1
+
+    def test_repair_policy(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "characterize", etc_csv,
+                    "--members", "6",
+                    "--policy", "repair",
+                    "--inject-faults", "zero-row=1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["repaired"] == [int(k) for k in doc["injected"]]
+        assert doc["quarantined"] == []
+        assert all(v is not None for v in doc["mph"])
+
+    def test_raise_policy_fails_on_fault(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "characterize", etc_csv,
+                    "--members", "4",
+                    "--policy", "raise",
+                    "--inject-faults", "nan=1",
+                ]
+            )
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+    def test_dataset_name_as_input(self, capsys):
+        assert (
+            main(["characterize", "cint2006rate", "--members", "4"]) == 0
+        )
+        assert "4 environments" in capsys.readouterr().out
+
+    def test_bad_fault_spec(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "characterize", etc_csv,
+                    "--inject-faults", "meteor=1",
+                ]
+            )
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+
+
+class TestProfileEnsemble:
+    def test_profile_with_ensemble_counters(self, etc_csv, capsys):
+        assert main(["profile", etc_csv, "--ensemble", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble:" in out
+        assert "counter ensemble.slices = 4" in out
+
+    def test_profile_with_chaos_counters(self, etc_csv, capsys):
+        assert (
+            main(
+                [
+                    "profile", etc_csv,
+                    "--ensemble", "6",
+                    "--policy", "quarantine",
+                    "--inject-faults", "nan=1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "counter robust.quarantined = 1" in out
+        assert "counter robust.fault.nan = 1" in out
+
+
 class TestSchedule:
     def test_schedule_output(self, etc_csv, capsys):
         assert main(["schedule", etc_csv, "--total", "12"]) == 0

@@ -1,13 +1,27 @@
 """Tests for the optional process-pool helper."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro import MatrixValueError
-from repro._parallel import parallel_map, resolve_n_jobs
+from repro._parallel import WorkerFailure, parallel_map, resolve_n_jobs
 
 
 def _square(x):  # module-level: picklable
+    return x * x
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x * x
+
+
+def _sleep_then_square(args):
+    x, seconds = args
+    time.sleep(seconds)
     return x * x
 
 
@@ -53,6 +67,75 @@ class TestParallelMap:
 
     def test_single_item_stays_serial(self):
         assert parallel_map(_square, [7], n_jobs=8) == [49]
+
+
+class TestWorkerFailure:
+    def test_repr_is_readable(self):
+        failure = WorkerFailure(index=3, error=ValueError("boom"))
+        text = repr(failure)
+        assert "3" in text and "boom" in text
+        assert not failure.timed_out
+
+    def test_exception_propagates_by_default(self):
+        with pytest.raises(ValueError, match="boom at 3"):
+            parallel_map(_explode_on_three, [1, 2, 3, 4])
+
+    def test_return_failures_serial(self):
+        results = parallel_map(
+            _explode_on_three, [1, 2, 3, 4], return_failures=True
+        )
+        assert results[0] == 1 and results[1] == 4 and results[3] == 16
+        assert isinstance(results[2], WorkerFailure)
+        assert results[2].index == 2
+        assert "boom at 3" in str(results[2].error)
+
+    def test_return_failures_pooled(self):
+        results = parallel_map(
+            _explode_on_three, [1, 2, 3, 4], n_jobs=2, return_failures=True
+        )
+        healthy = [r for r in results if not isinstance(r, WorkerFailure)]
+        failures = [r for r in results if isinstance(r, WorkerFailure)]
+        assert healthy == [1, 4, 16]
+        assert len(failures) == 1 and failures[0].index == 2
+
+
+class TestTimeouts:
+    def test_timeout_validation(self):
+        with pytest.raises(MatrixValueError):
+            parallel_map(_square, [1], timeout_s=0.0)
+        with pytest.raises(MatrixValueError):
+            parallel_map(_square, [1], timeout_s=-1.0)
+        with pytest.raises(MatrixValueError):
+            # A timeout cannot preempt an in-process worker.
+            parallel_map(_square, [1, 2], n_jobs=1, timeout_s=1.0)
+
+    @pytest.mark.slow
+    def test_straggler_times_out_others_complete(self):
+        items = [(1, 0.0), (2, 5.0), (3, 0.0)]
+        start = time.monotonic()
+        results = parallel_map(
+            _sleep_then_square,
+            items,
+            n_jobs=2,
+            timeout_s=0.75,
+            return_failures=True,
+        )
+        assert time.monotonic() - start < 5.0
+        assert results[0] == 1 and results[2] == 9
+        assert isinstance(results[1], WorkerFailure)
+        assert results[1].timed_out
+        assert isinstance(results[1].error, TimeoutError)
+        assert "timeout_s=0.75" in str(results[1].error)
+
+    @pytest.mark.slow
+    def test_timeout_without_return_failures_raises(self):
+        with pytest.raises(TimeoutError):
+            parallel_map(
+                _sleep_then_square,
+                [(1, 5.0), (2, 0.0)],
+                n_jobs=2,
+                timeout_s=0.5,
+            )
 
 
 class TestStudyParallelism:
