@@ -22,13 +22,14 @@ differential harness in ``tests/batch/`` enforces this).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import MatrixShapeError, MatrixValueError, WeightError
 from ..normalize.standard_form import DEFAULT_TOL
-from ..obs import current_recorder, span as _obs_span, traced
+from ..obs import current_recorder, metrics as _metrics, span as _obs_span, traced
 from ._stack import as_ecs_stack, stack_environments
 from .measures import average_adjacent_ratio_batched
 from .sinkhorn import standardize_batched
@@ -208,6 +209,7 @@ def _characterize_stack_batched(
         require_convergence=False,
         deadline_s=deadline_s,
     )
+    t0 = time.perf_counter()
     with _obs_span(
         "svd.batched",
         slices=sub.shape[0],
@@ -215,6 +217,7 @@ def _characterize_stack_batched(
         cols=sub.shape[2],
     ):
         values = np.linalg.svd(standard.matrix, compute_uv=False)
+    _metrics.observe_svd("batched", time.perf_counter() - t0)
     if values.shape[1] < 2:
         tma = np.zeros(sub.shape[0], dtype=np.float64)
     else:
@@ -342,6 +345,7 @@ def characterize_ensemble(
         if rec is not None:
             rec.counter("ensemble.slices", len(members))
             rec.counter("ensemble.fallback_slices", len(members))
+        _metrics.count_ensemble_members(fallback=len(members))
         items = [(member, tol, tma_fallback) for member in members]
         columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
         return _from_columns(columns, n_tasks=None, n_machines=None)
@@ -355,6 +359,9 @@ def characterize_ensemble(
         rec.counter("ensemble.slices", n_slices)
         rec.counter("ensemble.batched_slices", int(positive.sum()))
         rec.counter("ensemble.fallback_slices", int((~positive).sum()))
+    _metrics.count_ensemble_members(
+        batched=int(positive.sum()), fallback=int((~positive).sum())
+    )
 
     mph = np.empty(n_slices, dtype=np.float64)
     tdh = np.empty(n_slices, dtype=np.float64)

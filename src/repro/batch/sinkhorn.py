@@ -38,7 +38,7 @@ from ..normalize.sinkhorn import (
     _check_deadline,
     convergence_message,
 )
-from ..obs import current_recorder, span as _obs_span
+from ..obs import current_recorder, metrics as _metrics, span as _obs_span
 from ..normalize.standard_form import standard_targets
 from ._stack import as_float_stack
 
@@ -255,6 +255,12 @@ def sinkhorn_knopp_batched(
             max_residual=float(residual.max()),
             timed_out=timed_out,
         )
+    _metrics.observe_sinkhorn_batch(
+        "batched",
+        iterations=iterations,
+        residual=residual,
+        converged=converged,
+    )
     if active.any() and require_convergence:
         bad = np.nonzero(active)[0]
         raise ConvergenceError(

@@ -38,6 +38,20 @@ Subcommands
     quarantine/repair policy and print the per-member measures plus the
     quarantine report.  ``--inject-faults "nan=1,stall=2"`` runs a
     seeded chaos drill against the pipeline.
+``bench``
+    Run the curated benchmark suite (``repro.obs.bench``) and write a
+    machine-readable ``BENCH_<n>.json`` payload (git sha, wall/CPU
+    stats, metric histograms).  ``--compare BASELINE.json`` exits
+    non-zero when any benchmark regressed beyond ``--max-regression``;
+    ``--replay CURRENT.json`` compares a previously written payload
+    instead of re-running (deterministic CI gating).
+``serve-metrics``
+    Expose the process-wide metrics registry in Prometheus text
+    exposition format on a stdlib HTTP endpoint (``/metrics``), or dump
+    one scrape to stdout with ``--print``.
+``trace convert IN -o OUT``
+    Convert a ``repro-hc profile -o trace.jsonl`` event stream into
+    Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
@@ -250,6 +264,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool width for the scalar/worker path")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
+
+    p = sub.add_parser(
+        "bench",
+        help="run the curated benchmarks, write BENCH_<n>.json, "
+        "optionally gate against a baseline",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced repeat counts (CI smoke mode)",
+    )
+    p.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated case names (default: all; see "
+        "repro.obs.bench.BENCH_CASES)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: next free BENCH_<n>.json here)",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="reuse this previously written payload instead of "
+        "re-running the benchmarks (deterministic --compare gating)",
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH JSON; exit 1 when any case regressed",
+    )
+    p.add_argument(
+        "--max-regression", type=float, default=0.15,
+        help="allowed fractional wall-time slowdown vs the baseline "
+        "(default 0.15 = 15%%)",
+    )
+
+    p = sub.add_parser(
+        "serve-metrics",
+        help="serve the metrics registry in Prometheus text format",
+    )
+    p.add_argument("--port", type=int, default=9464)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--print", action="store_true", dest="print_once",
+        help="print one exposition snapshot to stdout and exit",
+    )
+
+    p = sub.add_parser(
+        "trace", help="trace-file utilities (Chrome trace-event export)"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "convert",
+        help="convert a repro.obs JSONL trace to Chrome trace JSON",
+    )
+    p.add_argument("input", help="JSONL trace from `repro-hc profile -o`")
+    p.add_argument(
+        "-o", "--output", required=True,
+        help="Chrome trace-event JSON output path",
+    )
     return parser
 
 
@@ -524,6 +601,74 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(result.summary())
                 if report is not None:
                     print(report.summary())
+        elif args.command == "bench":
+            from .obs import bench as obs_bench
+
+            try:
+                if args.replay is not None:
+                    payload = obs_bench.load_bench(args.replay)
+                else:
+                    names = (
+                        [
+                            n.strip()
+                            for n in args.benchmarks.split(",")
+                            if n.strip()
+                        ]
+                        if args.benchmarks
+                        else None
+                    )
+                    payload = obs_bench.run_bench(
+                        quick=args.quick, benchmarks=names
+                    )
+                    out_path = obs_bench.write_bench(payload, path=args.output)
+                    print(f"wrote {out_path}")
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.compare is not None:
+                try:
+                    comparison = obs_bench.compare_bench(
+                        payload,
+                        obs_bench.load_bench(args.compare),
+                        max_regression=args.max_regression,
+                    )
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                print(comparison.table())
+                if not comparison.ok:
+                    return 1
+        elif args.command == "serve-metrics":
+            from .obs import (
+                enable_metrics,
+                render_prometheus,
+                start_metrics_server,
+            )
+
+            enable_metrics()
+            if args.print_once:
+                sys.stdout.write(render_prometheus())
+            else:
+                server = start_metrics_server(
+                    port=args.port, host=args.host, in_thread=False
+                )
+                host, port = server.server_address[:2]
+                print(f"serving metrics on http://{host}:{port}/metrics")
+                try:
+                    server.serve_forever()
+                except KeyboardInterrupt:  # pragma: no cover - interactive
+                    pass
+                finally:
+                    server.server_close()
+        elif args.command == "trace":
+            from .obs import convert_trace_jsonl
+
+            try:
+                count = convert_trace_jsonl(args.input, args.output)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote {count} trace event(s) to {args.output}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

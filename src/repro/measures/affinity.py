@@ -28,6 +28,8 @@ non-maximum singular values and TMA is defined as 0.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.linalg
 
@@ -37,6 +39,7 @@ from ..normalize.standard_form import (
     column_normalize,
     standardize,
 )
+from ..obs import metrics as _metrics
 from ..obs import span as _obs_span
 
 __all__ = ["tma", "task_machine_affinity", "standard_singular_values"]
@@ -70,8 +73,11 @@ def standard_singular_values(
         zeros=zeros,
     )
     shape = standard.matrix.shape
+    t0 = time.perf_counter()
     with _obs_span("svd.scalar", rows=shape[0], cols=shape[1]):
-        return scipy.linalg.svdvals(standard.matrix)
+        values = scipy.linalg.svdvals(standard.matrix)
+    _metrics.observe_svd("scalar", time.perf_counter() - t0)
+    return values
 
 
 def tma(
@@ -146,10 +152,12 @@ def tma(
             task_weights=task_weights,
             machine_weights=machine_weights,
         )
+        t0 = time.perf_counter()
         with _obs_span(
             "svd.scalar", rows=normalized.shape[0], cols=normalized.shape[1]
         ):
             values = scipy.linalg.svdvals(normalized)
+        _metrics.observe_svd("scalar", time.perf_counter() - t0)
         if values.shape[0] < 2:
             return 0.0
         raw = float(values[1:].sum() / ((values.shape[0] - 1) * values[0]))

@@ -9,6 +9,7 @@ the SPEC matrices.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +18,7 @@ import scipy.linalg
 from .._validation import check_choice
 from ..exceptions import ConvergenceError, NotNormalizableError
 from ..normalize.standard_form import DEFAULT_TOL, standardize
+from ..obs import metrics as _metrics
 from ..obs import span as _obs_span
 from ._coerce import coerce_ecs_and_weights
 from .affinity import tma
@@ -95,8 +97,10 @@ class HeterogeneityProfile:
 def _tma_from_standard(standard) -> float:
     """eq. 8 on an already-computed standard form (no second Sinkhorn)."""
     shape = standard.matrix.shape
+    t0 = time.perf_counter()
     with _obs_span("svd.scalar", rows=shape[0], cols=shape[1]):
         values = scipy.linalg.svdvals(standard.matrix)
+    _metrics.observe_svd("scalar", time.perf_counter() - t0)
     if values.shape[0] < 2:
         return 0.0
     return float(min(max(values[1:].sum() / (values.shape[0] - 1), 0.0), 1.0))
@@ -178,6 +182,7 @@ def characterize(
                 method = "column"
                 tma_value = tma(weighted, method="column")
         sp.note(tma_method=method, iterations=iterations)
+    _metrics.count_characterize(method)
 
     return HeterogeneityProfile(
         mph=average_adjacent_ratio(mp),

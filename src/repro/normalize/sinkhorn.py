@@ -27,6 +27,7 @@ from .._validation import (
     check_positive_scalar,
 )
 from ..exceptions import ConvergenceError, MatrixValueError
+from ..obs import metrics as _metrics
 from ..obs import span as _obs_span
 
 __all__ = [
@@ -256,6 +257,12 @@ def sinkhorn_knopp(
             timed_out=timed_out,
         )
         sp.sample("residual", history)
+    _metrics.observe_sinkhorn(
+        "scalar",
+        iterations=iterations,
+        residual=history[-1],
+        converged=converged,
+    )
     if not converged and require_convergence:
         raise ConvergenceError(
             convergence_message(
@@ -372,6 +379,12 @@ def scale_to_margins(
             timed_out=timed_out,
         )
         sp.sample("residual", history)
+    _metrics.observe_sinkhorn(
+        "margins",
+        iterations=iterations,
+        residual=history[-1],
+        converged=converged,
+    )
     if not converged and require_convergence:
         raise ConvergenceError(
             convergence_message(

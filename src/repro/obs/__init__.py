@@ -25,16 +25,56 @@ Core pieces
   no-ops when no recorder is active.
 * :func:`current_recorder` — ambient-recorder lookup for hot loops
   that guard per-iteration sampling.
-* :func:`summary` — count/total/p50/p95 aggregation per span name,
+* :func:`summary` — count/total/p50/p95/p99 aggregation per span name,
   the table behind ``repro-hc profile``.
 * Sinks: :class:`MemorySink`, :class:`JsonlSink`, :class:`LoggingSink`
   (anything matching the :class:`Sink` protocol works).
+* Metrics: a process-wide :class:`MetricsRegistry` of labelled
+  counters, gauges and fixed-bucket histograms that the hot paths feed
+  while :func:`enable_metrics` (or :func:`collecting_metrics`) is
+  active; :func:`render_prometheus` / :func:`start_metrics_server`
+  expose it in Prometheus text format, :func:`chrome_trace` /
+  :func:`convert_trace_jsonl` convert recorder output into Chrome
+  ``about:tracing`` JSON, and :func:`run_bench` / :func:`compare_bench`
+  drive the machine-readable ``repro-hc bench`` regression pipeline.
 
-See ``docs/OBSERVABILITY.md`` for the recorder model, sink selection
-and measured overhead numbers.
+See ``docs/OBSERVABILITY.md`` for the recorder model, sink selection,
+the metrics/export layer and measured overhead numbers.
 """
 
+from .bench import (
+    BENCH_CASES,
+    BENCH_SCHEMA,
+    BenchComparison,
+    compare_bench,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
 from .events import CounterEvent, GaugeEvent, SpanEvent
+from .export import (
+    PROMETHEUS_CONTENT_TYPE,
+    chrome_trace,
+    chrome_trace_events,
+    convert_trace_jsonl,
+    render_prometheus,
+    start_metrics_server,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    collecting_metrics,
+    disable_metrics,
+    enable_metrics,
+    fold_recorder,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+)
 from .recorder import (
     Recorder,
     current_recorder,
@@ -62,4 +102,30 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "LoggingSink",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "collecting_metrics",
+    "fold_recorder",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "start_metrics_server",
+    "chrome_trace",
+    "chrome_trace_events",
+    "convert_trace_jsonl",
+    "BENCH_SCHEMA",
+    "BENCH_CASES",
+    "BenchComparison",
+    "run_bench",
+    "write_bench",
+    "load_bench",
+    "validate_bench",
+    "compare_bench",
 ]

@@ -1,0 +1,428 @@
+"""Machine-readable benchmark runs and the perf-regression gate.
+
+``repro-hc bench`` runs a curated subset of the workloads behind
+``benchmarks/`` — scalar and batched Sinkhorn, the full characterize
+pipeline, the batched ensemble, and a scheduling heuristic — under
+metrics collection, and writes a ``BENCH_<n>.json`` snapshot: git sha,
+timestamps, per-benchmark wall/CPU stats, and the key histogram
+snapshots (Sinkhorn iterations/residuals, SVD wall time).  The files
+seed the repo's perf trajectory; ``--compare BASELINE.json`` turns any
+run into a regression gate (non-zero exit when a benchmark's best wall
+time regresses past ``--max-regression``).
+
+Payload schema (``"schema": "repro-bench/1"``)::
+
+    {
+      "schema": "repro-bench/1",
+      "git_sha": "..." | null,
+      "generated_at": "2026-01-01T00:00:00+00:00",
+      "quick": false,
+      "python": "3.12.3", "platform": "Linux-...",
+      "benchmarks": {
+        "<name>": {"wall_s": {"best": .., "mean": .., "repeats": n},
+                    "cpu_s":  {"best": .., "mean": ..}},
+        ...
+      },
+      "metrics": { <MetricsRegistry.snapshot()> },
+      "results_snapshots": { "<name>": <benchmarks/results/*.json> }  # optional
+    }
+
+All workload imports are lazy so ``import repro.obs`` never drags the
+compute layers in.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from .metrics import MetricsRegistry, collecting_metrics
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_CASES",
+    "BenchComparison",
+    "run_bench",
+    "compare_bench",
+    "load_bench",
+    "validate_bench",
+    "write_bench",
+    "next_bench_path",
+    "collect_results_snapshots",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+# -- curated cases -----------------------------------------------------
+#
+# Each case is fn(quick: bool) -> None: a seeded, deterministic workload
+# sized to finish in well under a second (--quick) or a few seconds
+# (full).  They mirror the paper-artifact benchmarks in benchmarks/
+# without the assertion/reporting scaffolding.
+
+
+def _rng(seed: int = 0):
+    import numpy as np
+
+    return np.random.default_rng(seed)
+
+
+def _case_sinkhorn_scalar(quick: bool) -> None:
+    from ..normalize.sinkhorn import sinkhorn_knopp
+
+    matrix = _rng(1).uniform(0.5, 10.0, size=(24, 8))
+    for _ in range(10 if quick else 50):
+        sinkhorn_knopp(matrix)
+
+
+def _case_sinkhorn_batched(quick: bool) -> None:
+    from ..batch.sinkhorn import standardize_batched
+
+    stack = _rng(2).uniform(
+        0.1, 10.0, size=(16 if quick else 128, 8, 8)
+    )
+    standardize_batched(stack)
+
+
+def _case_characterize(quick: bool) -> None:
+    from ..measures.report import characterize
+
+    matrix = _rng(3).uniform(0.5, 10.0, size=(12, 5))
+    for _ in range(5 if quick else 25):
+        characterize(matrix)
+
+
+def _case_ensemble_batched(quick: bool) -> None:
+    from ..batch import characterize_ensemble
+
+    stack = _rng(4).uniform(
+        0.1, 10.0, size=(16 if quick else 96, 8, 8)
+    )
+    characterize_ensemble(stack)
+
+
+def _case_schedule_min_min(quick: bool) -> None:
+    from ..generate.range_based import range_based
+    from ..scheduling.selection import compare_heuristics
+
+    env = range_based(12, 5, seed=5)
+    compare_heuristics(
+        env,
+        heuristics=["min_min", "max_min"],
+        total=24 if quick else 96,
+        seed=5,
+    )
+
+
+BENCH_CASES = {
+    "sinkhorn_scalar": _case_sinkhorn_scalar,
+    "sinkhorn_batched": _case_sinkhorn_batched,
+    "characterize": _case_characterize,
+    "ensemble_batched": _case_ensemble_batched,
+    "schedule_min_min": _case_schedule_min_min,
+}
+
+
+# -- running -----------------------------------------------------------
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    benchmarks=None,
+    repeats: int | None = None,
+    results_dir=None,
+) -> dict:
+    """Run the curated cases and return the BENCH payload dict.
+
+    Parameters
+    ----------
+    quick : bool
+        Shrink every workload for CI smoke runs (sub-second total).
+    benchmarks : iterable of str, optional
+        Subset of :data:`BENCH_CASES` names (default: all).
+    repeats : int, optional
+        Timing repeats per case (default 3 quick / 5 full); best and
+        mean of the repeats are reported.
+    results_dir : path-like, optional
+        Fold the machine-readable ``*.json`` snapshots written next to
+        ``benchmarks/results/*.txt`` into the payload
+        (``results_snapshots``) when the directory exists.
+    """
+    names = list(benchmarks) if benchmarks is not None else list(BENCH_CASES)
+    unknown = [n for n in names if n not in BENCH_CASES]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark case(s) {unknown}; "
+            f"known: {sorted(BENCH_CASES)}"
+        )
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    registry = MetricsRegistry()
+    results: dict[str, dict] = {}
+    with collecting_metrics(registry):
+        for name in names:
+            case = BENCH_CASES[name]
+            case(quick)  # warm-up: caches, lazy imports, BLAS threads
+            walls, cpus = [], []
+            for _ in range(repeats):
+                cpu0 = time.process_time()
+                t0 = time.perf_counter()
+                case(quick)
+                walls.append(time.perf_counter() - t0)
+                cpus.append(time.process_time() - cpu0)
+            results[name] = {
+                "wall_s": {
+                    "best": min(walls),
+                    "mean": sum(walls) / repeats,
+                    "repeats": repeats,
+                },
+                "cpu_s": {"best": min(cpus), "mean": sum(cpus) / repeats},
+            }
+
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "git_sha": _git_sha(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+        "metrics": registry.snapshot(),
+    }
+    if results_dir is not None:
+        snapshots = collect_results_snapshots(results_dir)
+        if snapshots:
+            payload["results_snapshots"] = snapshots
+    validate_bench(payload)
+    return payload
+
+
+def collect_results_snapshots(results_dir) -> dict:
+    """The machine-readable ``benchmarks/results/*.json`` siblings.
+
+    ``benchmarks/conftest.py`` writes one JSON document next to every
+    regenerated ``*.txt`` table; this folds them into one dict keyed by
+    result name (unreadable files are skipped, not fatal — the
+    snapshots are provenance, not the gate)."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        return {}
+    snapshots = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            snapshots[path.stem] = json.loads(
+                path.read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            continue
+    return snapshots
+
+
+# -- persisting --------------------------------------------------------
+
+
+def next_bench_path(directory=".") -> Path:
+    """The next free ``BENCH_<n>.json`` in ``directory`` (1-based)."""
+    directory = Path(directory)
+    taken = []
+    for path in directory.glob("BENCH_*.json"):
+        suffix = path.stem[len("BENCH_"):]
+        if suffix.isdigit():
+            taken.append(int(suffix))
+    return directory / f"BENCH_{max(taken, default=0) + 1}.json"
+
+
+def write_bench(payload: dict, path=None, directory=".") -> Path:
+    """Write the payload to ``path`` (default: the next BENCH_<n>.json)."""
+    validate_bench(payload)
+    target = Path(path) if path is not None else next_bench_path(directory)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def validate_bench(payload) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a valid BENCH doc."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"BENCH payload must be a dict, got {type(payload)}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported BENCH schema {payload.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    for key in ("generated_at", "python", "platform"):
+        if not isinstance(payload.get(key), str):
+            raise ValueError(f"BENCH payload field {key!r} must be a string")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise ValueError("BENCH payload needs a non-empty 'benchmarks' dict")
+    for name, entry in benchmarks.items():
+        try:
+            best = entry["wall_s"]["best"]
+            entry["wall_s"]["mean"]
+            entry["cpu_s"]
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"benchmark {name!r} entry is malformed: {exc!r}"
+            ) from exc
+        if not isinstance(best, (int, float)) or best < 0:
+            raise ValueError(
+                f"benchmark {name!r} wall_s.best must be a non-negative "
+                f"number, got {best!r}"
+            )
+    if not isinstance(payload.get("metrics"), dict):
+        raise ValueError("BENCH payload needs a 'metrics' dict")
+
+
+def load_bench(path) -> dict:
+    """Load and validate a ``BENCH_*.json`` file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        validate_bench(payload)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+    return payload
+
+
+# -- comparing ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Outcome of comparing a BENCH run against a baseline.
+
+    ``rows`` has one entry per benchmark present in *both* runs:
+    ``{"name", "current_s", "baseline_s", "ratio", "regressed"}``.
+    ``only_current`` / ``only_baseline`` list benchmarks missing from
+    the other side (reported, never failing).
+    """
+
+    rows: tuple[dict, ...]
+    max_regression: float
+    only_current: tuple[str, ...] = ()
+    only_baseline: tuple[str, ...] = ()
+
+    regressions: tuple[dict, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "regressions",
+            tuple(row for row in self.rows if row["regressed"]),
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def table(self) -> str:
+        """Aligned comparison table plus the verdict line."""
+        if not self.rows:
+            lines = ["(no common benchmarks to compare)"]
+        else:
+            name_w = max(len("benchmark"), max(len(r["name"]) for r in self.rows))
+            lines = [
+                f"{'benchmark'.ljust(name_w)}  {'current':>10}  "
+                f"{'baseline':>10}  {'ratio':>6}",
+            ]
+            lines.append("-" * len(lines[0]))
+            for row in self.rows:
+                flag = "  ** REGRESSION" if row["regressed"] else ""
+                lines.append(
+                    f"{row['name'].ljust(name_w)}  "
+                    f"{row['current_s'] * 1e3:>8.2f}ms  "
+                    f"{row['baseline_s'] * 1e3:>8.2f}ms  "
+                    f"{row['ratio']:>6.2f}{flag}"
+                )
+        for name in self.only_current:
+            lines.append(f"(new, not in baseline: {name})")
+        for name in self.only_baseline:
+            lines.append(f"(in baseline only: {name})")
+        threshold_pct = self.max_regression * 100
+        if self.ok:
+            lines.append(
+                f"OK: no benchmark regressed more than {threshold_pct:g}%"
+            )
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} benchmark(s) regressed "
+                f"more than {threshold_pct:g}%"
+            )
+        return "\n".join(lines)
+
+
+def compare_bench(
+    current: dict, baseline: dict, *, max_regression: float = 0.15
+) -> BenchComparison:
+    """Compare two BENCH payloads on best wall time per benchmark.
+
+    A benchmark regresses when
+    ``current_best > baseline_best * (1 + max_regression)``.  Benchmarks
+    present on only one side never fail the gate.
+
+    Examples
+    --------
+    >>> fast = {"benchmarks": {"case": {"wall_s": {"best": 0.10}}}}
+    >>> slow = {"benchmarks": {"case": {"wall_s": {"best": 0.20}}}}
+    >>> compare_bench(slow, fast).ok
+    False
+    >>> compare_bench(fast, fast).ok
+    True
+    """
+    if max_regression < 0:
+        raise ValueError(
+            f"max_regression must be >= 0, got {max_regression!r}"
+        )
+    cur = current.get("benchmarks", {})
+    base = baseline.get("benchmarks", {})
+    rows = []
+    for name in sorted(set(cur) & set(base)):
+        current_s = float(cur[name]["wall_s"]["best"])
+        baseline_s = float(base[name]["wall_s"]["best"])
+        ratio = current_s / baseline_s if baseline_s > 0 else float("inf")
+        rows.append(
+            {
+                "name": name,
+                "current_s": current_s,
+                "baseline_s": baseline_s,
+                "ratio": ratio,
+                "regressed": current_s > baseline_s * (1.0 + max_regression),
+            }
+        )
+    return BenchComparison(
+        rows=tuple(rows),
+        max_regression=max_regression,
+        only_current=tuple(sorted(set(cur) - set(base))),
+        only_baseline=tuple(sorted(set(base) - set(cur))),
+    )

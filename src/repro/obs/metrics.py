@@ -1,0 +1,657 @@
+"""Process-wide metrics: labelled counters, gauges and histograms.
+
+The :class:`~repro.obs.Recorder` answers "where did time go" for one
+in-process recording session; this module is the durable sibling — a
+:class:`MetricsRegistry` that aggregates across *every* kernel call in
+the process and renders to standard formats
+(:func:`repro.obs.export.render_prometheus`).
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals (kernel runs,
+  ensemble members by dispatch path, quarantine outcomes by taxonomy
+  slug);
+* :class:`Gauge` — point-in-time values (last folded recorder gauges);
+* :class:`Histogram` — fixed-bucket distributions (Sinkhorn
+  iterations-to-tolerance, residual at exit, SVD wall time, span
+  durations).
+
+Instruments are labelled: one metric name carries many label-value
+series (``repro_sinkhorn_runs_total{kernel="scalar",converged="true"}``).
+
+Collection is **off by default** and gated by a module-level flag so the
+instrumented hot paths pay one early-return function call per kernel
+*run* (never per iteration) while disabled —
+``benchmarks/bench_obs_overhead.py`` pins this below 1% of a scalar
+Sinkhorn call.  Enable it explicitly::
+
+    from repro.obs import collecting_metrics, render_prometheus
+
+    with collecting_metrics() as registry:
+        characterize(env)                  # hot paths feed the registry
+    print(render_prometheus(registry))
+
+Completed :func:`repro.obs.recording` sessions are folded into the
+registry automatically while collection is enabled (span wall-time
+histograms plus the recorder's counter totals); :func:`fold_recorder`
+does the same explicitly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "collecting_metrics",
+    "fold_recorder",
+    "ITERATION_BUCKETS",
+    "RESIDUAL_BUCKETS",
+    "SECONDS_BUCKETS",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Sinkhorn iterations-to-tolerance.  The paper's SPEC matrices converge
+#: in 6-7 iterations; adversarial dynamic ranges push into the hundreds
+#: and non-normalizable patterns run to the ``max_iterations`` ceiling,
+#: so the grid is log-ish from 1 to the 100k default ceiling.
+ITERATION_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+    500.0, 1_000.0, 10_000.0, 100_000.0,
+)
+
+#: Residual at kernel exit.  Converged runs sit at or below the 1e-8
+#: default tolerance; the coarse upper decades characterize how far
+#: non-converged (Section VI) runs stalled.
+RESIDUAL_BUCKETS = (
+    1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0,
+)
+
+#: Wall-clock durations (SVD calls, folded span times).  Sub-100 µs
+#: scalar kernels up through minute-scale analysis fan-outs.
+SECONDS_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """One collected metric: identity plus every label-series sample.
+
+    ``samples`` maps a label-value tuple (ordered as ``labelnames``) to
+    the series value — a float for counters/gauges, or a dict with
+    ``"buckets"`` (per-bucket non-cumulative counts, ``+Inf`` last),
+    ``"sum"`` and ``"count"`` for histograms.  ``buckets`` on the family
+    carries the upper bounds for histogram kinds, ``None`` otherwise.
+    """
+
+    name: str
+    kind: str
+    help: str
+    labelnames: tuple[str, ...]
+    samples: dict
+    buckets: tuple[float, ...] | None = None
+
+
+class _Metric:
+    """Shared identity + label-key handling of the three instruments."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def series(self) -> dict:
+        """Snapshot of every label-series value (label tuple -> value)."""
+        with self._lock:
+            return {k: self._copy_value(v) for k, v in self._series.items()}
+
+    @staticmethod
+    def _copy_value(value):
+        return value
+
+
+class Counter(_Metric):
+    """A monotonically increasing total (per label series)."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        """Add ``value`` (>= 0) to the series selected by ``labels``."""
+        value = float(value)
+        if value < 0 or math.isnan(value):
+            raise ValueError(
+                f"counter {self.name!r} can only increase, got {value!r}"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        """Current total of one label series (0.0 when never incremented)."""
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # last slot = +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution; buckets are upper bounds (``le``)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, lock, buckets) -> None:
+        super().__init__(name, help, labelnames, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(
+            not math.isfinite(b) for b in bounds
+        ) or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name!r} buckets must be finite and strictly "
+                f"increasing, got {bounds}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the series selected by ``labels``.
+
+        NaN observations are dropped (a NaN would poison ``sum`` and
+        land in no meaningful bucket — robust pipelines can legitimately
+        produce NaN residuals for quarantined members).
+        """
+        value = float(value)
+        if math.isnan(value):
+            return
+        key = self._key(labels)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets)
+                )
+            series.counts[idx] += 1
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self, **labels) -> dict:
+        """``{"buckets": {le: cumulative_count}, "sum": s, "count": n}``
+        for one label series (all-zero when never observed)."""
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            counts = list(series.counts) if series else [0] * (
+                len(self.buckets) + 1
+            )
+            total = series.sum if series else 0.0
+            n = series.count if series else 0
+        cumulative, running = {}, 0
+        for bound, c in zip(self.buckets, counts):
+            running += c
+            cumulative[bound] = running
+        cumulative[math.inf] = running + counts[-1]
+        return {"buckets": cumulative, "sum": total, "count": n}
+
+    @staticmethod
+    def _copy_value(value):
+        return {
+            "counts": list(value.counts),
+            "sum": value.sum,
+            "count": value.count,
+        }
+
+
+_METRIC_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with create-or-get registration.
+
+    ``counter()`` / ``gauge()`` / ``histogram()`` return the existing
+    instrument when the name is already registered (validating that the
+    kind, label names and buckets agree), so call sites never need to
+    coordinate registration order.  All mutation is guarded by one lock,
+    making the registry safe to scrape from the metrics HTTP endpoint
+    while kernels feed it.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> runs = registry.counter(
+    ...     "demo_runs_total", "Demo runs.", labelnames=("kind",)
+    ... )
+    >>> runs.inc(kind="fast"); runs.inc(2, kind="slow")
+    >>> runs.value(kind="slow")
+    2.0
+    >>> sorted(f.name for f in registry.collect())
+    ['demo_runs_total']
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration (create-or-get) ----------------------------------
+
+    def _register(self, kind: str, name: str, help: str, labelnames, **extra):
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+                raise ValueError(
+                    f"invalid label name {label!r} for metric {name!r}"
+                )
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                if kind == "histogram" and existing.buckets != tuple(
+                    float(b) for b in extra["buckets"]
+                ):
+                    raise ValueError(
+                        f"histogram {name!r} already registered with "
+                        f"buckets {existing.buckets}"
+                    )
+                return existing
+            metric = _METRIC_CLASSES[kind](
+                name, help, labelnames, self._lock, **extra
+            )
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._register("counter", name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._register("gauge", name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames=(),
+        buckets=SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            "histogram", name, help, labelnames, buckets=buckets
+        )
+
+    # -- reading back --------------------------------------------------
+
+    def get(self, name: str) -> _Metric:
+        """The registered instrument called ``name`` (KeyError if absent)."""
+        with self._lock:
+            return self._metrics[name]
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def collect(self) -> list[MetricFamily]:
+        """Every metric as a :class:`MetricFamily`, sorted by name."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        return [
+            MetricFamily(
+                name=m.name,
+                kind=m.kind,
+                help=m.help,
+                labelnames=m.labelnames,
+                samples=m.series(),
+                buckets=getattr(m, "buckets", None),
+            )
+            for m in metrics
+        ]
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric (the BENCH payload format)."""
+        out = {}
+        for family in self.collect():
+            series = []
+            for key, value in sorted(family.samples.items()):
+                labels = dict(zip(family.labelnames, key))
+                if family.kind == "histogram":
+                    series.append({"labels": labels, **value})
+                else:
+                    series.append({"labels": labels, "value": value})
+            entry = {"kind": family.kind, "help": family.help,
+                     "series": series}
+            if family.buckets is not None:
+                entry["buckets"] = list(family.buckets)
+            out[family.name] = entry
+        return out
+
+    def reset(self) -> None:
+        """Drop every recorded value (registrations survive)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric._series.clear()
+
+
+# -- the process-wide default registry and its enable gate -------------
+
+_default_registry = MetricsRegistry()
+_enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (always available, gate aside)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def enable_metrics() -> None:
+    """Open the gate: hot paths start feeding the default registry."""
+    global _enabled
+    _enabled = True
+
+
+def disable_metrics() -> None:
+    global _enabled
+    _enabled = False
+
+
+def metrics_enabled() -> bool:
+    """Whether hot-path instrumentation currently records anything."""
+    return _enabled
+
+
+@contextmanager
+def collecting_metrics(registry: MetricsRegistry | None = None):
+    """Enable metrics collection for a block, yielding the registry.
+
+    Pass a fresh :class:`MetricsRegistry` to collect in isolation (the
+    default registry is swapped in-place and restored on exit — the
+    pattern every test uses); with no argument the process-wide default
+    registry collects.
+
+    Examples
+    --------
+    >>> from repro.normalize.sinkhorn import sinkhorn_knopp
+    >>> with collecting_metrics(MetricsRegistry()) as registry:
+    ...     _ = sinkhorn_knopp([[1.0, 2.0], [3.0, 4.0]])
+    >>> registry.get("repro_sinkhorn_runs_total").value(
+    ...     kernel="scalar", converged="true")
+    1.0
+    """
+    global _enabled
+    previous_registry = None
+    if registry is not None:
+        previous_registry = set_registry(registry)
+    previous_enabled = _enabled
+    _enabled = True
+    try:
+        yield _default_registry
+    finally:
+        _enabled = previous_enabled
+        if previous_registry is not None:
+            set_registry(previous_registry)
+
+
+# -- pre-specified instruments fed by the compute layers ---------------
+#
+# Helpers rather than module-level instrument objects so a swapped
+# default registry (collecting_metrics(fresh)) is always the one fed.
+# Every helper early-returns while the gate is closed; that early
+# return IS the disabled-path cost the overhead benchmark budgets.
+
+
+def observe_sinkhorn(
+    kernel: str,
+    *,
+    iterations: int,
+    residual: float,
+    converged: bool,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one scalar Sinkhorn kernel run (scalar/margins kernels)."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_sinkhorn_runs_total",
+        "Sinkhorn kernel runs by kernel and convergence outcome.",
+        labelnames=("kernel", "converged"),
+    ).inc(kernel=kernel, converged="true" if converged else "false")
+    registry.histogram(
+        "repro_sinkhorn_iterations",
+        "Full (column+row) Sinkhorn iterations to tolerance per run.",
+        labelnames=("kernel",),
+        buckets=ITERATION_BUCKETS,
+    ).observe(iterations, kernel=kernel)
+    registry.histogram(
+        "repro_sinkhorn_exit_residual",
+        "Largest row/column-sum deviation at kernel exit.",
+        labelnames=("kernel",),
+        buckets=RESIDUAL_BUCKETS,
+    ).observe(residual, kernel=kernel)
+
+
+def observe_sinkhorn_batch(
+    kernel: str,
+    *,
+    iterations,
+    residual,
+    converged,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record every slice of a batched Sinkhorn run (per-slice arrays)."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    for it, res, conv in zip(iterations, residual, converged):
+        observe_sinkhorn(
+            kernel,
+            iterations=int(it),
+            residual=float(res),
+            converged=bool(conv),
+            registry=registry,
+        )
+
+
+def observe_svd(
+    kernel: str, wall_s: float, registry: MetricsRegistry | None = None
+) -> None:
+    """Record the wall time of one SVD call (scalar or stacked)."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.histogram(
+        "repro_svd_seconds",
+        "Wall time of the singular-value decompositions behind TMA.",
+        labelnames=("kernel",),
+        buckets=SECONDS_BUCKETS,
+    ).observe(wall_s, kernel=kernel)
+
+
+def count_ensemble_members(
+    *,
+    batched: int = 0,
+    fallback: int = 0,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record ensemble members by dispatch path (batched vs scalar)."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    counter = registry.counter(
+        "repro_ensemble_members_total",
+        "Ensemble members characterized, by kernel dispatch path.",
+        labelnames=("path",),
+    )
+    if batched:
+        counter.inc(batched, path="batched")
+    if fallback:
+        counter.inc(fallback, path="fallback")
+
+
+def count_member_outcomes(
+    report, registry: MetricsRegistry | None = None
+) -> None:
+    """Record robust-pipeline member outcomes by taxonomy slug.
+
+    ``report`` is a :class:`repro.robust.QuarantineReport`; outcomes are
+    ``quarantined``, ``repaired`` plus one series per fault-category
+    slug seen (``fault.nan_input``, ``fault.non_convergent``, ...).
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    counter = registry.counter(
+        "repro_member_outcomes_total",
+        "Robust ensemble member outcomes by quarantine taxonomy slug.",
+        labelnames=("outcome",),
+    )
+    counter.inc(len(report.quarantined), outcome="quarantined")
+    counter.inc(len(report.repaired), outcome="repaired")
+    for category, indices in report.by_category().items():
+        counter.inc(len(indices), outcome=f"fault.{category}")
+
+
+def count_characterize(
+    tma_method: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one full characterization by TMA method taken."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_characterize_runs_total",
+        "Full heterogeneity characterizations by TMA method.",
+        labelnames=("tma_method",),
+    ).inc(tma_method=tma_method)
+
+
+def fold_recorder(
+    recorder, registry: MetricsRegistry | None = None
+) -> None:
+    """Fold a completed :class:`repro.obs.Recorder` into a registry.
+
+    Spans land in the ``repro_span_seconds`` histogram (one ``span``
+    label series per span name) plus ``repro_spans_total`` /
+    ``repro_span_errors_total`` counters; the recorder's counter totals
+    accumulate onto ``repro_obs_counter_total`` and its gauges set
+    ``repro_obs_gauge`` (last value per name wins).
+
+    :func:`repro.obs.recording` calls this automatically on exit while
+    metrics collection is enabled, so CLI profile runs and long-lived
+    services feed the scrape endpoint with no extra wiring.
+    """
+    if registry is None:
+        registry = _default_registry
+    span_seconds = registry.histogram(
+        "repro_span_seconds",
+        "Wall time of recorded obs spans, by span name.",
+        labelnames=("span",),
+        buckets=SECONDS_BUCKETS,
+    )
+    spans_total = registry.counter(
+        "repro_spans_total",
+        "Recorded obs spans, by span name.",
+        labelnames=("span",),
+    )
+    span_errors = registry.counter(
+        "repro_span_errors_total",
+        "Recorded obs spans that exited by raising, by span name.",
+        labelnames=("span",),
+    )
+    for event in recorder.events:
+        span_seconds.observe(event.wall_s, span=event.name)
+        spans_total.inc(span=event.name)
+        if event.error is not None:
+            span_errors.inc(span=event.name)
+    counter_total = registry.counter(
+        "repro_obs_counter_total",
+        "Recorder counter totals folded at session close, by name.",
+        labelnames=("counter",),
+    )
+    for name, total in recorder.counters.items():
+        counter_total.inc(total, counter=name)
+    if recorder.gauges:
+        gauge = registry.gauge(
+            "repro_obs_gauge",
+            "Last recorded obs gauge value, by name.",
+            labelnames=("gauge",),
+        )
+        for event in recorder.gauges:
+            gauge.set(event.value, gauge=event.name)

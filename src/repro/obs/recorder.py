@@ -344,3 +344,11 @@ def recording(
     finally:
         _recorder_var.reset(token)
         rec.close()
+        # While process-wide metrics collection is enabled, completed
+        # sessions accumulate into the registry (span-duration
+        # histograms + counter totals) so scrape endpoints see every
+        # recording without extra wiring.
+        from . import metrics as _metrics
+
+        if _metrics.metrics_enabled():
+            _metrics.fold_recorder(rec)

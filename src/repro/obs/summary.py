@@ -1,7 +1,7 @@
 """Aggregated span statistics: the ``repro-hc profile`` table.
 
 :func:`summarize` folds a recorder's closed spans into one row per
-span name — count, total/mean wall time, p50/p95/max, CPU total —
+span name — count, total/mean wall time, p50/p95/p99/max, CPU total —
 sorted by total wall time so the hottest path tops the table.  The
 result renders as an aligned text table (:meth:`SpanSummary.table`)
 or a JSON-safe dict (:meth:`SpanSummary.to_dict`).
@@ -40,6 +40,7 @@ class SpanStats:
     mean_s: float
     p50_s: float
     p95_s: float
+    p99_s: float
     max_s: float
     cpu_s: float
 
@@ -51,6 +52,7 @@ class SpanStats:
             "mean_s": self.mean_s,
             "p50_s": self.p50_s,
             "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
             "max_s": self.max_s,
             "cpu_s": self.cpu_s,
         }
@@ -100,7 +102,8 @@ class SpanSummary:
         name_w = max(len("span"), max(len(s.name) for s in self.rows))
         header = (
             f"{'span'.ljust(name_w)}  {'count':>5}  {'total':>9}  "
-            f"{'mean':>9}  {'p50':>9}  {'p95':>9}  {'max':>9}  {'cpu':>9}"
+            f"{'mean':>9}  {'p50':>9}  {'p95':>9}  {'p99':>9}  "
+            f"{'max':>9}  {'cpu':>9}"
         )
         lines = [header, "-" * len(header)]
         for s in self.rows:
@@ -108,6 +111,7 @@ class SpanSummary:
                 f"{s.name.ljust(name_w)}  {s.count:>5d}  "
                 f"{s.total_s * 1e3:>7.2f}ms  {s.mean_s * 1e3:>7.2f}ms  "
                 f"{s.p50_s * 1e3:>7.2f}ms  {s.p95_s * 1e3:>7.2f}ms  "
+                f"{s.p99_s * 1e3:>7.2f}ms  "
                 f"{s.max_s * 1e3:>7.2f}ms  {s.cpu_s * 1e3:>7.2f}ms"
             )
         if self.counters:
@@ -139,6 +143,7 @@ def summarize(recorder: Recorder) -> SpanSummary:
                 mean_s=total / len(ordered),
                 p50_s=_percentile(ordered, 0.50),
                 p95_s=_percentile(ordered, 0.95),
+                p99_s=_percentile(ordered, 0.99),
                 max_s=ordered[-1],
                 cpu_s=cpu[name],
             )

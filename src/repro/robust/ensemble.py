@@ -46,7 +46,7 @@ from ..exceptions import (
     WeightError,
 )
 from ..normalize.standard_form import DEFAULT_TOL, _coerce_ecs, standardize
-from ..obs import current_recorder, traced
+from ..obs import current_recorder, metrics as _metrics, traced
 from .budget import DEFAULT_BUDGET, Budget
 from .chaos import FaultPlan
 from .repair import repair_member, repaired_matrix
@@ -222,7 +222,9 @@ def _check_policy(policy: str) -> None:
 
 
 def _record_counters(rec, report: QuarantineReport) -> None:
-    """Surface quarantine/repair activity in the ambient obs recorder."""
+    """Surface quarantine/repair activity in the ambient obs recorder
+    and the process-wide metrics registry (outcomes by taxonomy slug)."""
+    _metrics.count_member_outcomes(report)
     if rec is None:
         return
     rec.counter("robust.quarantined", len(report.quarantined))

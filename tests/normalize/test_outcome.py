@@ -76,3 +76,20 @@ class TestDeprecatedAliases:
             warnings.simplefilter("error", DeprecationWarning)
             _ = result.matrix
             _ = result.residual_history
+
+    def test_standardize_batched_aliases_warn_too(self):
+        # Both batched constructors share the result class; the aliases
+        # must warn regardless of which kernel produced the object.
+        result = standardize_batched(STACK)
+        with pytest.warns(DeprecationWarning, match="use .matrix"):
+            _ = result.matrices
+        with pytest.warns(DeprecationWarning, match="use .residual_history"):
+            _ = result.residual_histories
+
+    def test_warning_points_at_the_calling_line(self):
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with pytest.warns(DeprecationWarning) as captured:
+            _ = result.matrices
+        # stacklevel=2: the warning is attributed to this file, not to
+        # the outcome module that raises it.
+        assert captured[0].filename == __file__

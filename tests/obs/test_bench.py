@@ -1,0 +1,222 @@
+"""The BENCH payload pipeline: run, persist, compare, CLI gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_CASES,
+    BENCH_SCHEMA,
+    compare_bench,
+    load_bench,
+    next_bench_path,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_payload() -> dict:
+    """One shared quick run (the cases are deterministic workloads)."""
+    return run_bench(quick=True, repeats=1)
+
+
+class TestRunBench:
+    def test_payload_is_schema_valid(self, quick_payload):
+        validate_bench(quick_payload)
+        assert quick_payload["schema"] == BENCH_SCHEMA
+        assert quick_payload["quick"] is True
+        assert set(quick_payload["benchmarks"]) == set(BENCH_CASES)
+        for entry in quick_payload["benchmarks"].values():
+            assert entry["wall_s"]["best"] > 0
+            assert entry["wall_s"]["mean"] >= entry["wall_s"]["best"]
+            assert entry["wall_s"]["repeats"] == 1
+            assert "best" in entry["cpu_s"] and "mean" in entry["cpu_s"]
+
+    def test_payload_is_json_safe(self, quick_payload):
+        json.dumps(quick_payload)
+
+    def test_metrics_snapshot_captures_kernels(self, quick_payload):
+        metrics = quick_payload["metrics"]
+        assert "repro_sinkhorn_runs_total" in metrics
+        assert "repro_sinkhorn_iterations" in metrics
+        assert "repro_svd_seconds" in metrics
+        kernels = {
+            s["labels"]["kernel"]
+            for s in metrics["repro_sinkhorn_runs_total"]["series"]
+        }
+        assert {"scalar", "batched"} <= kernels
+
+    def test_git_sha_recorded_in_repo(self, quick_payload):
+        sha = quick_payload["git_sha"]
+        assert sha is None or (len(sha) == 40 and set(sha) <= set(
+            "0123456789abcdef"
+        ))
+
+    def test_benchmark_subset_and_unknown_name(self):
+        payload = run_bench(
+            quick=True, repeats=1, benchmarks=["schedule_min_min"]
+        )
+        assert set(payload["benchmarks"]) == {"schedule_min_min"}
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_bench(quick=True, benchmarks=["nope"])
+
+    def test_results_snapshots_folded(self, tmp_path):
+        (tmp_path / "alpha.json").write_text('{"x": 1}', encoding="utf-8")
+        (tmp_path / "broken.json").write_text("{nope", encoding="utf-8")
+        payload = run_bench(
+            quick=True,
+            repeats=1,
+            benchmarks=["schedule_min_min"],
+            results_dir=tmp_path,
+        )
+        assert payload["results_snapshots"] == {"alpha": {"x": 1}}
+
+    def test_collection_gate_restored(self):
+        from repro.obs import metrics_enabled
+
+        assert not metrics_enabled()
+
+
+class TestPersistence:
+    def test_bench_numbering_increments(self, tmp_path, quick_payload):
+        assert next_bench_path(tmp_path).name == "BENCH_1.json"
+        first = write_bench(quick_payload, directory=tmp_path)
+        assert first.name == "BENCH_1.json"
+        second = write_bench(quick_payload, directory=tmp_path)
+        assert second.name == "BENCH_2.json"
+        # Non-numeric suffixes don't confuse the counter.
+        (tmp_path / "BENCH_ci.json").write_text("{}", encoding="utf-8")
+        assert next_bench_path(tmp_path).name == "BENCH_3.json"
+
+    def test_write_load_roundtrip(self, tmp_path, quick_payload):
+        path = write_bench(quick_payload, path=tmp_path / "BENCH_x.json")
+        assert load_bench(path) == quick_payload
+
+    def test_load_rejects_invalid(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_bench(bad)
+        bad.write_text('{"schema": "other/1"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported BENCH schema"):
+            load_bench(bad)
+
+    def test_validate_rejects_malformed(self, quick_payload):
+        broken = copy.deepcopy(quick_payload)
+        del broken["benchmarks"]["sinkhorn_scalar"]["wall_s"]
+        with pytest.raises(ValueError, match="malformed"):
+            validate_bench(broken)
+        negative = copy.deepcopy(quick_payload)
+        negative["benchmarks"]["sinkhorn_scalar"]["wall_s"]["best"] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_bench(negative)
+
+
+def _doctored(payload: dict, factor: float) -> dict:
+    """A copy whose baseline best wall times are scaled by ``factor``."""
+    doctored = copy.deepcopy(payload)
+    for entry in doctored["benchmarks"].values():
+        entry["wall_s"]["best"] *= factor
+    return doctored
+
+
+class TestCompareBench:
+    def test_self_compare_is_ok(self, quick_payload):
+        comparison = compare_bench(quick_payload, quick_payload)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert "OK" in comparison.table()
+
+    def test_2x_slowdown_fails_gate(self, quick_payload):
+        # Doctored baseline at half the time == current is 2x slower.
+        baseline = _doctored(quick_payload, 0.5)
+        comparison = compare_bench(quick_payload, baseline)
+        assert not comparison.ok
+        assert len(comparison.regressions) == len(BENCH_CASES)
+        table = comparison.table()
+        assert "** REGRESSION" in table
+        assert "FAIL" in table
+
+    def test_threshold_is_inclusive_of_allowed_slack(self, quick_payload):
+        # Exactly 10% slower passes a 15% gate and fails a 5% gate.
+        baseline = _doctored(quick_payload, 1 / 1.10)
+        assert compare_bench(
+            quick_payload, baseline, max_regression=0.15
+        ).ok
+        assert not compare_bench(
+            quick_payload, baseline, max_regression=0.05
+        ).ok
+
+    def test_one_sided_benchmarks_reported_not_failed(self, quick_payload):
+        baseline = copy.deepcopy(quick_payload)
+        del baseline["benchmarks"]["characterize"]
+        baseline["benchmarks"]["legacy_case"] = {
+            "wall_s": {"best": 1.0, "mean": 1.0, "repeats": 1},
+            "cpu_s": {"best": 1.0, "mean": 1.0},
+        }
+        comparison = compare_bench(quick_payload, baseline)
+        assert comparison.ok
+        assert comparison.only_current == ("characterize",)
+        assert comparison.only_baseline == ("legacy_case",)
+        table = comparison.table()
+        assert "not in baseline: characterize" in table
+        assert "in baseline only: legacy_case" in table
+
+    def test_rejects_negative_threshold(self, quick_payload):
+        with pytest.raises(ValueError, match="max_regression"):
+            compare_bench(quick_payload, quick_payload, max_regression=-0.1)
+
+
+class TestBenchCli:
+    def test_quick_run_writes_next_bench_json(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick",
+                     "--benchmarks", "schedule_min_min"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        payload = load_bench(tmp_path / "BENCH_1.json")
+        assert payload["quick"] is True
+
+    def test_replay_self_compare_exits_zero(
+        self, tmp_path, quick_payload, capsys
+    ):
+        path = write_bench(quick_payload, path=tmp_path / "BENCH_ci.json")
+        assert main([
+            "bench", "--replay", str(path), "--compare", str(path),
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_against_doctored_baseline_exits_nonzero(
+        self, tmp_path, quick_payload, capsys
+    ):
+        current = write_bench(quick_payload, path=tmp_path / "BENCH_1.json")
+        baseline = write_bench(
+            _doctored(quick_payload, 0.5), path=tmp_path / "BENCH_base.json"
+        )
+        code = main([
+            "bench", "--replay", str(current), "--compare", str(baseline),
+            "--max-regression", "0.15",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_case_exits_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--quick", "--benchmarks", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_2(self, tmp_path, quick_payload, capsys):
+        current = write_bench(quick_payload, path=tmp_path / "BENCH_1.json")
+        missing = tmp_path / "missing.json"
+        assert main([
+            "bench", "--replay", str(current), "--compare", str(missing),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,114 @@
+"""JSONL trace round-trip: profile -o -> trace convert -> Chrome JSON."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.io import save_etc_csv
+from repro.core.environment import ETCMatrix
+from repro.exceptions import MatrixValueError
+from repro.obs import convert_trace_jsonl, recording, span
+
+
+@pytest.fixture
+def etc_csv(tmp_path) -> str:
+    etc = ETCMatrix(
+        np.array([[4.0, 2.0], [1.0, 3.0], [2.0, 2.0]]),
+        task_names=("t0", "t1", "t2"),
+        machine_names=("m0", "m1"),
+    )
+    path = tmp_path / "env.csv"
+    save_etc_csv(etc, path)
+    return str(path)
+
+
+class TestProfileToChromeTrace:
+    def test_cli_roundtrip(self, tmp_path, etc_csv, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        out = tmp_path / "trace.json"
+        assert main(["profile", etc_csv, "-o", str(jsonl)]) == 0
+        assert main(["trace", "convert", str(jsonl), "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace event(s)" in stdout
+
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        events = doc["traceEvents"]
+        assert events, "profile run produced no trace events"
+        for event in events:
+            assert event["ph"] in ("X", "C")
+            assert isinstance(event["ts"], (int, float))
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+        # The profile pipeline's spans survive the round trip ...
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "measures.characterize" in span_names
+        assert any(n.startswith("sinkhorn") for n in span_names)
+        # ... and so do the counter_total records flushed at close.
+        counter_names = {
+            e["name"] for e in events if e["cat"] == "counter_total"
+        }
+        assert "scheduling.decisions" in counter_names
+
+    def test_convert_reports_malformed_line(self, tmp_path, capsys):
+        jsonl = tmp_path / "trace.jsonl"
+        jsonl.write_text(
+            '{"type": "span", "name": "ok", "start": 0.0, "wall_s": 0.1,'
+            ' "cpu_s": 0.1, "depth": 0, "meta": {}, "samples": {}}\n'
+            "{broken\n",
+            encoding="utf-8",
+        )
+        out = tmp_path / "trace.json"
+        assert main(["trace", "convert", str(jsonl), "-o", str(out)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and ":2:" in err
+
+    def test_convert_missing_input_exits_2(self, tmp_path, capsys):
+        assert main([
+            "trace", "convert", str(tmp_path / "nope.jsonl"),
+            "-o", str(tmp_path / "out.json"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExceptionPropagationPath:
+    def test_sink_flushed_and_closed_on_error(self, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        with pytest.raises(MatrixValueError):
+            with recording(trace_path=jsonl) as rec:
+                with span("roundtrip.outer"):
+                    rec.counter("roundtrip.count", 2)
+                    raise MatrixValueError("injected failure")
+
+        # Every line parses: the JSONL sink was flushed and closed even
+        # though the block exited by raising.
+        records = [
+            json.loads(line)
+            for line in jsonl.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        # The error span was recorded with its exception class ...
+        outer = next(
+            r for r in by_type["span"] if r["name"] == "roundtrip.outer"
+        )
+        assert outer["error"] == "MatrixValueError"
+        # ... and the counter total was still flushed at close.
+        totals = {r["name"]: r["value"] for r in by_type["counter_total"]}
+        assert totals["roundtrip.count"] == 2
+
+        # The converter accepts the error-path trace unchanged.
+        out = tmp_path / "trace.json"
+        count = convert_trace_jsonl(jsonl, out)
+        assert count == len(records)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        err_event = next(
+            e for e in doc["traceEvents"] if e["name"] == "roundtrip.outer"
+        )
+        assert err_event["args"]["error"] == "MatrixValueError"

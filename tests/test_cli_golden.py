@@ -58,6 +58,7 @@ SPAN_ROW_SCHEMA = {
     "mean_s": float,
     "p50_s": float,
     "p95_s": float,
+    "p99_s": float,
     "max_s": float,
     "cpu_s": float,
 }
@@ -120,7 +121,8 @@ class TestProfileGolden:
             line for line in out.splitlines() if line.startswith("span")
         )
         assert header_line.split() == [
-            "span", "count", "total", "mean", "p50", "p95", "max", "cpu",
+            "span", "count", "total", "mean", "p50", "p95", "p99",
+            "max", "cpu",
         ]
         for expected in (
             "measures.characterize",
