@@ -45,6 +45,17 @@ Subcommands
     non-zero when any benchmark regressed beyond ``--max-regression``;
     ``--replay CURRENT.json`` compares a previously written payload
     instead of re-running (deterministic CI gating).
+``serve``
+    Run the characterization service (:mod:`repro.serve`): a
+    JSON-over-HTTP API for ``characterize`` / ``standardize`` /
+    ``recommend-heuristic`` with request coalescing, a
+    content-addressed result cache, per-request quarantine/repair
+    policy and a ``/metrics`` endpoint.  See ``docs/SERVING.md``.
+``loadgen generate|replay``
+    Seedable service traffic: ``generate`` writes a replayable JSONL
+    trace (optionally chaos-corrupted via ``--inject-faults``);
+    ``replay`` fires a trace at a running server and prints the
+    latency/error digest.
 ``serve-metrics``
     Expose the process-wide metrics registry in Prometheus text
     exposition format on a stdlib HTTP endpoint (``/metrics``), or dump
@@ -304,6 +315,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the characterization service (JSON over HTTP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8787,
+        help="listen port (0 picks a free ephemeral port)",
+    )
+    p.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="coalescing window: how long the first request of a batch "
+        "waits for same-shape company before the kernel fires",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=64,
+        help="flush a coalesced batch immediately at this size",
+    )
+    p.add_argument(
+        "--cache-entries", type=int, default=1024,
+        help="in-memory result-cache capacity (LRU)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="spill evicted cache entries to this directory",
+    )
+    p.add_argument(
+        "--no-metrics", action="store_true",
+        help="do not enable the process metrics registry",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="generate / replay characterization-service traffic",
+    )
+    loadgen_sub = p.add_subparsers(dest="loadgen_command", required=True)
+    p = loadgen_sub.add_parser(
+        "generate", help="write a seedable, replayable request trace"
+    )
+    p.add_argument("-o", "--output", required=True, help="JSONL trace path")
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tasks", type=int, default=8)
+    p.add_argument("--machines", type=int, default=8)
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="mean arrival rate in requests/second")
+    p.add_argument(
+        "--duplicate-fraction", type=float, default=0.3,
+        help="fraction of requests resubmitting a base matrix "
+        "byte-for-byte (cache-hit material)",
+    )
+    p.add_argument(
+        "--perturb-fraction", type=float, default=0.3,
+        help="fraction submitting a perturbed base matrix (coalescing "
+        "material)",
+    )
+    p.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="corrupt a seeded subset of request matrices, e.g. "
+        "'nan=2,zero-row=1' (data kinds only)",
+    )
+    p.add_argument("--fault-seed", type=int, default=0)
+    p = loadgen_sub.add_parser(
+        "replay", help="fire a trace at a running server"
+    )
+    p.add_argument("trace", help="JSONL trace from `loadgen generate`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="stretch (>1) or compress (<1) recorded arrival gaps; "
+        "0 releases every request at once",
+    )
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable digest")
+
+    p = sub.add_parser(
         "serve-metrics",
         help="serve the metrics registry in Prometheus text format",
     )
@@ -328,6 +419,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace-event JSON output path",
     )
     return parser
+
+
+def _address_in_use_error(exc: OSError, host: str, port: int) -> str | None:
+    """An actionable one-liner when ``exc`` is EADDRINUSE, else None."""
+    import errno
+
+    if exc.errno != errno.EADDRINUSE:
+        return None
+    return (
+        f"error: {host}:{port} is already in use — another process is "
+        f"listening there; pass --port with a free port (or --port 0 "
+        f"for an ephemeral one)"
+    )
 
 
 def _json_float(value) -> float | None:
@@ -638,6 +742,89 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(comparison.table())
                 if not comparison.ok:
                     return 1
+        elif args.command == "serve":
+            import asyncio
+
+            from .serve import CharacterizationServer, ServeConfig
+
+            service = CharacterizationServer(
+                ServeConfig(
+                    host=args.host,
+                    port=args.port,
+                    linger_s=args.linger_ms / 1e3,
+                    max_batch=args.max_batch,
+                    cache_entries=args.cache_entries,
+                    cache_dir=args.cache_dir,
+                    enable_metrics=not args.no_metrics,
+                )
+            )
+
+            async def _serve() -> None:
+                await service.start()
+                host, port = service.address
+                print(
+                    f"serving characterization API on "
+                    f"http://{host}:{port}/v1/{{characterize,standardize,"
+                    f"recommend-heuristic}} (GET /metrics, /healthz)"
+                )
+                await service.serve_forever()
+
+            try:
+                asyncio.run(_serve())
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+            except OSError as exc:
+                message = _address_in_use_error(exc, args.host, args.port)
+                if message is None:
+                    raise
+                print(message, file=sys.stderr)
+                return 2
+        elif args.command == "loadgen":
+            from .serve import loadgen
+
+            if args.loadgen_command == "generate":
+                try:
+                    trace = loadgen.generate_trace(
+                        requests=args.requests,
+                        seed=args.seed,
+                        shape=(args.tasks, args.machines),
+                        rate_hz=args.rate,
+                        duplicate_fraction=args.duplicate_fraction,
+                        perturb_fraction=args.perturb_fraction,
+                        faults=args.inject_faults,
+                        fault_seed=args.fault_seed,
+                    )
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                loadgen.save_trace(trace, args.output)
+                print(f"wrote {len(trace)} request(s) to {args.output}")
+            else:
+                try:
+                    trace = loadgen.load_trace(args.trace)
+                except ValueError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                try:
+                    report = loadgen.replay_trace(
+                        trace,
+                        args.host,
+                        args.port,
+                        time_scale=args.time_scale,
+                        timeout_s=args.timeout,
+                    )
+                except ConnectionRefusedError:
+                    print(
+                        f"error: nothing is listening on "
+                        f"{args.host}:{args.port} — start the server "
+                        f"with `repro-hc serve`",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if args.json:
+                    print(json.dumps(report.to_payload(), indent=2))
+                else:
+                    print(report.summary())
         elif args.command == "serve-metrics":
             from .obs import (
                 enable_metrics,
@@ -649,9 +836,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.print_once:
                 sys.stdout.write(render_prometheus())
             else:
-                server = start_metrics_server(
-                    port=args.port, host=args.host, in_thread=False
-                )
+                try:
+                    server = start_metrics_server(
+                        port=args.port, host=args.host, in_thread=False
+                    )
+                except OSError as exc:
+                    message = _address_in_use_error(
+                        exc, args.host, args.port
+                    )
+                    if message is None:
+                        raise
+                    print(message, file=sys.stderr)
+                    return 2
                 host, port = server.server_address[:2]
                 print(f"serving metrics on http://{host}:{port}/metrics")
                 try:

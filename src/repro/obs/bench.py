@@ -20,7 +20,9 @@ Payload schema (``"schema": "repro-bench/1"``)::
       "python": "3.12.3", "platform": "Linux-...",
       "benchmarks": {
         "<name>": {"wall_s": {"best": .., "mean": .., "repeats": n},
-                    "cpu_s":  {"best": .., "mean": ..}},
+                    "cpu_s":  {"best": .., "mean": ..},
+                    "extra": {..}},   # optional case-reported numbers
+                                      # (e.g. serve_latency p50/p99)
         ...
       },
       "metrics": { <MetricsRegistry.snapshot()> },
@@ -120,12 +122,39 @@ def _case_schedule_min_min(quick: bool) -> None:
     )
 
 
+def _case_serve_latency(quick: bool) -> dict:
+    """The three serving paths of :mod:`repro.serve` on a live server.
+
+    Returns the per-path p50/p99 study dict, which ``run_bench`` folds
+    into the payload as ``benchmarks.serve_latency.extra`` — the BENCH
+    record of cold vs coalesced vs cache-hit latency.
+    """
+    from ..serve import ServeConfig, ServerThread
+    from ..serve.loadgen import latency_study
+
+    handle = ServerThread(ServeConfig(port=0))
+    host, port = handle.start()
+    try:
+        return latency_study(
+            host,
+            port,
+            shape=(8, 8),
+            cold=4 if quick else 8,
+            coalesce_width=8 if quick else 16,
+            cache_repeats=8 if quick else 16,
+            seed=6,
+        )
+    finally:
+        handle.stop()
+
+
 BENCH_CASES = {
     "sinkhorn_scalar": _case_sinkhorn_scalar,
     "sinkhorn_batched": _case_sinkhorn_batched,
     "characterize": _case_characterize,
     "ensemble_batched": _case_ensemble_batched,
     "schedule_min_min": _case_schedule_min_min,
+    "serve_latency": _case_serve_latency,
 }
 
 
@@ -188,10 +217,11 @@ def run_bench(
             case = BENCH_CASES[name]
             case(quick)  # warm-up: caches, lazy imports, BLAS threads
             walls, cpus = [], []
+            extra = None
             for _ in range(repeats):
                 cpu0 = time.process_time()
                 t0 = time.perf_counter()
-                case(quick)
+                extra = case(quick)
                 walls.append(time.perf_counter() - t0)
                 cpus.append(time.process_time() - cpu0)
             results[name] = {
@@ -202,6 +232,10 @@ def run_bench(
                 },
                 "cpu_s": {"best": min(cpus), "mean": sum(cpus) / repeats},
             }
+            # A case may return a dict of extra measurements (e.g. the
+            # serve_latency per-path percentiles); fold it in verbatim.
+            if isinstance(extra, dict) and extra:
+                results[name]["extra"] = extra
 
     payload = {
         "schema": BENCH_SCHEMA,

@@ -59,9 +59,15 @@ __all__ = [
     "metrics_enabled",
     "collecting_metrics",
     "fold_recorder",
+    "observe_serve_request",
+    "observe_coalesce_batch",
+    "count_serve_kernel",
+    "count_serve_cache",
+    "count_serve_quarantined",
     "ITERATION_BUCKETS",
     "RESIDUAL_BUCKETS",
     "SECONDS_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
 ]
 
 _METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -88,6 +94,11 @@ RESIDUAL_BUCKETS = (
 SECONDS_BUCKETS = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
 )
+
+#: Coalesced batch sizes (powers of two up to the default max-batch
+#: ceilings the server offers).  A healthy coalescer under concurrent
+#: load shows mass above the ``le="1"`` bucket.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -655,3 +666,107 @@ def fold_recorder(
         )
         for event in recorder.gauges:
             gauge.set(event.value, gauge=event.name)
+
+
+# -- serving-layer instruments (repro.serve) ---------------------------
+#
+# Same contract as the kernel helpers above: early return while the
+# gate is closed, explicit registry override for isolated collection.
+
+
+def observe_serve_request(
+    endpoint: str,
+    *,
+    status: int,
+    source: str,
+    wall_s: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one finished service request.
+
+    ``source`` names the path that produced the response bytes:
+    ``cold`` (computed in a batch of one), ``batched`` (computed in a
+    coalesced batch > 1), ``inflight`` (joined an identical in-flight
+    computation), ``cache-memory`` / ``cache-disk`` (content-addressed
+    cache hit), or ``error``.
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_requests_total",
+        "Characterization service requests by endpoint and HTTP status.",
+        labelnames=("endpoint", "status"),
+    ).inc(endpoint=endpoint, status=str(int(status)))
+    registry.histogram(
+        "repro_serve_request_seconds",
+        "Service request wall time by endpoint and serving path.",
+        labelnames=("endpoint", "source"),
+        buckets=SECONDS_BUCKETS,
+    ).observe(wall_s, endpoint=endpoint, source=source)
+
+
+def observe_coalesce_batch(
+    endpoint: str, size: int, registry: MetricsRegistry | None = None
+) -> None:
+    """Record the size of one flushed coalescer batch."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.histogram(
+        "repro_serve_coalesce_batch_size",
+        "Requests per coalesced kernel batch, by endpoint.",
+        labelnames=("endpoint",),
+        buckets=BATCH_SIZE_BUCKETS,
+    ).observe(size, endpoint=endpoint)
+
+
+def count_serve_kernel(
+    endpoint: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one batched kernel invocation issued by the service."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_kernel_invocations_total",
+        "Batched kernel calls issued by the coalescer, by endpoint.",
+        labelnames=("endpoint",),
+    ).inc(endpoint=endpoint)
+
+
+def count_serve_cache(
+    event: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one result-cache event.
+
+    ``event`` is ``hit-memory``, ``hit-disk``, ``miss``, ``store`` or
+    ``spill``.
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_cache_events_total",
+        "Content-addressed result cache events.",
+        labelnames=("event",),
+    ).inc(event=event)
+
+
+def count_serve_quarantined(
+    endpoint: str, category: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one request answered with a structured quarantine error."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_quarantined_total",
+        "Service requests quarantined, by endpoint and fault category.",
+        labelnames=("endpoint", "category"),
+    ).inc(endpoint=endpoint, category=category)

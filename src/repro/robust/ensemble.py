@@ -85,6 +85,34 @@ class RobustEnsembleCharacterization(EnsembleCharacterization):
             mask[index] = False
         return mask
 
+    def member_payload(self, index: int) -> dict:
+        """JSON-safe serving row for member ``index``.
+
+        Healthy members get their measure columns; repaired members
+        additionally carry their fault record (``repaired=True``);
+        quarantined members get *only* the fault record — the
+        characterization service turns that into a structured error
+        response without touching the NaN-masked measure row.
+        """
+        fault = None
+        try:
+            fault = self.report.fault(index)
+        except KeyError:
+            pass
+        if fault is not None and not fault.repaired:
+            return {"fault": fault.to_payload()}
+        payload = {
+            "mph": float(self.mph[index]),
+            "tdh": float(self.tdh[index]),
+            "tma": float(self.tma[index]),
+            "iterations": int(self.iterations[index]),
+            "converged": bool(self.converged[index]),
+            "batched": bool(self.batched[index]),
+        }
+        if fault is not None:
+            payload["fault"] = fault.to_payload()
+        return payload
+
     def summary(self) -> str:
         """Digest over *usable* rows (quarantined NaNs excluded)."""
         usable = self.measures[self.healthy_mask]

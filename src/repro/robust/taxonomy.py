@@ -129,6 +129,19 @@ class MemberFault:
         )
         return f"member {self.index}: {self.category} — {state}"
 
+    def to_payload(self) -> dict:
+        """JSON-safe record (service error bodies, structured logs)."""
+        payload: dict = {
+            "category": self.category,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+        if self.attempts:
+            payload["attempts"] = self.attempts
+        if self.repair is not None:
+            payload["repair"] = self.repair
+        return payload
+
 
 @dataclass(frozen=True)
 class QuarantineReport:

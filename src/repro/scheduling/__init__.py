@@ -35,6 +35,7 @@ from .heuristics import (
 from .selection import (
     HeuristicComparison,
     compare_heuristics,
+    recommend_from_measures,
     recommend_heuristic,
     selection_study,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "HeuristicComparison",
     "compare_heuristics",
     "recommend_heuristic",
+    "recommend_from_measures",
     "selection_study",
     "ONLINE_POLICIES",
     "BATCH_SELECT_RULES",

@@ -24,6 +24,7 @@ __all__ = [
     "compare_heuristics",
     "selection_study",
     "recommend_heuristic",
+    "recommend_from_measures",
 ]
 
 
@@ -132,6 +133,15 @@ def selection_study(
     return results
 
 
+@dataclass(frozen=True)
+class _Measures:
+    """The three-measure view the recommendation rule reads."""
+
+    mph: float
+    tdh: float
+    tma: float
+
+
 def recommend_heuristic(profile_or_env) -> tuple[str, str]:
     """Rule-based mapper recommendation from the heterogeneity measures.
 
@@ -162,6 +172,27 @@ def recommend_heuristic(profile_or_env) -> tuple[str, str]:
         profile = profile_or_env
     else:
         profile = characterize(profile_or_env)
+    return recommend_from_measures(profile.mph, profile.tdh, profile.tma)
+
+
+def recommend_from_measures(
+    mph: float, tdh: float, tma: float
+) -> tuple[str, str]:
+    """The :func:`recommend_heuristic` rule on bare (MPH, TDH, TMA).
+
+    The characterization service answers ``recommend-heuristic``
+    requests from already-computed (possibly batched or cached)
+    measures, so the decision rule is exposed without requiring a full
+    :class:`~repro.measures.HeterogeneityProfile`.
+
+    Examples
+    --------
+    >>> recommend_from_measures(0.9, 0.9, 0.0)[0]
+    'mct'
+    >>> recommend_from_measures(0.5, 0.8, 0.6)[0]
+    'sufferage'
+    """
+    profile = _Measures(float(mph), float(tdh), float(tma))
     if profile.tma >= 0.25:
         return (
             "sufferage",

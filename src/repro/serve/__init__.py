@@ -1,0 +1,87 @@
+"""The characterization service (``repro-hc serve``).
+
+An asyncio JSON-over-HTTP front end for the library's batched
+characterization kernels:
+
+* :mod:`repro.serve.protocol` — request/response schema, validation;
+* :mod:`repro.serve.cache` — content-addressed result cache (canonical
+  matrix bytes → SHA-256 key, in-memory LRU with optional disk spill);
+* :mod:`repro.serve.coalesce` — micro-batching queue that stacks
+  concurrent same-shape requests into one (N, T, M) kernel call;
+* :mod:`repro.serve.server` — the HTTP server, request router and
+  serving glue (singleflight, quarantine, metrics);
+* :mod:`repro.serve.loadgen` — seedable trace generation and replay
+  for tests, chaos drills and the ``serve_latency`` bench case.
+"""
+
+from .cache import (
+    CACHE_KEY_VERSION,
+    ResultCache,
+    canonical_matrix_bytes,
+    canonical_options,
+    matrix_cache_key,
+)
+from .coalesce import CoalesceResult, Coalescer, ServeFault
+from .loadgen import (
+    TRACE_SCHEMA,
+    ReplayReport,
+    RequestOutcome,
+    TraceRequest,
+    generate_trace,
+    latency_study,
+    load_trace,
+    percentile,
+    replay_trace,
+    save_trace,
+)
+from .protocol import (
+    ENDPOINTS,
+    SCHEMA,
+    ProtocolError,
+    ServeRequest,
+    decode_json,
+    encode_json,
+    error_body,
+    json_safe,
+    parse_request,
+    result_body,
+)
+from .server import (
+    CharacterizationServer,
+    ServeConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "CharacterizationServer",
+    "CoalesceResult",
+    "Coalescer",
+    "ENDPOINTS",
+    "ProtocolError",
+    "ReplayReport",
+    "RequestOutcome",
+    "ResultCache",
+    "SCHEMA",
+    "ServeConfig",
+    "ServeFault",
+    "ServeRequest",
+    "ServerThread",
+    "TRACE_SCHEMA",
+    "TraceRequest",
+    "canonical_matrix_bytes",
+    "canonical_options",
+    "decode_json",
+    "encode_json",
+    "error_body",
+    "generate_trace",
+    "json_safe",
+    "latency_study",
+    "load_trace",
+    "matrix_cache_key",
+    "parse_request",
+    "percentile",
+    "replay_trace",
+    "result_body",
+    "save_trace",
+]

@@ -1,0 +1,189 @@
+"""Micro-batching request coalescer for the characterization service.
+
+The 22–25x win of the batched ``(N, T, M)`` kernels (PR 1) only
+materializes when N > 1.  A long-running service gets that N from
+*concurrency*: requests that arrive within a short linger window and
+share a coalescing group — same matrix shape and same kernel options —
+are stacked into one batched kernel call instead of N scalar ones.
+
+:class:`Coalescer` implements the standard micro-batching queue:
+
+* the first request of a group arms a **linger timer**
+  (``linger_s``); everything that joins the group before it fires
+  shares the flush;
+* a group that reaches ``max_batch`` flushes immediately (bounded
+  latency *and* bounded stack memory);
+* the flush runs the (synchronous, numpy-heavy) batch runner in the
+  event loop's default executor, so the loop keeps accepting requests
+  while kernels crunch.
+
+The runner returns one entry per submitted matrix — a result payload,
+or an exception (typically :class:`ServeFault`, carrying a
+:data:`repro.robust.FAULT_CATEGORIES` slug) that is re-raised to that
+caller only.  A faulty member therefore never poisons the healthy
+requests sharing its batch; that is the per-request quarantine
+semantics of :mod:`repro.robust` lifted into the serving layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import metrics as _metrics
+from .cache import canonical_options
+from .protocol import ServeRequest
+
+__all__ = ["Coalescer", "ServeFault", "CoalesceResult"]
+
+
+class ServeFault(Exception):
+    """A per-request failure with a stable fault category.
+
+    ``category`` is a :data:`repro.robust.FAULT_CATEGORIES` slug (or a
+    protocol-level category); ``status`` the HTTP code to answer with.
+    """
+
+    def __init__(
+        self, category: str, message: str, *, status: int = 422
+    ) -> None:
+        super().__init__(message)
+        self.category = category
+        self.status = status
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """One request's outcome plus how it was computed."""
+
+    payload: object
+    batch_size: int
+
+
+@dataclass
+class _PendingGroup:
+    options: dict
+    matrices: list = field(default_factory=list)
+    futures: list = field(default_factory=list)
+    timer: asyncio.TimerHandle | None = None
+
+
+class Coalescer:
+    """Group concurrent same-shape requests into batched kernel calls.
+
+    Parameters
+    ----------
+    runner : callable
+        ``runner(options, matrices) -> list`` — synchronous batch
+        executor (one entry per matrix: payload or Exception).  Runs in
+        the event loop's default executor.
+    endpoint : str
+        Metric label for this coalescer's batches.
+    linger_s : float
+        How long the first request of a group waits for company.
+    max_batch : int
+        Flush threshold; also the largest stack a single kernel call
+        materializes.
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        endpoint: str,
+        linger_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if linger_s < 0:
+            raise ValueError(f"linger_s must be >= 0, got {linger_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.runner = runner
+        self.endpoint = endpoint
+        self.linger_s = float(linger_s)
+        self.max_batch = int(max_batch)
+        self._groups: dict[tuple, _PendingGroup] = {}
+        self.batches_flushed = 0
+        self.requests_coalesced = 0
+
+    # -- submission ----------------------------------------------------
+
+    def group_key(self, request: ServeRequest) -> tuple:
+        """The coalescing identity: endpoint + shape + kernel options."""
+        return (
+            self.endpoint,
+            request.shape,
+            canonical_options(request.options),
+        )
+
+    async def submit(self, request: ServeRequest) -> CoalesceResult:
+        """Queue one request; resolves when its batch has been run.
+
+        Raises whatever exception the runner assigned to this request's
+        slot (or the runner's own exception if the whole batch failed).
+        """
+        loop = asyncio.get_running_loop()
+        key = self.group_key(request)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _PendingGroup(
+                options=dict(request.options)
+            )
+            group.timer = loop.call_later(
+                self.linger_s, self._flush_now, key
+            )
+        future: asyncio.Future = loop.create_future()
+        group.matrices.append(np.asarray(request.matrix, dtype=np.float64))
+        group.futures.append(future)
+        if len(group.matrices) >= self.max_batch:
+            self._flush_now(key)
+        return await future
+
+    # -- flushing ------------------------------------------------------
+
+    def _flush_now(self, key: tuple) -> None:
+        """Detach the group and schedule its batch (loop thread only)."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # already flushed by the max-batch path
+        if group.timer is not None:
+            group.timer.cancel()
+        asyncio.get_running_loop().create_task(self._run_batch(group))
+
+    async def _run_batch(self, group: _PendingGroup) -> None:
+        size = len(group.matrices)
+        self.batches_flushed += 1
+        self.requests_coalesced += size
+        _metrics.observe_coalesce_batch(self.endpoint, size)
+        _metrics.count_serve_kernel(self.endpoint)
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                None, self.runner, group.options, group.matrices
+            )
+            if len(results) != size:
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results for "
+                    f"{size} requests"
+                )
+        except Exception as exc:  # runner blew up: fail the whole batch
+            for future in group.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, result in zip(group.futures, results):
+            if future.done():  # caller went away (cancelled request)
+                continue
+            if isinstance(result, Exception):
+                future.set_exception(result)
+            else:
+                future.set_result(CoalesceResult(result, size))
+
+    async def drain(self) -> None:
+        """Flush every pending group immediately (shutdown path)."""
+        for key in list(self._groups):
+            self._flush_now(key)
+        # Yield once so the flush tasks get to run their executors.
+        await asyncio.sleep(0)

@@ -1,0 +1,483 @@
+"""Seedable, replayable traffic for the characterization service.
+
+Three pieces:
+
+* :func:`generate_trace` — a deterministic request trace shaped like
+  the service's real workload: a pool of base environments hit with
+  exact resubmissions (cache-hit material), small multiplicative
+  perturbations (what-if neighbours that coalesce but never cache-hit)
+  and fresh matrices, across the three endpoints.  An optional
+  ``faults=`` spec (``"nan=2,zero-row=1"``, the ``--inject-faults``
+  format) corrupts a seeded subset of requests through
+  :class:`repro.robust.FaultPlan`, turning any replay into a chaos
+  drill — only data-fault kinds are meaningful here (``stall`` targets
+  workers, not matrices, and passes through unchanged).
+* :func:`save_trace` / :func:`load_trace` — JSONL persistence with a
+  schema header, so traces can be committed and replayed byte-for-byte
+  in CI.
+* :func:`replay_trace` — an asyncio client that fires the trace at a
+  running server (``time_scale=0`` collapses every arrival into one
+  burst — maximal coalescing pressure) and returns a
+  :class:`ReplayReport` with per-request latencies and p50/p99.
+
+:func:`latency_study` drives the three canonical serving paths (cold,
+coalesced, cache-hit) and reports per-path percentiles; it is the
+engine of the ``serve_latency`` bench case.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceRequest",
+    "RequestOutcome",
+    "ReplayReport",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+    "http_request",
+    "percentile",
+    "latency_study",
+]
+
+TRACE_SCHEMA = "repro-serve-trace/1"
+
+#: Endpoint sampling weights of the default workload mix.
+DEFAULT_ENDPOINT_MIX = {
+    "characterize": 0.6,
+    "standardize": 0.25,
+    "recommend-heuristic": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a trace: arrival offset, endpoint, JSON payload."""
+
+    offset_s: float
+    endpoint: str
+    payload: dict
+
+    def to_record(self) -> dict:
+        return {
+            "offset_s": self.offset_s,
+            "endpoint": self.endpoint,
+            "payload": self.payload,
+        }
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """One replayed request's result."""
+
+    index: int
+    endpoint: str
+    status: int
+    latency_s: float
+    category: str | None = None  # error category on non-200 answers
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sequence.
+
+    Examples
+    --------
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.0
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 99)
+    4.0
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one trace replay against a live server."""
+
+    outcomes: tuple[RequestOutcome, ...]
+    wall_s: float
+
+    @property
+    def ok(self) -> tuple[RequestOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status == 200)
+
+    @property
+    def errors(self) -> tuple[RequestOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status != 200)
+
+    def latencies_ms(self, endpoint: str | None = None) -> list[float]:
+        return [
+            o.latency_s * 1e3
+            for o in self.outcomes
+            if endpoint is None or o.endpoint == endpoint
+        ]
+
+    def percentiles(self) -> dict:
+        """{"p50_ms": ..., "p99_ms": ...} over every replayed request."""
+        latencies = self.latencies_ms()
+        return {
+            "p50_ms": percentile(latencies, 50),
+            "p99_ms": percentile(latencies, 99),
+        }
+
+    def by_category(self) -> dict[str, int]:
+        """Error-category histogram of the non-200 answers."""
+        counts: dict[str, int] = {}
+        for outcome in self.errors:
+            key = outcome.category or f"http-{outcome.status}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_payload(self) -> dict:
+        """JSON-safe digest (CI logs, bench snapshots)."""
+        return {
+            "requests": len(self.outcomes),
+            "ok": len(self.ok),
+            "errors": len(self.errors),
+            "error_categories": self.by_category(),
+            "wall_s": self.wall_s,
+            **self.percentiles(),
+        }
+
+    def summary(self) -> str:
+        p = self.percentiles()
+        lines = [
+            f"replayed {len(self.outcomes)} request(s) in "
+            f"{self.wall_s * 1e3:.1f}ms: {len(self.ok)} ok, "
+            f"{len(self.errors)} error(s)",
+            f"  latency p50={p['p50_ms']:.2f}ms p99={p['p99_ms']:.2f}ms",
+        ]
+        for category, count in sorted(self.by_category().items()):
+            lines.append(f"  error category {category}: {count}")
+        return "\n".join(lines)
+
+
+# -- generation --------------------------------------------------------
+
+
+def generate_trace(
+    *,
+    requests: int = 64,
+    seed: int = 0,
+    shape: tuple[int, int] = (8, 8),
+    rate_hz: float = 200.0,
+    duplicate_fraction: float = 0.3,
+    perturb_fraction: float = 0.3,
+    endpoint_mix: dict[str, float] | None = None,
+    faults: str | dict | None = None,
+    fault_seed: int = 0,
+) -> list[TraceRequest]:
+    """A deterministic service workload (same seed → same trace).
+
+    ``duplicate_fraction`` of the requests resubmit a base matrix
+    byte-for-byte (cache-hit material); ``perturb_fraction`` submit a
+    small multiplicative perturbation of a base matrix (same shape, new
+    content — coalescing material); the rest draw fresh matrices.
+    Arrivals are exponential with mean rate ``rate_hz``.
+
+    Examples
+    --------
+    >>> a = generate_trace(requests=8, seed=7)
+    >>> b = generate_trace(requests=8, seed=7)
+    >>> [r.to_record() for r in a] == [r.to_record() for r in b]
+    True
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if not 0 <= duplicate_fraction + perturb_fraction <= 1:
+        raise ValueError(
+            "duplicate_fraction + perturb_fraction must be in [0, 1], got "
+            f"{duplicate_fraction} + {perturb_fraction}"
+        )
+    mix = dict(endpoint_mix or DEFAULT_ENDPOINT_MIX)
+    names = sorted(mix)
+    weights = np.array([float(mix[n]) for n in names])
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError(f"endpoint_mix must be non-negative, got {mix}")
+    weights = weights / weights.sum()
+
+    rng = np.random.default_rng(seed)
+    n_base = max(2, requests // 8)
+    base = rng.uniform(0.5, 10.0, size=(n_base, *shape))
+    offsets = np.cumsum(rng.exponential(1.0 / rate_hz, size=requests))
+
+    plan = None
+    if faults is not None:
+        from ..robust.chaos import FaultPlan
+
+        plan = FaultPlan.random(requests, faults=faults, seed=fault_seed)
+
+    trace: list[TraceRequest] = []
+    for i in range(requests):
+        endpoint = names[int(rng.choice(len(names), p=weights))]
+        draw = rng.uniform()
+        if draw < duplicate_fraction:
+            matrix = base[int(rng.integers(n_base))]
+        elif draw < duplicate_fraction + perturb_fraction:
+            jitter = 1.0 + rng.uniform(-0.02, 0.02, size=shape)
+            matrix = base[int(rng.integers(n_base))] * jitter
+        else:
+            matrix = rng.uniform(0.5, 10.0, size=shape)
+        if plan is not None:
+            matrix = plan.apply_member(i, matrix)
+        trace.append(
+            TraceRequest(
+                offset_s=float(offsets[i]),
+                endpoint=endpoint,
+                payload={"matrix": matrix.tolist()},
+            )
+        )
+    return trace
+
+
+def save_trace(trace, path) -> Path:
+    """Write a trace as JSONL (schema header + one record per line)."""
+    trace = list(trace)
+    path = Path(path)
+    lines = [json.dumps({"schema": TRACE_SCHEMA, "requests": len(trace)})]
+    lines += [json.dumps(r.to_record(), allow_nan=True) for r in trace]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_trace(path) -> list[TraceRequest]:
+    """Load a JSONL trace; raises :class:`ValueError` on bad files."""
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON record ({exc})"
+            ) from exc
+    if not records or records[0].get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: missing trace schema header {TRACE_SCHEMA!r}"
+        )
+    trace = []
+    for record in records[1:]:
+        try:
+            trace.append(
+                TraceRequest(
+                    offset_s=float(record["offset_s"]),
+                    endpoint=str(record["endpoint"]),
+                    payload=dict(record["payload"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{path}: malformed trace record {record!r} ({exc})"
+            ) from exc
+    return trace
+
+
+# -- the replay client -------------------------------------------------
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    timeout_s: float = 30.0,
+) -> tuple[int, bytes]:
+    """One HTTP/1.1 exchange (Connection: close) over asyncio streams."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout_s
+    )
+    try:
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ValueError(f"malformed HTTP status line {status_line!r}")
+    return int(parts[1]), payload
+
+
+def _error_category(body: bytes) -> str | None:
+    try:
+        document = json.loads(body.decode("utf-8"))
+        return document["error"]["category"]
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+async def replay_trace_async(
+    trace,
+    host: str,
+    port: int,
+    *,
+    time_scale: float = 1.0,
+    timeout_s: float = 30.0,
+) -> ReplayReport:
+    """Fire a trace at a live server, honouring arrival offsets.
+
+    ``time_scale`` stretches (>1) or compresses (<1) the recorded
+    inter-arrival gaps; 0 releases everything at once.
+    """
+    trace = list(trace)
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+
+    async def _one(index: int, request: TraceRequest) -> RequestOutcome:
+        delay = request.offset_s * time_scale - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        body = json.dumps(request.payload, allow_nan=True).encode("utf-8")
+        t0 = loop.time()
+        status, answer = await http_request(
+            host,
+            port,
+            "POST",
+            f"/v1/{request.endpoint}",
+            body,
+            timeout_s=timeout_s,
+        )
+        latency = loop.time() - t0
+        return RequestOutcome(
+            index=index,
+            endpoint=request.endpoint,
+            status=status,
+            latency_s=latency,
+            category=None if status == 200 else _error_category(answer),
+        )
+
+    outcomes = await asyncio.gather(
+        *(_one(i, r) for i, r in enumerate(trace))
+    )
+    return ReplayReport(
+        outcomes=tuple(outcomes), wall_s=loop.time() - start
+    )
+
+
+def replay_trace(
+    trace,
+    host: str,
+    port: int,
+    *,
+    time_scale: float = 1.0,
+    timeout_s: float = 30.0,
+) -> ReplayReport:
+    """Synchronous wrapper around :func:`replay_trace_async`."""
+    return asyncio.run(
+        replay_trace_async(
+            trace, host, port, time_scale=time_scale, timeout_s=timeout_s
+        )
+    )
+
+
+# -- the three-path latency probe (bench engine) -----------------------
+
+
+@dataclass(frozen=True)
+class _PathLatencies:
+    label: str
+    latencies_s: list[float] = field(default_factory=list)
+
+    def to_payload(self) -> dict:
+        ms = [v * 1e3 for v in self.latencies_s]
+        return {
+            "n": len(ms),
+            "p50_ms": round(percentile(ms, 50), 4),
+            "p99_ms": round(percentile(ms, 99), 4),
+        }
+
+
+def latency_study(
+    host: str,
+    port: int,
+    *,
+    shape: tuple[int, int] = (8, 8),
+    cold: int = 8,
+    coalesce_width: int = 16,
+    cache_repeats: int = 16,
+    seed: int = 0,
+) -> dict:
+    """p50/p99 of the three canonical serving paths against a server.
+
+    * **cold** — unique matrices, issued one at a time: every request
+      pays a batch-of-one kernel call;
+    * **coalesced** — a concurrent burst of distinct same-shape
+      matrices: the coalescer stacks them into one batched call;
+    * **cache_hit** — one matrix warmed once, then resubmitted: every
+      request answers from the content-addressed cache.
+    """
+    rng = np.random.default_rng(seed)
+
+    def _body(matrix) -> bytes:
+        return json.dumps({"matrix": matrix.tolist()}).encode("utf-8")
+
+    async def _post(body: bytes) -> float:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        status, answer = await http_request(
+            host, port, "POST", "/v1/characterize", body
+        )
+        if status != 200:
+            raise RuntimeError(
+                f"latency_study request failed ({status}): {answer!r}"
+            )
+        return loop.time() - t0
+
+    async def _run() -> dict:
+        paths = {
+            "cold": _PathLatencies("cold"),
+            "coalesced": _PathLatencies("coalesced"),
+            "cache_hit": _PathLatencies("cache_hit"),
+        }
+        for _ in range(cold):
+            body = _body(rng.uniform(0.5, 10.0, size=shape))
+            paths["cold"].latencies_s.append(await _post(body))
+        burst = [
+            _body(rng.uniform(0.5, 10.0, size=shape))
+            for _ in range(coalesce_width)
+        ]
+        paths["coalesced"].latencies_s.extend(
+            await asyncio.gather(*(_post(b) for b in burst))
+        )
+        warm = _body(rng.uniform(0.5, 10.0, size=shape))
+        await _post(warm)  # populate the cache
+        for _ in range(cache_repeats):
+            paths["cache_hit"].latencies_s.append(await _post(warm))
+        return {name: p.to_payload() for name, p in paths.items()}
+
+    return asyncio.run(_run())

@@ -1,0 +1,221 @@
+"""Request/response schemas of the characterization service.
+
+JSON over HTTP, one document per request.  Three POST endpoints:
+
+``/v1/characterize``
+    ``{"matrix": [[...]], "tol"?, "tma_fallback"?, "policy"?}`` →
+    the paper measures of one environment.
+``/v1/standardize``
+    ``{"matrix": [[...]], "tol"?, "max_iterations"?, "policy"?}`` →
+    the Sinkhorn standard form of one environment.
+``/v1/recommend-heuristic``
+    ``{"matrix": [[...]], "tol"?, "policy"?}`` → the measure-driven
+    mapping-heuristic recommendation.
+
+Every response carries ``"schema": "repro-serve/1"``.  Success bodies
+hold the endpoint name and a ``"result"`` object; failures hold an
+``"error"`` object with a stable fault ``category`` — protocol-level
+categories ``bad-request`` / ``not-found`` / ``internal``, or one of
+the :data:`repro.robust.FAULT_CATEGORIES` slugs when the request was
+quarantined by the robust pipeline.
+
+Responses are rendered with :func:`encode_json` (sorted keys, compact
+separators), so two requests that produce the same result document
+produce **bit-identical** bodies — the property the coalescer and the
+content-addressed cache rely on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "ENDPOINTS",
+    "ProtocolError",
+    "ServeRequest",
+    "parse_request",
+    "encode_json",
+    "decode_json",
+    "error_body",
+    "result_body",
+    "json_safe",
+]
+
+SCHEMA = "repro-serve/1"
+
+#: Endpoint slug → allowed option names beyond ``matrix``.
+ENDPOINTS = {
+    "characterize": ("tol", "tma_fallback", "policy"),
+    "standardize": ("tol", "max_iterations", "policy"),
+    "recommend-heuristic": ("tol", "policy"),
+}
+
+_POLICIES = ("quarantine", "repair")
+_TMA_FALLBACKS = ("limit", "column", "raise")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; ``status`` is the HTTP code to answer with."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated service request.
+
+    ``matrix`` is the float64 C-contiguous environment; ``options`` are
+    the normalized kernel options (defaults filled in), which also form
+    part of the request's cache identity.
+    """
+
+    endpoint: str
+    matrix: np.ndarray = field(repr=False)
+    options: dict
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape  # type: ignore[return-value]
+
+
+def _parse_matrix(payload: dict) -> np.ndarray:
+    if "matrix" not in payload:
+        raise ProtocolError("request body needs a 'matrix' field")
+    try:
+        matrix = np.asarray(payload["matrix"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"'matrix' is not numeric: {exc}") from exc
+    if matrix.ndim != 2 or 0 in matrix.shape:
+        raise ProtocolError(
+            "'matrix' must be a non-empty 2-D array of ETC values, got "
+            f"shape {matrix.shape}"
+        )
+    return np.ascontiguousarray(matrix)
+
+
+def parse_request(endpoint: str, payload) -> ServeRequest:
+    """Validate one request document into a :class:`ServeRequest`.
+
+    Raises :class:`ProtocolError` on unknown endpoints, missing or
+    non-numeric matrices, unknown option names and out-of-range option
+    values.  Matrix *values* are not screened here — corrupt data (NaN,
+    zero lines, ...) flows to the robust pipeline, which quarantines it
+    with a precise taxonomy category instead of a generic 400.
+    """
+    if endpoint not in ENDPOINTS:
+        raise ProtocolError(f"unknown endpoint {endpoint!r}", status=404)
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    allowed = ENDPOINTS[endpoint]
+    unknown = sorted(set(payload) - set(allowed) - {"matrix"})
+    if unknown:
+        raise ProtocolError(
+            f"unknown option(s) {unknown} for endpoint {endpoint!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    matrix = _parse_matrix(payload)
+
+    options: dict = {}
+    tol = payload.get("tol", 1e-8)
+    if not isinstance(tol, (int, float)) or not 0 < float(tol) < 1:
+        raise ProtocolError(f"'tol' must be a float in (0, 1), got {tol!r}")
+    options["tol"] = float(tol)
+
+    policy = payload.get("policy", "quarantine")
+    if policy not in _POLICIES:
+        raise ProtocolError(
+            f"'policy' must be one of {list(_POLICIES)}, got {policy!r}"
+        )
+    options["policy"] = policy
+
+    if endpoint == "characterize":
+        fallback = payload.get("tma_fallback", "limit")
+        if fallback not in _TMA_FALLBACKS:
+            raise ProtocolError(
+                f"'tma_fallback' must be one of {list(_TMA_FALLBACKS)}, "
+                f"got {fallback!r}"
+            )
+        options["tma_fallback"] = fallback
+    if endpoint == "standardize":
+        max_iterations = payload.get("max_iterations", 100_000)
+        if (
+            not isinstance(max_iterations, int)
+            or isinstance(max_iterations, bool)
+            or max_iterations < 1
+        ):
+            raise ProtocolError(
+                "'max_iterations' must be a positive integer, got "
+                f"{max_iterations!r}"
+            )
+        options["max_iterations"] = max_iterations
+    return ServeRequest(endpoint=endpoint, matrix=matrix, options=options)
+
+
+def json_safe(value):
+    """Recursively convert numpy scalars/arrays and NaN for JSON.
+
+    NaN / ±inf become ``None`` (strict-JSON clients choke on the bare
+    ``NaN`` token Python's encoder would otherwise emit).
+    """
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return json_safe(value.tolist())
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if math.isfinite(value) else None
+    return value
+
+
+def encode_json(document: dict) -> bytes:
+    """Deterministic JSON bytes (sorted keys, compact separators)."""
+    return (
+        json.dumps(
+            json_safe(document),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode_json(body: bytes):
+    """Parse a request body; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+def result_body(endpoint: str, result: dict) -> bytes:
+    """The canonical success body for one endpoint result."""
+    return encode_json(
+        {"schema": SCHEMA, "endpoint": endpoint, "result": result}
+    )
+
+
+def error_body(endpoint: str | None, category: str, message: str) -> bytes:
+    """The canonical error body (stable ``category`` + human message)."""
+    document = {
+        "schema": SCHEMA,
+        "error": {"category": category, "message": message},
+    }
+    if endpoint is not None:
+        document["endpoint"] = endpoint
+    return encode_json(document)

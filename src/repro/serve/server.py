@@ -1,0 +1,519 @@
+"""The asyncio characterization service behind ``repro-hc serve``.
+
+A single-process, stdlib-only JSON-over-HTTP server that turns the
+offline measure library into a standing endpoint:
+
+* ``POST /v1/characterize`` / ``/v1/standardize`` /
+  ``/v1/recommend-heuristic`` — the request formats are documented in
+  :mod:`repro.serve.protocol` and ``docs/SERVING.md``;
+* ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition (:func:`repro.obs.render_prometheus`);
+* ``GET /healthz`` — liveness plus cache/coalescer counters.
+
+Request flow (the order is the point):
+
+1. **content-addressed cache** — the canonical matrix + options key
+   (:func:`repro.serve.cache.matrix_cache_key`) is looked up first;
+   hits answer with the exact bytes of the original response and zero
+   kernel work;
+2. **in-flight dedup** — an identical request already being computed
+   is joined, not recomputed (single-flight);
+3. **micro-batching coalescer** — same-shape, same-options requests
+   are stacked into one ``(N, T, M)`` batched kernel call
+   (:class:`repro.serve.coalesce.Coalescer`);
+4. the batch runs under the **robust pipeline** with the per-request
+   quarantine/repair policy, so one corrupt matrix in a coalesced
+   batch yields a structured error for *its* caller while every
+   healthy cohabitant succeeds.
+
+:class:`ServerThread` hosts the whole loop in a daemon thread for
+tests, benchmarks and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import __version__
+from ..obs import metrics as _metrics
+from ..obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from ..obs.metrics import enable_metrics
+from .cache import ResultCache, matrix_cache_key
+from .coalesce import Coalescer, ServeFault
+from .protocol import (
+    ProtocolError,
+    ServeRequest,
+    decode_json,
+    error_body,
+    parse_request,
+    result_body,
+)
+
+__all__ = ["ServeConfig", "CharacterizationServer", "ServerThread"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+#: Protects the event loop from unbounded request bodies (16 MiB is a
+#: ~1448x1448 float64 matrix — far beyond any sane ETC environment).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operational knobs of the characterization service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    linger_s: float = 0.002
+    max_batch: int = 64
+    cache_entries: int = 1024
+    cache_dir: str | None = None
+    enable_metrics: bool = True
+
+
+@dataclass
+class _Inflight:
+    """Single-flight bookkeeping: key → the future of its body bytes."""
+
+    future: asyncio.Future
+    waiters: int = 0
+
+
+class CharacterizationServer:
+    """The service core: routing, caching, coalescing, robust kernels.
+
+    Transport-agnostic — :meth:`dispatch` maps ``(method, path, body)``
+    to ``(status, content_type, body)``, and the socket layer
+    (:meth:`start` / :class:`ServerThread`) is a thin asyncio stream
+    wrapper around it, so tests can drive the full pipeline without
+    opening ports.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            spill_dir=self.config.cache_dir,
+        )
+        self._inflight: dict[str, _Inflight] = {}
+        self.coalescers = {
+            "characterize": Coalescer(
+                self._run_characterize_batch,
+                endpoint="characterize",
+                linger_s=self.config.linger_s,
+                max_batch=self.config.max_batch,
+            ),
+            "standardize": Coalescer(
+                self._run_standardize_batch,
+                endpoint="standardize",
+                linger_s=self.config.linger_s,
+                max_batch=self.config.max_batch,
+            ),
+        }
+        self.started_at = time.time()
+        self.requests_served = 0
+        self._server: asyncio.base_events.Server | None = None
+        if self.config.enable_metrics:
+            enable_metrics()
+
+    # -- batch runners (executor threads) ------------------------------
+
+    def _run_characterize_batch(self, options: dict, matrices: list) -> list:
+        """One batched characterize kernel call; per-slice payloads."""
+        from ..batch import characterize_ensemble
+
+        stack = np.stack(matrices)
+        result = characterize_ensemble(
+            stack,
+            tol=options["tol"],
+            tma_fallback=options.get("tma_fallback", "limit"),
+            policy=options.get("policy", "quarantine"),
+        )
+        out: list = []
+        for index in range(len(matrices)):
+            payload = result.member_payload(index)
+            fault = payload.get("fault")
+            if "mph" not in payload:  # quarantined: no usable row
+                out.append(
+                    ServeFault(fault["category"], fault["detail"])
+                )
+                continue
+            payload["n_tasks"] = int(stack.shape[1])
+            payload["n_machines"] = int(stack.shape[2])
+            out.append(payload)
+        return out
+
+    def _run_standardize_batch(self, options: dict, matrices: list) -> list:
+        """One batched standardize kernel call; per-slice payloads."""
+        from ..batch.sinkhorn import standardize_batched
+
+        stack = np.stack(matrices)
+        result = standardize_batched(
+            stack,
+            tol=options["tol"],
+            max_iterations=options.get("max_iterations", 100_000),
+            policy=options.get("policy", "quarantine"),
+        )
+        report = getattr(result, "report", None)
+        out: list = []
+        for index in range(len(matrices)):
+            fault = None
+            if report is not None:
+                try:
+                    fault = report.fault(index)
+                except KeyError:
+                    fault = None
+            slice_matrix = result.matrix[index]
+            if (
+                fault is not None
+                and not fault.repaired
+                and not np.isfinite(slice_matrix).all()
+            ):
+                # Hard fault: no usable iterate at all.
+                out.append(ServeFault(fault.category, fault.detail))
+                continue
+            payload = {
+                "matrix": slice_matrix,
+                "iterations": int(result.iterations[index]),
+                "converged": bool(result.converged[index]),
+                "residual": float(result.residual[index]),
+                "row_target": float(result.row_target),
+                "col_target": float(result.col_target),
+            }
+            if fault is not None:
+                payload["fault"] = fault.to_payload()
+            out.append(payload)
+        return out
+
+    # -- request handling ----------------------------------------------
+
+    async def _compute(self, request: ServeRequest) -> tuple[bytes, str]:
+        """Body bytes for one request, via the coalescer; no caching."""
+        endpoint = request.endpoint
+        if endpoint == "recommend-heuristic":
+            # Rides the characterize coalescer, then applies the rule.
+            from ..scheduling.selection import recommend_from_measures
+
+            inner = ServeRequest(
+                endpoint="characterize",
+                matrix=request.matrix,
+                options={**request.options, "tma_fallback": "limit"},
+            )
+            outcome = await self.coalescers["characterize"].submit(inner)
+            measures = outcome.payload
+            name, reason = recommend_from_measures(
+                measures["mph"], measures["tdh"], measures["tma"]
+            )
+            result = {
+                "heuristic": name,
+                "reason": reason,
+                "measures": {
+                    "mph": measures["mph"],
+                    "tdh": measures["tdh"],
+                    "tma": measures["tma"],
+                },
+            }
+            source = "batched" if outcome.batch_size > 1 else "cold"
+            return result_body(endpoint, result), source
+        outcome = await self.coalescers[endpoint].submit(request)
+        source = "batched" if outcome.batch_size > 1 else "cold"
+        return result_body(endpoint, outcome.payload), source
+
+    async def handle_request(
+        self, endpoint: str, payload
+    ) -> tuple[int, bytes, str]:
+        """Full pipeline for one parsed JSON request document.
+
+        Returns ``(status, body_bytes, source)``; ``source`` is the
+        serving-path label fed to the latency histogram.
+        """
+        request = parse_request(endpoint, payload)
+        key = matrix_cache_key(
+            request.matrix, endpoint=endpoint, options=request.options
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, cached, "cache-memory"
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            inflight.waiters += 1
+            body = await asyncio.shield(inflight.future)
+            return 200, body, "inflight"
+
+        entry = _Inflight(asyncio.get_running_loop().create_future())
+        self._inflight[key] = entry
+        try:
+            body, source = await self._compute(request)
+        except BaseException as exc:
+            # Faults are not cached (a retry with fixed data must
+            # recompute); waiters get the same exception re-raised.
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+                # Consume the exception so the loop never logs it as
+                # "never retrieved" when no waiter joined.
+                entry.future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.cache.put(key, body)
+        entry.future.set_result(body)
+        return 200, body, source
+
+    async def dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        """Route one HTTP exchange; returns (status, content-type, body)."""
+        t0 = time.perf_counter()
+        path = path.split("?", 1)[0]
+        endpoint = None
+        if path.startswith("/v1/"):
+            endpoint = path[len("/v1/"):]
+        try:
+            if method == "GET" and path in ("/metrics", "/"):
+                return 200, PROMETHEUS_CONTENT_TYPE, render_prometheus(
+                    _metrics.get_registry()
+                ).encode("utf-8")
+            if method == "GET" and path == "/healthz":
+                return 200, "application/json", result_body(
+                    "healthz",
+                    {
+                        "status": "ok",
+                        "version": __version__,
+                        "uptime_s": time.time() - self.started_at,
+                        "requests_served": self.requests_served,
+                        "cache": self.cache.stats(),
+                        "coalescer": {
+                            name: {
+                                "batches_flushed": c.batches_flushed,
+                                "requests_coalesced": c.requests_coalesced,
+                            }
+                            for name, c in self.coalescers.items()
+                        },
+                    },
+                )
+            if endpoint is None:
+                return 404, "application/json", error_body(
+                    None, "not-found", f"unknown path {path!r}"
+                )
+            if method != "POST":
+                return 405, "application/json", error_body(
+                    endpoint, "bad-request",
+                    f"{endpoint} requires POST, got {method}",
+                )
+            payload = decode_json(body)
+            status, response, source = await self.handle_request(
+                endpoint, payload
+            )
+            self.requests_served += 1
+            _metrics.observe_serve_request(
+                endpoint,
+                status=status,
+                source=source,
+                wall_s=time.perf_counter() - t0,
+            )
+            return status, "application/json", response
+        except ProtocolError as exc:
+            status = exc.status
+            category = "not-found" if status == 404 else "bad-request"
+            _metrics.observe_serve_request(
+                endpoint or "unknown",
+                status=status,
+                source="error",
+                wall_s=time.perf_counter() - t0,
+            )
+            return status, "application/json", error_body(
+                endpoint, category, str(exc)
+            )
+        except ServeFault as fault:
+            _metrics.observe_serve_request(
+                endpoint or "unknown",
+                status=fault.status,
+                source="error",
+                wall_s=time.perf_counter() - t0,
+            )
+            _metrics.count_serve_quarantined(
+                endpoint or "unknown", fault.category
+            )
+            return fault.status, "application/json", error_body(
+                endpoint, fault.category, str(fault)
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            _metrics.observe_serve_request(
+                endpoint or "unknown",
+                status=500,
+                source="error",
+                wall_s=time.perf_counter() - t0,
+            )
+            return 500, "application/json", error_body(
+                endpoint, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    # -- the socket layer ----------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
+            if content_length > MAX_BODY_BYTES:
+                status, ctype, body = 413, "application/json", error_body(
+                    None, "bad-request",
+                    f"body of {content_length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit",
+                )
+            else:
+                body_in = (
+                    await reader.readexactly(content_length)
+                    if content_length
+                    else b""
+                )
+                status, ctype, body = await self.dispatch(
+                    method, target, body_in
+                )
+            reason = _REASONS.get(status, "Unknown")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {reason}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):  # pragma: no cover - client went away mid-exchange
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def start(self) -> asyncio.base_events.Server:
+        """Bind and start accepting connections; returns the server.
+
+        Raises :class:`OSError` (``EADDRINUSE``) when the port is
+        taken — the CLI turns that into a one-line actionable error.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port
+        )
+        return self._server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """``start()`` (if needed) then serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        for coalescer in self.coalescers.values():
+            await coalescer.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+@dataclass
+class ServerThread:
+    """A characterization server on a daemon thread (tests, benches).
+
+    Examples
+    --------
+    >>> handle = ServerThread(ServeConfig(port=0))  # ephemeral port
+    >>> host, port = handle.start()
+    >>> isinstance(port, int) and port > 0
+    True
+    >>> handle.stop()
+    """
+
+    config: ServeConfig = field(default_factory=ServeConfig)
+    server: CharacterizationServer | None = None
+    _loop: asyncio.AbstractEventLoop | None = None
+    _thread: threading.Thread | None = None
+
+    def start(self, timeout_s: float = 10.0) -> tuple[str, int]:
+        """Start the loop + server; returns the bound (host, port)."""
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            self.server = CharacterizationServer(self.config)
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # bind failure -> caller
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.server.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout_s):  # pragma: no cover - defensive
+            raise RuntimeError("server thread did not start in time")
+        if failure:
+            raise failure[0]
+        assert self.server is not None
+        return self.server.address
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+        self._loop = None
+        self._thread = None

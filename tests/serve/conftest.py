@@ -1,0 +1,106 @@
+"""Shared serving-test fixtures: a live server plus an isolated registry.
+
+Every fixture collects metrics into a *fresh* :class:`MetricsRegistry`
+(swapped in as the process default for the test's duration), so the
+serving assertions — "exactly one kernel invocation", "zero kernel work
+on a cache hit" — read real counters without cross-test bleed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting_metrics
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.loadgen import http_request
+
+
+@pytest.fixture
+def metrics_registry():
+    registry = MetricsRegistry()
+    with collecting_metrics(registry):
+        yield registry
+
+
+def kernel_invocations(registry, endpoint: str = "characterize") -> float:
+    return registry.counter(
+        "repro_serve_kernel_invocations_total", labelnames=("endpoint",)
+    ).value(endpoint=endpoint)
+
+
+def cache_events(registry, event: str) -> float:
+    return registry.counter(
+        "repro_serve_cache_events_total", labelnames=("event",)
+    ).value(event=event)
+
+
+def quarantined_total(registry, endpoint: str, category: str) -> float:
+    return registry.counter(
+        "repro_serve_quarantined_total",
+        labelnames=("endpoint", "category"),
+    ).value(endpoint=endpoint, category=category)
+
+
+def batch_size_snapshot(registry, endpoint: str = "characterize") -> dict:
+    from repro.obs.metrics import BATCH_SIZE_BUCKETS
+
+    return registry.histogram(
+        "repro_serve_coalesce_batch_size",
+        labelnames=("endpoint",),
+        buckets=BATCH_SIZE_BUCKETS,
+    ).snapshot(endpoint=endpoint)
+
+
+@dataclass
+class LiveServer:
+    """A running service plus the registry its metrics land in."""
+
+    host: str
+    port: int
+    registry: MetricsRegistry
+    handle: ServerThread
+
+    def request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, bytes]:
+        return asyncio.run(
+            http_request(self.host, self.port, method, path, body)
+        )
+
+    def post_json(self, endpoint: str, payload) -> tuple[int, bytes]:
+        body = json.dumps(payload, allow_nan=True).encode("utf-8")
+        return self.request("POST", f"/v1/{endpoint}", body)
+
+    def post_many(self, requests) -> list[tuple[int, bytes]]:
+        """Issue ``(endpoint, payload)`` pairs concurrently (one burst)."""
+
+        async def _run():
+            async def _one(endpoint, payload):
+                body = json.dumps(payload, allow_nan=True).encode("utf-8")
+                return await http_request(
+                    self.host, self.port, "POST", f"/v1/{endpoint}", body
+                )
+
+            return await asyncio.gather(
+                *(_one(endpoint, payload) for endpoint, payload in requests)
+            )
+
+        return asyncio.run(_run())
+
+
+@pytest.fixture
+def live_server(metrics_registry):
+    # A generous linger so a test's concurrent burst reliably lands in
+    # one coalescing window even on a loaded CI box.
+    handle = ServerThread(
+        ServeConfig(port=0, linger_s=0.05, cache_entries=64)
+    )
+    host, port = handle.start()
+    yield LiveServer(
+        host=host, port=port, registry=metrics_registry, handle=handle
+    )
+    handle.stop()

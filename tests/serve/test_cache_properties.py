@@ -1,0 +1,195 @@
+"""Property tests of the content-addressed cache key (satellite spec).
+
+Three families of guarantees:
+
+* **representation invariance** — the key is a function of the matrix
+  *values*: dtype (float32 vs float64), memory order (C vs Fortran) and
+  options-dict insertion order never change it;
+* **perturbation sensitivity** — changing any single element (by any
+  amount that survives the float64 round-trip) changes the key;
+* **process stability** — the digest never goes through Python
+  ``hash()``, so it is identical across interpreter processes and
+  ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.serve import canonical_matrix_bytes, matrix_cache_key
+
+# Finite float32-representable values: exact under the float32 ->
+# float64 round-trip, so the dtype-invariance property is well-defined.
+_f32_values = st.floats(
+    min_value=0.0009765625,  # 2**-10, exactly representable in float32
+    max_value=1048576.0,  # 2**20
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+)
+
+_shapes = st.tuples(
+    st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6)
+)
+
+
+def _matrices(dtype=np.float64, elements=_f32_values):
+    return _shapes.flatmap(
+        lambda shape: npst.arrays(dtype=dtype, shape=shape, elements=elements)
+    )
+
+
+class TestRepresentationInvariance:
+    @given(matrix=_matrices(dtype=np.float32))
+    def test_dtype_never_changes_the_key(self, matrix):
+        as64 = matrix.astype(np.float64)
+        assert matrix_cache_key(matrix) == matrix_cache_key(as64)
+
+    @given(matrix=_matrices())
+    def test_memory_order_never_changes_the_key(self, matrix):
+        fortran = np.asfortranarray(matrix)
+        assert matrix_cache_key(matrix) == matrix_cache_key(fortran)
+
+    @given(matrix=_matrices())
+    def test_strided_view_never_changes_the_key(self, matrix):
+        doubled = np.repeat(matrix, 2, axis=0)[::2]
+        assert matrix_cache_key(matrix) == matrix_cache_key(doubled)
+
+    @given(
+        matrix=_matrices(),
+        tol=st.sampled_from([1e-8, 1e-6, 0.25]),
+        policy=st.sampled_from(["quarantine", "repair"]),
+    )
+    def test_option_insertion_order_never_changes_the_key(
+        self, matrix, tol, policy
+    ):
+        forward = {"tol": tol, "policy": policy}
+        backward = {"policy": policy, "tol": tol}
+        assert matrix_cache_key(
+            matrix, options=forward
+        ) == matrix_cache_key(matrix, options=backward)
+
+    @given(matrix=_matrices())
+    def test_list_input_matches_array_input(self, matrix):
+        assert matrix_cache_key(matrix.tolist()) == matrix_cache_key(matrix)
+
+
+class TestPerturbationSensitivity:
+    @given(
+        matrix=_matrices(),
+        data=st.data(),
+    )
+    def test_any_single_element_perturbation_changes_the_key(
+        self, matrix, data
+    ):
+        row = data.draw(
+            st.integers(min_value=0, max_value=matrix.shape[0] - 1)
+        )
+        col = data.draw(
+            st.integers(min_value=0, max_value=matrix.shape[1] - 1)
+        )
+        scale = data.draw(
+            st.sampled_from([1 + 2**-40, 1 - 2**-40, 2.0, 0.5])
+        )
+        perturbed = matrix.copy()
+        perturbed[row, col] = matrix[row, col] * scale
+        assume(perturbed[row, col] != matrix[row, col])
+        assert matrix_cache_key(perturbed) != matrix_cache_key(matrix)
+
+    @given(matrix=_matrices())
+    def test_negated_signed_zero_is_a_different_key(self, matrix):
+        # -0.0 and 0.0 compare equal but have distinct bit patterns;
+        # content addressing is over bits, so they hash apart.  This
+        # pins the (documented) bytes-level semantics.
+        a = matrix.copy()
+        b = matrix.copy()
+        a[0, 0] = 0.0
+        b[0, 0] = -0.0
+        assert matrix_cache_key(a) != matrix_cache_key(b)
+
+    @given(matrix=_matrices())
+    def test_shape_is_part_of_the_identity(self, matrix):
+        flat = matrix.reshape(1, -1)
+        assume(flat.shape != matrix.shape)
+        assert matrix_cache_key(flat) != matrix_cache_key(matrix)
+
+
+class TestProcessStability:
+    # Computed once and hard-coded: a changed digest here means every
+    # disk-spilled cache entry in the wild silently invalidates, which
+    # must be a deliberate CACHE_KEY_VERSION bump, never an accident.
+    REFERENCE_KEY = (
+        "4bc76b1d7eb5f6eb2c68c71436d1ac4ff6d906832b066e369424bdd527159147"
+    )
+
+    @staticmethod
+    def _reference_key_in_subprocess(hash_seed: str) -> str:
+        import os
+
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        script = (
+            "import numpy as np\n"
+            "from repro.serve import matrix_cache_key\n"
+            "m = np.arange(1.0, 7.0).reshape(2, 3)\n"
+            "print(matrix_cache_key(m, endpoint='characterize',"
+            " options={'tol': 1e-08}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        return out.stdout.strip()
+
+    def test_key_matches_reference_in_this_process(self):
+        matrix = np.arange(1.0, 7.0).reshape(2, 3)
+        assert (
+            matrix_cache_key(
+                matrix, endpoint="characterize", options={"tol": 1e-08}
+            )
+            == self.REFERENCE_KEY
+        )
+
+    @pytest.mark.parametrize("hash_seed", ["0", "1", "12345"])
+    def test_key_is_stable_across_hash_randomization(self, hash_seed):
+        assert (
+            self._reference_key_in_subprocess(hash_seed)
+            == self.REFERENCE_KEY
+        )
+
+    def test_canonical_bytes_carry_shape_header(self):
+        blob = canonical_matrix_bytes(np.ones((2, 3)))
+        assert blob.startswith(b"2x3;")
+        assert len(blob) == len(b"2x3;") + 6 * 8
+
+    @given(options=st.dictionaries(
+        st.sampled_from(["tol", "policy", "max_iterations", "tma_fallback"]),
+        st.one_of(st.floats(allow_nan=False), st.text(max_size=8),
+                  st.integers()),
+        max_size=4,
+    ))
+    @settings(max_examples=25)
+    def test_options_canonicalization_is_json_stable(self, options):
+        from repro.serve import canonical_options
+
+        rendered = canonical_options(options)
+        assert rendered == canonical_options(
+            dict(reversed(list(options.items())))
+        )
+        assert json.loads(rendered) == json.loads(
+            json.dumps(options)
+        )

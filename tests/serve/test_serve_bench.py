@@ -1,0 +1,67 @@
+"""The ``serve_latency`` bench case and its BENCH payload record."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_CASES,
+    compare_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+
+class TestServeLatencyCase:
+    def test_case_is_registered(self):
+        assert "serve_latency" in BENCH_CASES
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return run_bench(
+            quick=True, benchmarks=["serve_latency"], repeats=1
+        )
+
+    def test_payload_validates(self, payload):
+        validate_bench(payload)
+
+    def test_extra_records_the_three_path_percentiles(self, payload):
+        extra = payload["benchmarks"]["serve_latency"]["extra"]
+        assert set(extra) == {"cold", "coalesced", "cache_hit"}
+        for stats in extra.values():
+            assert stats["n"] >= 1
+            assert 0 < stats["p50_ms"] <= stats["p99_ms"]
+
+    def test_serve_metrics_land_in_the_snapshot(self, payload):
+        families = set(payload["metrics"])
+        assert "repro_serve_requests_total" in families
+        assert "repro_serve_kernel_invocations_total" in families
+        assert "repro_serve_coalesce_batch_size" in families
+
+    def test_payload_roundtrips_through_write(self, payload, tmp_path):
+        path = write_bench(payload, path=tmp_path / "BENCH_X.json")
+        reloaded = json.loads(path.read_text())
+        assert (
+            reloaded["benchmarks"]["serve_latency"]["extra"]
+            == payload["benchmarks"]["serve_latency"]["extra"]
+        )
+
+    def test_compare_gates_on_wall_time(self, payload):
+        comparison = compare_bench(
+            payload, payload, max_regression=0.15
+        )
+        assert comparison.ok
+        slowed = json.loads(json.dumps(payload))
+        slowed["benchmarks"]["serve_latency"]["wall_s"]["best"] *= 10
+        assert not compare_bench(slowed, payload).ok
+
+
+class TestRunBenchExtraPlumbing:
+    def test_non_dict_returns_are_ignored(self):
+        payload = run_bench(
+            quick=True, benchmarks=["sinkhorn_scalar"], repeats=1
+        )
+        assert "extra" not in payload["benchmarks"]["sinkhorn_scalar"]

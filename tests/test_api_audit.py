@@ -31,6 +31,7 @@ PUBLIC_MODULES = [
     "repro.batch",
     "repro.obs",
     "repro.robust",
+    "repro.serve",
 ]
 
 
