@@ -53,8 +53,19 @@ Subpackages
     Fault-tolerant ensemble pipeline: quarantine/repair policies
     (:class:`QuarantineReport`, :class:`Budget`), the repair ladder and
     seedable chaos fault injection (:class:`FaultPlan`).
+``repro.backends``
+    Pluggable kernel backends behind every Sinkhorn/SVD entry point:
+    registry (:func:`register_backend`, :func:`get_backend`,
+    :func:`list_backends`), the :class:`KernelBackend` protocol, the
+    float32 fast path and warm-started re-characterization.
 """
 
+from .backends import (
+    KernelBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from .core import (
     ECSMatrix,
     ETCMatrix,
@@ -192,6 +203,11 @@ __all__ = [
     "RobustEnsembleCharacterization",
     "characterize_ensemble_robust",
     "repaired_matrix",
+    # backends
+    "KernelBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     # exceptions
     "ReproError",
     "MatrixShapeError",

@@ -1,0 +1,506 @@
+"""The :class:`KernelBackend` protocol and the shared dispatch drivers.
+
+A backend supplies the four *inner loops* the library's kernels are
+built from — scalar Sinkhorn, batched Sinkhorn, singular values, and a
+fused normalize-and-measure pass — while everything around those loops
+(input validation, warm-start application, the float32 fast path,
+observability spans/metrics, error messages, result objects) lives in
+the public entry points and the drivers here, shared by every backend.
+
+The cores operate **in place** on caller-owned state so a backend never
+decides result semantics:
+
+* ``sinkhorn_core(work, row_targets, col_targets, ...)`` mutates
+  ``work`` and the ``row_scale``/``col_scale`` accumulators, appends
+  one residual per full (column pass + row pass) iteration to
+  ``history`` (whose last entry is the residual of ``work`` at entry),
+  and returns ``(iterations, converged, timed_out)``.  Targets are
+  vectors, so the same core serves ``sinkhorn_knopp`` (constant
+  targets) and ``scale_to_margins`` (prescribed margins).
+* ``sinkhorn_core_batched(...)`` is the ``(N, T, M)`` counterpart; it
+  additionally maintains the per-slice ``iterations``/``residual``/
+  ``converged``/``active`` arrays and per-slice ``histories``, and
+  returns ``(iterations_run, timed_out)``.
+
+Precision
+---------
+``precision="float32"`` runs a coarse float32 phase to
+``max(tol, 1e-5)``, then **verifies** the float32-derived scaling
+vectors by applying them to the original float64 matrix and measuring
+the residual in float64, and finally polishes in float64 down to the
+true tolerance.  Non-finite or non-positive float32 scales discard the
+coarse phase entirely and fall back to a pure float64 run, so the
+returned result is always float64-verified regardless of backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_choice
+from ..exceptions import MatrixValueError
+
+__all__ = [
+    "KernelBackend",
+    "KernelBackendBase",
+    "PRECISIONS",
+    "check_precision",
+    "coerce_warm_start",
+    "coerce_warm_start_batched",
+    "run_sinkhorn",
+    "run_sinkhorn_batched",
+]
+
+#: Accepted values of the ``precision=`` kwarg (``None`` means the
+#: default, ``"float64"``).
+PRECISIONS = ("float64", "float32")
+
+#: The float32 coarse phase never chases a tolerance below this — the
+#: remaining gap is closed by the float64 polish phase.
+F32_COARSE_TOL = 1e-5
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Structural protocol every kernel backend satisfies.
+
+    ``name`` is the registry/metrics label; ``tolerance`` is the
+    documented worst-case disagreement of the backend against the
+    pure-numpy reference on convergent float64 inputs (0.0 for the
+    reference itself), asserted by the differential harness in
+    ``tests/backends/``.
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def tolerance(self) -> float: ...
+
+    def sinkhorn_core(
+        self,
+        work,
+        row_targets,
+        col_targets,
+        *,
+        tol,
+        max_iterations,
+        row_scale,
+        col_scale,
+        history,
+        t_end,
+    ): ...
+
+    def sinkhorn_core_batched(
+        self,
+        work,
+        row_target,
+        col_target,
+        *,
+        tol,
+        max_iterations,
+        row_scale,
+        col_scale,
+        histories,
+        iterations,
+        residual,
+        converged,
+        active,
+        t_end,
+        on_progress,
+    ): ...
+
+    def svd_values(self, matrix): ...
+
+    def svd_values_batched(self, stack): ...
+
+    def fused_standard_measures(
+        self, stack, *, tol, max_iterations, deadline_s, warm_start, precision
+    ): ...
+
+
+def check_precision(precision) -> str:
+    """Validate the ``precision=`` kwarg (``None`` → ``"float64"``)."""
+    if precision is None:
+        return "float64"
+    check_choice(precision, name="precision", choices=PRECISIONS)
+    return precision
+
+
+def _warm_vectors(warm_start):
+    """Extract ``(row_scale, col_scale)`` from a warm-start argument.
+
+    Accepts any :class:`~repro.normalize.ScalingOutcome`-shaped object
+    exposing ``row_scale``/``col_scale`` (e.g. a previous
+    ``NormalizationResult``, ``StandardFormResult`` or
+    ``BatchNormalizationResult``) or an explicit 2-sequence of vectors.
+    """
+    if hasattr(warm_start, "row_scale") and hasattr(warm_start, "col_scale"):
+        return warm_start.row_scale, warm_start.col_scale
+    try:
+        row, col = warm_start
+    except (TypeError, ValueError):
+        raise MatrixValueError(
+            "warm_start must be a previous scaling result (with "
+            ".row_scale/.col_scale) or a (row_scale, col_scale) pair, "
+            f"got {warm_start!r}"
+        ) from None
+    return row, col
+
+
+def _check_warm(vec: np.ndarray, what: str) -> np.ndarray:
+    if not np.isfinite(vec).all() or (vec <= 0).any():
+        raise MatrixValueError(
+            f"warm_start {what} must be strictly positive and finite"
+        )
+    return vec
+
+
+def coerce_warm_start(
+    warm_start, n_rows: int, n_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``(row_scale, col_scale)`` float64 vectors for one
+    ``(n_rows, n_cols)`` matrix."""
+    row, col = _warm_vectors(warm_start)
+    row = np.asarray(row, dtype=np.float64).reshape(-1)
+    col = np.asarray(col, dtype=np.float64).reshape(-1)
+    if row.shape[0] != n_rows or col.shape[0] != n_cols:
+        raise MatrixValueError(
+            "warm_start scaling vectors must match the matrix shape "
+            f"({n_rows}, {n_cols}), got lengths {row.shape[0]} and "
+            f"{col.shape[0]}"
+        )
+    return _check_warm(row, "row_scale"), _check_warm(col, "col_scale")
+
+
+def coerce_warm_start_batched(
+    warm_start, n_slices: int, n_rows: int, n_cols: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated ``((N, T), (N, M))`` float64 scale arrays for a stack.
+
+    A single ``(T,)``/``(M,)`` pair (e.g. from a scalar run on the
+    unperturbed base matrix) broadcasts to every slice; per-slice
+    ``(N, T)``/``(N, M)`` arrays are used as-is.
+    """
+    row, col = _warm_vectors(warm_start)
+    row = np.asarray(row, dtype=np.float64)
+    col = np.asarray(col, dtype=np.float64)
+    if row.ndim == 1 and col.ndim == 1:
+        row = np.broadcast_to(row, (n_slices, row.shape[0])).copy()
+        col = np.broadcast_to(col, (n_slices, col.shape[0])).copy()
+    if row.shape != (n_slices, n_rows) or col.shape != (n_slices, n_cols):
+        raise MatrixValueError(
+            "warm_start scaling arrays must have shape "
+            f"({n_slices}, {n_rows}) and ({n_slices}, {n_cols}) — or be "
+            f"a single ({n_rows},)/({n_cols},) pair broadcast to every "
+            f"slice — got {row.shape} and {col.shape}"
+        )
+    return _check_warm(row, "row_scale"), _check_warm(col, "col_scale")
+
+
+def run_sinkhorn(
+    backend,
+    work,
+    row_targets,
+    col_targets,
+    *,
+    tol,
+    max_iterations,
+    row_scale,
+    col_scale,
+    history,
+    t_end,
+    precision="float64",
+):
+    """Precision-dispatching scalar driver.
+
+    Returns ``(iterations, converged, timed_out, precision_outcome)``
+    where ``precision_outcome`` is ``None`` under float64 and
+    ``"verified"``/``"fallback"`` under float32.
+    """
+    if precision == "float64":
+        iterations, converged, timed_out = backend.sinkhorn_core(
+            work,
+            row_targets,
+            col_targets,
+            tol=tol,
+            max_iterations=max_iterations,
+            row_scale=row_scale,
+            col_scale=col_scale,
+            history=history,
+            t_end=t_end,
+        )
+        return iterations, converged, timed_out, None
+
+    coarse_tol = max(tol, F32_COARSE_TOL)
+    outcome = "verified"
+    coarse_iterations = 0
+    if history[-1] > coarse_tol:
+        # Over/underflow in the float32 phase is expected on extreme
+        # inputs and handled by the fallback below, so the coarse pass
+        # runs silenced.
+        with np.errstate(all="ignore"):
+            work32 = work.astype(np.float32)
+            rs32 = np.ones(work.shape[0], dtype=np.float32)
+            cs32 = np.ones(work.shape[1], dtype=np.float32)
+            h32 = [history[-1]]
+            coarse_iterations, _, coarse_timed_out = backend.sinkhorn_core(
+                work32,
+                row_targets.astype(np.float32),
+                col_targets.astype(np.float32),
+                tol=coarse_tol,
+                max_iterations=max_iterations,
+                row_scale=rs32,
+                col_scale=cs32,
+                history=h32,
+                t_end=t_end,
+            )
+        rs64 = rs32.astype(np.float64)
+        cs64 = cs32.astype(np.float64)
+        usable = (
+            np.isfinite(rs64).all()
+            and np.isfinite(cs64).all()
+            and (rs64 > 0).all()
+            and (cs64 > 0).all()
+        )
+        if usable and coarse_iterations:
+            # Verify in float64: apply the float32-derived scales to
+            # the pristine float64 iterate and measure the residual at
+            # full precision before accepting the coarse phase.
+            candidate = rs64[:, None] * work * cs64[None, :]
+            verified = float(
+                max(
+                    np.abs(candidate.sum(axis=1) - row_targets).max(),
+                    np.abs(candidate.sum(axis=0) - col_targets).max(),
+                )
+            )
+            work[:] = candidate
+            row_scale *= rs64
+            col_scale *= cs64
+            history.extend(h32[1:-1])
+            history.append(verified)
+            if coarse_timed_out:
+                return coarse_iterations, verified <= tol, True, outcome
+        elif not usable:
+            # float32 over/underflowed: discard the coarse phase and
+            # run pure float64 from the untouched entry state.
+            outcome = "fallback"
+            coarse_iterations = 0
+    if history[-1] <= tol:
+        return coarse_iterations, True, False, outcome
+    polish_iterations, converged, timed_out = backend.sinkhorn_core(
+        work,
+        row_targets,
+        col_targets,
+        tol=tol,
+        max_iterations=max(max_iterations - coarse_iterations, 0),
+        row_scale=row_scale,
+        col_scale=col_scale,
+        history=history,
+        t_end=t_end,
+    )
+    return coarse_iterations + polish_iterations, converged, timed_out, outcome
+
+
+def run_sinkhorn_batched(
+    backend,
+    work,
+    row_target,
+    col_target,
+    *,
+    tol,
+    max_iterations,
+    row_scale,
+    col_scale,
+    histories,
+    iterations,
+    residual,
+    converged,
+    active,
+    t_end,
+    precision="float64",
+    on_progress=None,
+):
+    """Precision-dispatching batched driver (same return convention as
+    :func:`run_sinkhorn`, with ``iterations_run`` in place of the
+    per-call iteration count)."""
+    if precision == "float64":
+        iterations_run, timed_out = backend.sinkhorn_core_batched(
+            work,
+            row_target,
+            col_target,
+            tol=tol,
+            max_iterations=max_iterations,
+            row_scale=row_scale,
+            col_scale=col_scale,
+            histories=histories,
+            iterations=iterations,
+            residual=residual,
+            converged=converged,
+            active=active,
+            t_end=t_end,
+            on_progress=on_progress,
+        )
+        return iterations_run, timed_out, None
+
+    coarse_tol = max(tol, F32_COARSE_TOL)
+    outcome = "verified"
+    entry_active = active.copy()
+    entry_residual = residual.copy()
+    entry_lengths = [len(h) for h in histories]
+    entry_iterations = iterations.copy()
+    n_slices, n_rows, n_cols = work.shape
+    coarse_run = 0
+    coarse_timed_out = False
+    if entry_active.any():
+        # As in the scalar driver: float32 over/underflow is expected
+        # on extreme inputs and handled by the fallback below.
+        with np.errstate(all="ignore"):
+            work32 = work.astype(np.float32)
+            rs32 = np.ones((n_slices, n_rows), dtype=np.float32)
+            cs32 = np.ones((n_slices, n_cols), dtype=np.float32)
+            coarse_active = entry_active & (residual > coarse_tol)
+            coarse_run, coarse_timed_out = backend.sinkhorn_core_batched(
+                work32,
+                np.float32(row_target),
+                np.float32(col_target),
+                tol=coarse_tol,
+                max_iterations=max_iterations,
+                row_scale=rs32,
+                col_scale=cs32,
+                histories=histories,
+                iterations=iterations,
+                residual=residual,
+                converged=converged,
+                active=coarse_active,
+                t_end=t_end,
+                on_progress=on_progress,
+            )
+        rs64 = rs32.astype(np.float64)
+        cs64 = cs32.astype(np.float64)
+        usable = (
+            np.isfinite(rs64).all()
+            and np.isfinite(cs64).all()
+            and (rs64 > 0).all()
+            and (cs64 > 0).all()
+        )
+        if usable:
+            # Slices that never iterated keep unit relative scales, so
+            # the broadcast application below is a bit-exact no-op for
+            # them.  Verification happens in float64 on the pristine
+            # entry iterates.
+            work[:] = rs64[:, :, None] * work * cs64[:, None, :]
+            row_scale *= rs64
+            col_scale *= cs64
+            verified = np.maximum(
+                np.abs(work.sum(axis=2) - row_target).max(axis=1),
+                np.abs(work.sum(axis=1) - col_target).max(axis=1),
+            )
+            residual[entry_active] = verified[entry_active]
+            ran = iterations > entry_iterations
+            for i in np.nonzero(entry_active & ran)[0]:
+                histories[i][-1] = float(verified[i])
+        else:
+            # Batch-level fallback: one slice overflowing float32
+            # discards the whole coarse phase (cheap, and keeps every
+            # slice's history coherent).
+            outcome = "fallback"
+            residual[:] = entry_residual
+            iterations[:] = entry_iterations
+            for i, length in enumerate(entry_lengths):
+                del histories[i][length:]
+        done = residual <= tol
+        converged[:] = np.where(entry_active, done, converged)
+        active[:] = entry_active & ~done
+        if coarse_timed_out and usable:
+            return coarse_run, True, outcome
+    if not active.any():
+        return coarse_run, False, outcome
+    polish_run, timed_out = backend.sinkhorn_core_batched(
+        work,
+        row_target,
+        col_target,
+        tol=tol,
+        max_iterations=max_iterations,
+        row_scale=row_scale,
+        col_scale=col_scale,
+        histories=histories,
+        iterations=iterations,
+        residual=residual,
+        converged=converged,
+        active=active,
+        t_end=t_end,
+        on_progress=on_progress,
+    )
+    return coarse_run + polish_run, timed_out, outcome
+
+
+class KernelBackendBase:
+    """Shared default implementations for concrete backends.
+
+    Subclasses must provide ``name``, ``tolerance``, ``sinkhorn_core``
+    and ``sinkhorn_core_batched``; the SVD defaults delegate to the
+    same LAPACK routines the library has always used (``svdvals`` for
+    one matrix, stacked ``numpy.linalg.svd`` for ensembles), and the
+    fused pass composes the public batched kernels so every backend
+    inherits identical measure semantics.
+    """
+
+    name = "abstract"
+    tolerance = 0.0
+
+    def svd_values(self, matrix) -> np.ndarray:
+        import scipy.linalg
+
+        return scipy.linalg.svdvals(matrix)
+
+    def svd_values_batched(self, stack) -> np.ndarray:
+        return np.linalg.svd(stack, compute_uv=False)
+
+    def fused_standard_measures(
+        self,
+        stack,
+        *,
+        tol,
+        max_iterations,
+        deadline_s=None,
+        warm_start=None,
+        precision=None,
+    ):
+        """Batched (MPH, TDH, TMA, iterations, converged) columns of a
+        strictly positive ``(N, T, M)`` stack in one backend pass."""
+        from ..batch.measures import average_adjacent_ratio_batched
+        from ..batch.sinkhorn import standardize_batched
+        from ..obs import metrics as _metrics, span as _obs_span
+
+        mph = average_adjacent_ratio_batched(stack.sum(axis=1))
+        tdh = average_adjacent_ratio_batched(stack.sum(axis=2))
+        standard = standardize_batched(
+            stack,
+            tol=tol,
+            max_iterations=max_iterations,
+            require_convergence=False,
+            deadline_s=deadline_s,
+            backend=self,
+            precision=precision,
+            warm_start=warm_start,
+        )
+        t0 = time.perf_counter()
+        with _obs_span(
+            "svd.batched",
+            slices=stack.shape[0],
+            rows=stack.shape[1],
+            cols=stack.shape[2],
+        ):
+            values = self.svd_values_batched(standard.matrix)
+        _metrics.observe_svd("batched", time.perf_counter() - t0)
+        if values.shape[1] < 2:
+            tma = np.zeros(stack.shape[0], dtype=np.float64)
+        else:
+            tma = np.clip(
+                values[:, 1:].sum(axis=1) / (values.shape[1] - 1), 0.0, 1.0
+            )
+        return mph, tdh, tma, standard.iterations, standard.converged

@@ -22,17 +22,14 @@ differential harness in ``tests/batch/`` enforces this).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..exceptions import MatrixShapeError, MatrixValueError, WeightError
 from ..normalize.standard_form import DEFAULT_TOL
-from ..obs import current_recorder, metrics as _metrics, span as _obs_span, traced
+from ..obs import current_recorder, metrics as _metrics, traced
 from ._stack import as_ecs_stack, stack_environments
-from .measures import average_adjacent_ratio_batched
-from .sinkhorn import standardize_batched
 
 __all__ = ["EnsembleCharacterization", "characterize_ensemble"]
 
@@ -121,8 +118,14 @@ def _characterize_columns(args: tuple) -> tuple:
     """Module-level worker (picklable): scalar columns of one member."""
     from ..measures.report import characterize
 
-    matrix, tol, tma_fallback = args
-    profile = characterize(matrix, tol=tol, tma_fallback=tma_fallback)
+    matrix, tol, tma_fallback, backend, precision = args
+    profile = characterize(
+        matrix,
+        tol=tol,
+        tma_fallback=tma_fallback,
+        backend=backend,
+        precision=precision,
+    )
     iterations = (
         profile.sinkhorn_iterations
         if profile.sinkhorn_iterations is not None
@@ -189,6 +192,9 @@ def _characterize_stack_batched(
     tol: float,
     max_iterations: int,
     deadline_s: float | None = None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Batched (MPH, TDH, TMA, iterations, converged) columns of a
     strictly positive sub-stack.
@@ -198,33 +204,19 @@ def _characterize_stack_batched(
     the row-sum rows, TMA the mean trailing singular value of the
     standard form (eq. 8).  Per-slice results are independent of which
     other slices share the stack, which is what lets the robust
-    pipeline promise bit-identical healthy members.
+    pipeline promise bit-identical healthy members.  The whole pass is
+    one fused backend call (:mod:`repro.backends`).
     """
-    mph = average_adjacent_ratio_batched(sub.sum(axis=1))
-    tdh = average_adjacent_ratio_batched(sub.sum(axis=2))
-    standard = standardize_batched(
+    from ..backends import resolve_backend
+
+    return resolve_backend(backend).fused_standard_measures(
         sub,
         tol=tol,
         max_iterations=max_iterations,
-        require_convergence=False,
         deadline_s=deadline_s,
+        warm_start=warm_start,
+        precision=precision,
     )
-    t0 = time.perf_counter()
-    with _obs_span(
-        "svd.batched",
-        slices=sub.shape[0],
-        rows=sub.shape[1],
-        cols=sub.shape[2],
-    ):
-        values = np.linalg.svd(standard.matrix, compute_uv=False)
-    _metrics.observe_svd("batched", time.perf_counter() - t0)
-    if values.shape[1] < 2:
-        tma = np.zeros(sub.shape[0], dtype=np.float64)
-    else:
-        tma = np.clip(
-            values[:, 1:].sum(axis=1) / (values.shape[1] - 1), 0.0, 1.0
-        )
-    return mph, tdh, tma, standard.iterations, standard.converged
 
 
 @traced(name="batch.characterize_ensemble")
@@ -241,6 +233,9 @@ def characterize_ensemble(
     policy: str = "raise",
     budget=None,
     fault_plan=None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> EnsembleCharacterization:
     """Characterize a whole ensemble of environments in one call.
 
@@ -287,6 +282,17 @@ def characterize_ensemble(
         under any policy (so a drill can also demonstrate the
         ``"raise"`` crash); ``stall`` faults need a robust policy,
         whose worker path hosts the injected sleep.
+    backend, precision
+        Kernel backend and float32 fast-path selection, threaded into
+        every Sinkhorn/SVD call on both the batched and scalar paths
+        (see :mod:`repro.backends`).
+    warm_start : ScalingOutcome or (row_scale, col_scale), optional
+        Previous standard-form scaling vectors applied before
+        iterating — the incremental re-characterization path for
+        ``perturb_stack``-style what-if resubmissions (a scalar result
+        on the base matrix broadcasts to every slice).  Requires the
+        default ``policy="raise"`` and the batched path (stacked,
+        strictly positive input).
 
     Examples
     --------
@@ -309,6 +315,12 @@ def characterize_ensemble(
             f"{policy!r}"
         )
     if policy != "raise":
+        if warm_start is not None:
+            raise MatrixValueError(
+                "warm_start requires policy='raise' (the robust "
+                "pipeline re-orders and repairs slices, so previous "
+                "scaling vectors cannot be matched up safely)"
+            )
         from ..robust.ensemble import characterize_ensemble_robust
 
         return characterize_ensemble_robust(
@@ -323,6 +335,8 @@ def characterize_ensemble(
             policy=policy,
             budget=budget,
             fault_plan=fault_plan,
+            backend=backend,
+            precision=precision,
         )
     if budget is not None:
         raise MatrixValueError(
@@ -339,6 +353,11 @@ def characterize_ensemble(
 
     if stack is None:
         # Ragged shapes: scalar path for every member.
+        if warm_start is not None:
+            raise MatrixValueError(
+                "warm_start requires a stacked (N, T, M) input (ragged "
+                "members take the scalar path)"
+            )
         from .._parallel import parallel_map
 
         rec = current_recorder()
@@ -346,7 +365,10 @@ def characterize_ensemble(
             rec.counter("ensemble.slices", len(members))
             rec.counter("ensemble.fallback_slices", len(members))
         _metrics.count_ensemble_members(fallback=len(members))
-        items = [(member, tol, tma_fallback) for member in members]
+        items = [
+            (member, tol, tma_fallback, backend, precision)
+            for member in members
+        ]
         columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
         return _from_columns(columns, n_tasks=None, n_machines=None)
 
@@ -354,6 +376,19 @@ def characterize_ensemble(
     positive = (stack > 0).all(axis=(1, 2))
     if not batched:
         positive = np.zeros(n_slices, dtype=bool)
+    warm_rows = warm_cols = None
+    if warm_start is not None:
+        if not positive.all():
+            raise MatrixValueError(
+                "warm_start requires batched=True and a strictly "
+                "positive stack (zero-patterned slices take the scalar "
+                "path, which cannot reuse scaling vectors)"
+            )
+        from ..backends.base import coerce_warm_start_batched
+
+        warm_rows, warm_cols = coerce_warm_start_batched(
+            warm_start, n_slices, n_tasks, n_machines
+        )
     rec = current_recorder()
     if rec is not None:
         rec.counter("ensemble.slices", n_slices)
@@ -377,14 +412,26 @@ def characterize_ensemble(
             iterations[positive],
             converged[positive],
         ) = _characterize_stack_batched(
-            stack[positive], tol=tol, max_iterations=max_iterations
+            stack[positive],
+            tol=tol,
+            max_iterations=max_iterations,
+            backend=backend,
+            precision=precision,
+            warm_start=(
+                None
+                if warm_rows is None
+                else (warm_rows[positive], warm_cols[positive])
+            ),
         )
 
     fallback = ~positive
     if fallback.any():
         from .._parallel import parallel_map
 
-        items = [(stack[i], tol, tma_fallback) for i in np.nonzero(fallback)[0]]
+        items = [
+            (stack[i], tol, tma_fallback, backend, precision)
+            for i in np.nonzero(fallback)[0]
+        ]
         columns = parallel_map(_characterize_columns, items, n_jobs=n_jobs)
         for i, (m, t, a, its, conv) in zip(np.nonzero(fallback)[0], columns):
             mph[i], tdh[i], tma[i] = m, t, a

@@ -31,6 +31,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._validation import check_positive_scalar
+from ..backends import resolve_backend
+from ..backends.base import (
+    check_precision,
+    coerce_warm_start_batched,
+    run_sinkhorn_batched,
+)
 from ..exceptions import ConvergenceError, MatrixValueError
 from ..normalize.outcome import _deprecated_alias
 from ..normalize.sinkhorn import (
@@ -132,6 +138,9 @@ def sinkhorn_knopp_batched(
     max_iterations: int = 100_000,
     require_convergence: bool = True,
     deadline_s: float | None = None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> BatchNormalizationResult:
     """Scale every slice of ``stack`` so rows sum to ``row_target`` and
     columns to ``col_target``.
@@ -162,6 +171,16 @@ def sinkhorn_knopp_batched(
         as non-converged — graceful degradation instead of burning the
         full iteration budget on a straggling slice.  ``None`` (the
         default) means unbounded.
+    backend, precision
+        Kernel backend and float32 fast-path selection, exactly as in
+        the scalar kernel (see :mod:`repro.backends`).
+    warm_start : ScalingOutcome or (row_scale, col_scale), optional
+        Previous scaling vectors applied before iterating.  A single
+        ``(T,)``/``(M,)`` pair (e.g. from the unperturbed base matrix
+        of a what-if stack) broadcasts to every slice; per-slice
+        ``(N, T)``/``(N, M)`` arrays — e.g. a previous
+        :class:`BatchNormalizationResult` — warm each slice
+        individually.
 
     Examples
     --------
@@ -175,6 +194,8 @@ def sinkhorn_knopp_batched(
     array([[1., 1.],
            [1., 1.]])
     """
+    be = resolve_backend(backend)
+    precision = check_precision(precision)
     work = as_float_stack(stack, name="stack").copy()
     if np.isinf(work).any():
         raise MatrixValueError("stack must be finite (got inf entries)")
@@ -205,6 +226,13 @@ def sinkhorn_knopp_batched(
 
     row_scale = np.ones((n_slices, n_rows), dtype=np.float64)
     col_scale = np.ones((n_slices, n_cols), dtype=np.float64)
+    if warm_start is not None:
+        warm_rows, warm_cols = coerce_warm_start_batched(
+            warm_start, n_slices, n_rows, n_cols
+        )
+        work = warm_rows[:, :, None] * work * warm_cols[:, None, :]
+        row_scale = warm_rows.copy()
+        col_scale = warm_cols.copy()
     residual = _residuals(work, row_target, col_target)
     histories: list[list[float]] = [[float(r)] for r in residual]
     converged = residual <= tol
@@ -213,42 +241,36 @@ def sinkhorn_knopp_batched(
     it = 0
     t_end = _check_deadline(deadline_s)
     timed_out = False
+    precision_outcome = None
     rec = current_recorder()
     with _obs_span(
         "sinkhorn.batched", slices=n_slices, rows=n_rows, cols=n_cols
     ) as sp:
-        while active.any() and it < max_iterations:
-            if t_end is not None and time.monotonic() >= t_end:
-                timed_out = True
-                break
-            idx = np.nonzero(active)[0]
-            if rec is not None:
-                # Active-mask occupancy: how many slices still iterate.
-                sp.sample("active_slices", idx.size)
-            sub = work[idx]
-            # Column pass (eq. 9, odd k).  As in the scalar kernel, the
-            # accumulated diagonal scales can overflow for
-            # non-normalizable zero patterns while the matrix iterates
-            # stay bounded.
-            factors = col_target / sub.sum(axis=1)
-            sub *= factors[:, None, :]
-            with np.errstate(over="ignore"):
-                col_scale[idx] *= factors
-            # Row pass (eq. 9, even k).
-            factors = row_target / sub.sum(axis=2)
-            sub *= factors[:, :, None]
-            with np.errstate(over="ignore"):
-                row_scale[idx] *= factors
-            work[idx] = sub
-            it += 1
-            iterations[idx] = it
-            res = _residuals(sub, row_target, col_target)
-            residual[idx] = res
-            for pos, i in enumerate(idx):
-                histories[i].append(float(res[pos]))
-            done = res <= tol
-            converged[idx] = done
-            active[idx] = ~done
+        if rec is not None:
+            # Active-mask occupancy: how many slices still iterate.
+            def on_progress(active_count: int) -> None:
+                sp.sample("active_slices", active_count)
+        else:
+            on_progress = None
+        if active.any():
+            it, timed_out, precision_outcome = run_sinkhorn_batched(
+                be,
+                work,
+                row_target,
+                col_target,
+                tol=tol,
+                max_iterations=max_iterations,
+                row_scale=row_scale,
+                col_scale=col_scale,
+                histories=histories,
+                iterations=iterations,
+                residual=residual,
+                converged=converged,
+                active=active,
+                t_end=t_end,
+                precision=precision,
+                on_progress=on_progress,
+            )
         sp.note(
             iterations=int(it),
             converged_slices=int(converged.sum()),
@@ -261,6 +283,14 @@ def sinkhorn_knopp_batched(
         residual=residual,
         converged=converged,
     )
+    _metrics.count_backend_dispatch(be.name, "sinkhorn_batched")
+    if precision_outcome is not None:
+        _metrics.count_backend_precision(be.name, precision_outcome)
+    if warm_start is not None:
+        _metrics.count_warm_start(
+            "sinkhorn_batched",
+            "converged" if bool(converged.all()) else "pending",
+        )
     if active.any() and require_convergence:
         bad = np.nonzero(active)[0]
         raise ConvergenceError(
@@ -298,6 +328,9 @@ def standardize_batched(
     policy: str = "raise",
     budget=None,
     fault_plan=None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> BatchNormalizationResult:
     """Convert every slice of a stack to the standard ECS form.
 
@@ -316,6 +349,11 @@ def standardize_batched(
     of rejecting the whole stack, honouring the optional ``budget``
     and applying the optional chaos ``fault_plan``.
 
+    ``backend``/``precision``/``warm_start`` behave exactly as in
+    :func:`sinkhorn_knopp_batched`; ``warm_start`` requires the default
+    ``policy="raise"`` (the robust pipeline re-orders slices, so stale
+    scaling vectors cannot be matched up safely).
+
     Examples
     --------
     >>> import numpy as np
@@ -330,6 +368,12 @@ def standardize_batched(
             f"{policy!r}"
         )
     if policy != "raise":
+        if warm_start is not None:
+            raise MatrixValueError(
+                "warm_start requires policy='raise' (the robust "
+                "pipeline re-orders and repairs slices, so previous "
+                "scaling vectors cannot be matched up safely)"
+            )
         from ..robust.ensemble import standardize_batched_robust
 
         return standardize_batched_robust(
@@ -339,6 +383,8 @@ def standardize_batched(
             policy=policy,
             budget=budget,
             fault_plan=fault_plan,
+            backend=backend,
+            precision=precision,
         )
     if budget is not None or fault_plan is not None:
         raise MatrixValueError(
@@ -355,4 +401,7 @@ def standardize_batched(
         max_iterations=max_iterations,
         require_convergence=require_convergence,
         deadline_s=deadline_s,
+        backend=backend,
+        precision=precision,
+        warm_start=warm_start,
     )

@@ -84,6 +84,22 @@ from .spec.datasets import list_datasets, load_dataset
 __all__ = ["main", "build_parser"]
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    """The shared ``--backend`` flag (kernel backend selection).
+
+    Choices are deliberately not baked into argparse: the registry is
+    consulted at call time, so an unknown name produces the library's
+    canonical error listing the backends actually registered (which
+    depends on optional dependencies like numba).
+    """
+    p.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend running the Sinkhorn/SVD kernels "
+        "(default: $REPRO_BACKEND or 'numpy'; see repro.backends)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-hc`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -99,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("measures", help="characterize an ETC CSV file")
     p.add_argument("file", help="labelled ETC CSV (see repro.core.io)")
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_backend_flag(p)
 
     p = sub.add_parser("dataset", help="characterize a bundled dataset")
     p.add_argument("name", nargs="?", help="dataset name")
@@ -217,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos spec for the --ensemble stage, e.g. 'nan=1,stall=2'",
     )
     p.add_argument("--fault-seed", type=int, default=0)
+    _add_backend_flag(p)
 
     p = sub.add_parser(
         "characterize",
@@ -275,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool width for the scalar/worker path")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    _add_backend_flag(p)
 
     p = sub.add_parser(
         "bench",
@@ -504,7 +523,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "measures":
-            _print_profile(characterize(load_etc_csv(args.file)), args.json)
+            _print_profile(
+                characterize(load_etc_csv(args.file), backend=args.backend),
+                args.json,
+            )
         elif args.command == "dataset":
             if args.list or not args.name:
                 for name in list_datasets():
@@ -614,7 +636,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             env = _load_env(args.file)
             ensemble = None
             with recording(trace_path=args.output) as rec:
-                profile = characterize(env)
+                profile = characterize(env, backend=args.backend)
                 comparison = compare_heuristics(
                     env, total=args.total, seed=args.seed
                 )
@@ -627,6 +649,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         ),
                         policy=args.policy,
                         fault_plan=_build_fault_plan(args, args.ensemble),
+                        backend=args.backend,
                     )
                 stats = rec.summary()
             if args.json:
@@ -675,6 +698,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 budget=budget,
                 fault_plan=plan,
                 n_jobs=args.jobs,
+                backend=args.backend,
             )
             report = getattr(result, "report", None)
             if args.json:

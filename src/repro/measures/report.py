@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.linalg
 
 from .._validation import check_choice
 from ..exceptions import ConvergenceError, NotNormalizableError
@@ -94,12 +93,14 @@ class HeterogeneityProfile:
         return "\n".join(lines)
 
 
-def _tma_from_standard(standard) -> float:
+def _tma_from_standard(standard, backend=None) -> float:
     """eq. 8 on an already-computed standard form (no second Sinkhorn)."""
+    from ..backends import resolve_backend
+
     shape = standard.matrix.shape
     t0 = time.perf_counter()
     with _obs_span("svd.scalar", rows=shape[0], cols=shape[1]):
-        values = scipy.linalg.svdvals(standard.matrix)
+        values = resolve_backend(backend).svd_values(standard.matrix)
     _metrics.observe_svd("scalar", time.perf_counter() - t0)
     if values.shape[0] < 2:
         return 0.0
@@ -113,6 +114,8 @@ def characterize(
     machine_weights=None,
     tol: float = DEFAULT_TOL,
     tma_fallback: str = "limit",
+    backend=None,
+    precision: str | None = None,
 ) -> HeterogeneityProfile:
     """Compute the full heterogeneity profile of an environment.
 
@@ -135,6 +138,12 @@ def characterize(
           formula; recorded as ``tma_method="column"``.
         * ``"raise"`` — propagate the
           :class:`~repro.exceptions.NotNormalizableError`.
+    backend : str or KernelBackend, optional
+        Kernel backend running the Sinkhorn iteration and the SVD (see
+        :mod:`repro.backends`).
+    precision : {"float64", "float32"}, optional
+        Float32 fast path for the standard form, float64-verified as in
+        :func:`repro.normalize.sinkhorn_knopp`.
 
     Examples
     --------
@@ -157,16 +166,28 @@ def characterize(
         "measures.characterize", rows=ecs.shape[0], cols=ecs.shape[1]
     ) as sp:
         try:
-            standard = standardize(weighted, tol=tol, zeros="strict")
+            standard = standardize(
+                weighted,
+                tol=tol,
+                zeros="strict",
+                backend=backend,
+                precision=precision,
+            )
             iterations = standard.iterations
             residual = standard.residual
-            tma_value = _tma_from_standard(standard)
+            tma_value = _tma_from_standard(standard, backend)
         except (NotNormalizableError, ConvergenceError):
             if tma_fallback == "raise":
                 raise
             if tma_fallback == "limit":
                 try:
-                    standard = standardize(weighted, tol=tol, zeros="limit")
+                    standard = standardize(
+                        weighted,
+                        tol=tol,
+                        zeros="limit",
+                        backend=backend,
+                        precision=precision,
+                    )
                 except NotNormalizableError:
                     # Even the eq. 9 limit may not exist (the margins can
                     # be infeasible outright, e.g. one machine compatible
@@ -177,7 +198,7 @@ def characterize(
                     method = "limit"
                     iterations = standard.iterations
                     residual = standard.residual
-                    tma_value = _tma_from_standard(standard)
+                    tma_value = _tma_from_standard(standard, backend)
             else:
                 method = "column"
                 tma_value = tma(weighted, method="column")

@@ -12,20 +12,27 @@ Three result classes report the outcome of an alternating-scaling run:
 
 Historically they drifted apart (``matrices`` vs ``matrix``,
 ``residual_histories`` vs ``residual_history``); all three now expose
-the same five core fields, captured by the :class:`ScalingOutcome`
+the same seven core fields, captured by the :class:`ScalingOutcome`
 protocol:
 
 =====================  ====================================================
 field                  meaning
 =====================  ====================================================
 ``matrix``             the scaled matrix (or the whole scaled stack)
+``row_scale``          diagonal of ``D1`` ((T,) vector or (N, T) array)
+``col_scale``          diagonal of ``D2`` ((M,) vector or (N, M) array)
 ``iterations``         full column+row iterations run (int or (N,) array)
 ``converged``          tolerance reached (bool or (N,) bool array)
 ``residual``           final max row/column-sum error (float or (N,) array)
 ``residual_history``   residual after each iteration, entry 0 = the input
 =====================  ====================================================
 
-Code written against these five names works on any of the three
+The scaling vectors are what make **warm starts** possible: any
+ScalingOutcome can be passed as ``warm_start=`` to a later Sinkhorn
+run on a perturbed copy of the same environment, which re-applies
+``D1``/``D2`` before iterating (see ``docs/BACKENDS.md``).
+
+Code written against these seven names works on any of the three
 results; the old batch-specific spellings remain as deprecated
 properties that emit :class:`DeprecationWarning`.
 """
@@ -42,7 +49,7 @@ __all__ = ["ScalingOutcome"]
 class ScalingOutcome(Protocol):
     """Structural protocol every scaling result satisfies.
 
-    ``isinstance(result, ScalingOutcome)`` checks that the five core
+    ``isinstance(result, ScalingOutcome)`` checks that the seven core
     fields are present (it is a :func:`typing.runtime_checkable`
     protocol); the field *types* are scalars for single-matrix results
     and per-slice arrays for batch results.
@@ -57,6 +64,12 @@ class ScalingOutcome(Protocol):
 
     @property
     def matrix(self) -> Any: ...
+
+    @property
+    def row_scale(self) -> Any: ...
+
+    @property
+    def col_scale(self) -> Any: ...
 
     @property
     def iterations(self) -> Any: ...

@@ -26,6 +26,8 @@ from .._validation import (
     as_float_matrix,
     check_positive_scalar,
 )
+from ..backends import resolve_backend
+from ..backends.base import check_precision, coerce_warm_start, run_sinkhorn
 from ..exceptions import ConvergenceError, MatrixValueError
 from ..obs import metrics as _metrics
 from ..obs import span as _obs_span
@@ -148,6 +150,9 @@ def sinkhorn_knopp(
     max_iterations: int = 100_000,
     require_convergence: bool = True,
     deadline_s: float | None = None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> NormalizationResult:
     """Scale ``matrix`` so rows sum to ``row_target`` and columns to
     ``col_target`` by alternating column and row normalizations.
@@ -181,6 +186,22 @@ def sinkhorn_knopp(
         :class:`~repro.exceptions.ConvergenceError` naming the expired
         deadline is raised under ``require_convergence=True``), so a
         non-normalizable input can never hang a caller past its budget.
+    backend : str or KernelBackend, optional
+        Kernel backend running the inner loop (see
+        :mod:`repro.backends`); defaults to the ``REPRO_BACKEND``
+        environment variable, then the numpy reference.
+    precision : {"float64", "float32"}, optional
+        ``"float32"`` runs a coarse single-precision phase first, then
+        verifies the derived scales against a float64 residual check
+        and polishes in float64 — the result is always
+        float64-verified.  Default ``"float64"``.
+    warm_start : ScalingOutcome or (row_scale, col_scale), optional
+        Scaling vectors from a previous run (e.g. on an unperturbed
+        copy of this matrix) applied before iterating, so
+        near-identical resubmissions re-converge in a few iterations.
+        The reported ``row_scale``/``col_scale`` include the
+        warm-start factors, and ``iterations`` counts only the new
+        iterations.
 
     Returns
     -------
@@ -194,6 +215,8 @@ def sinkhorn_knopp(
     identical to the procedure the paper reports converging in 6 and 7
     iterations on the SPEC CINT/CFP matrices.
     """
+    be = resolve_backend(backend)
+    precision = check_precision(precision)
     work = as_float_matrix(matrix, name="matrix").copy()
     if np.isinf(work).any():
         raise MatrixValueError("matrix must be finite (got inf entries)")
@@ -220,36 +243,36 @@ def sinkhorn_knopp(
 
     row_scale = np.ones(n_rows, dtype=np.float64)
     col_scale = np.ones(n_cols, dtype=np.float64)
+    if warm_start is not None:
+        warm_rows, warm_cols = coerce_warm_start(warm_start, n_rows, n_cols)
+        # Same expression as scale_by_diagonals, so a warm start from a
+        # converged run reproduces that result bit-for-bit.
+        work = warm_rows[:, None] * work * warm_cols[None, :]
+        row_scale = warm_rows.copy()
+        col_scale = warm_cols.copy()
     history = [_residual(work, row_target, col_target)]
     converged = history[0] <= tol
     iterations = 0
     t_end = _check_deadline(deadline_s)
     timed_out = False
+    precision_outcome = None
     with _obs_span("sinkhorn.scalar", rows=n_rows, cols=n_cols) as sp:
-        while not converged and iterations < max_iterations:
-            if t_end is not None and time.monotonic() >= t_end:
-                timed_out = True
-                break
-            # Column pass (eq. 9, odd k): scale columns to col_target.
-            # The accumulated diagonal scales can overflow for
-            # non-normalizable zero patterns (they genuinely diverge
-            # while the matrix iterates stay bounded); that is reported
-            # through ConvergenceError, not a warning.
-            col_sums = work.sum(axis=0)
-            factors = col_target / col_sums
-            work *= factors[None, :]
-            with np.errstate(over="ignore"):
-                col_scale *= factors
-            # Row pass (eq. 9, even k): scale rows to row_target.
-            row_sums = work.sum(axis=1)
-            factors = row_target / row_sums
-            work *= factors[:, None]
-            with np.errstate(over="ignore"):
-                row_scale *= factors
-            iterations += 1
-            residual = _residual(work, row_target, col_target)
-            history.append(residual)
-            converged = residual <= tol
+        if not converged:
+            row_targets = np.full(n_rows, row_target, dtype=np.float64)
+            col_targets = np.full(n_cols, col_target, dtype=np.float64)
+            iterations, converged, timed_out, precision_outcome = run_sinkhorn(
+                be,
+                work,
+                row_targets,
+                col_targets,
+                tol=tol,
+                max_iterations=max_iterations,
+                row_scale=row_scale,
+                col_scale=col_scale,
+                history=history,
+                t_end=t_end,
+                precision=precision,
+            )
         sp.note(
             iterations=iterations,
             converged=converged,
@@ -263,6 +286,13 @@ def sinkhorn_knopp(
         residual=history[-1],
         converged=converged,
     )
+    _metrics.count_backend_dispatch(be.name, "sinkhorn_scalar")
+    if precision_outcome is not None:
+        _metrics.count_backend_precision(be.name, precision_outcome)
+    if warm_start is not None:
+        _metrics.count_warm_start(
+            "sinkhorn_scalar", "converged" if converged else "pending"
+        )
     if not converged and require_convergence:
         raise ConvergenceError(
             convergence_message(
@@ -297,6 +327,9 @@ def scale_to_margins(
     max_iterations: int = 100_000,
     require_convergence: bool = True,
     deadline_s: float | None = None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> NormalizationResult:
     """Scale ``matrix`` to *prescribed, possibly unequal* margins.
 
@@ -315,8 +348,11 @@ def scale_to_margins(
     Returns a :class:`NormalizationResult`; ``row_target``/``col_target``
     are reported as NaN since the per-line targets are vectors here, and
     the residual is the largest absolute deviation from the prescribed
-    margins.
+    margins.  ``backend``/``precision``/``warm_start`` behave exactly as
+    in :func:`sinkhorn_knopp`.
     """
+    be = resolve_backend(backend)
+    precision = check_precision(precision)
     work = as_float_matrix(matrix, name="matrix").copy()
     if np.isinf(work).any():
         raise MatrixValueError("matrix must be finite (got inf entries)")
@@ -352,26 +388,32 @@ def scale_to_margins(
 
     row_scale = np.ones(n_rows, dtype=np.float64)
     col_scale = np.ones(n_cols, dtype=np.float64)
+    if warm_start is not None:
+        warm_rows, warm_cols = coerce_warm_start(warm_start, n_rows, n_cols)
+        work = warm_rows[:, None] * work * warm_cols[None, :]
+        row_scale = warm_rows.copy()
+        col_scale = warm_cols.copy()
     history = [residual(work)]
     converged = history[0] <= tol
     iterations = 0
     t_end = _check_deadline(deadline_s)
     timed_out = False
+    precision_outcome = None
     with _obs_span("sinkhorn.margins", rows=n_rows, cols=n_cols) as sp:
-        while not converged and iterations < max_iterations:
-            if t_end is not None and time.monotonic() >= t_end:
-                timed_out = True
-                break
-            factors = c / work.sum(axis=0)
-            work *= factors[None, :]
-            col_scale *= factors
-            factors = r / work.sum(axis=1)
-            work *= factors[:, None]
-            row_scale *= factors
-            iterations += 1
-            res = residual(work)
-            history.append(res)
-            converged = res <= tol
+        if not converged:
+            iterations, converged, timed_out, precision_outcome = run_sinkhorn(
+                be,
+                work,
+                r,
+                c,
+                tol=tol,
+                max_iterations=max_iterations,
+                row_scale=row_scale,
+                col_scale=col_scale,
+                history=history,
+                t_end=t_end,
+                precision=precision,
+            )
         sp.note(
             iterations=iterations,
             converged=converged,
@@ -385,6 +427,13 @@ def scale_to_margins(
         residual=history[-1],
         converged=converged,
     )
+    _metrics.count_backend_dispatch(be.name, "sinkhorn_margins")
+    if precision_outcome is not None:
+        _metrics.count_backend_precision(be.name, precision_outcome)
+    if warm_start is not None:
+        _metrics.count_warm_start(
+            "sinkhorn_margins", "converged" if converged else "pending"
+        )
     if not converged and require_convergence:
         raise ConvergenceError(
             convergence_message(

@@ -72,6 +72,16 @@ class StandardFormResult:
     zeroed_entries: tuple[tuple[int, int], ...] = ()
 
     @property
+    def row_scale(self) -> np.ndarray:
+        """Diagonal of ``D1`` (ScalingOutcome field; feeds warm starts)."""
+        return self.normalization.row_scale
+
+    @property
+    def col_scale(self) -> np.ndarray:
+        """Diagonal of ``D2`` (ScalingOutcome field; feeds warm starts)."""
+        return self.normalization.col_scale
+
+    @property
     def iterations(self) -> int:
         """Full column+row iterations used (paper reports 6/7 for SPEC)."""
         return self.normalization.iterations
@@ -131,6 +141,9 @@ def standardize(
     require_convergence: bool = True,
     zeros: str = "strict",
     deadline_s: float | None = None,
+    backend=None,
+    precision: str | None = None,
+    warm_start=None,
 ) -> StandardFormResult:
     """Convert an ECS matrix to standard form.
 
@@ -147,6 +160,12 @@ def standardize(
         Passed to :func:`repro.normalize.sinkhorn_knopp`; ``deadline_s``
         bounds the iteration in wall-clock time (graceful degradation —
         see :mod:`repro.robust`).
+    backend, precision, warm_start
+        Kernel backend, float32 fast path and warm-start scaling
+        vectors, passed straight to
+        :func:`repro.normalize.sinkhorn_knopp` (see
+        :mod:`repro.backends`).  A previous ``StandardFormResult`` on a
+        near-identical matrix is a valid ``warm_start``.
     zeros : {"strict", "limit"}
         How to treat zero patterns for which no exact scaling
         ``D1 (ECS) D2`` with the required sums exists (Section VI):
@@ -218,6 +237,9 @@ def standardize(
         max_iterations=max_iterations,
         require_convergence=require_convergence,
         deadline_s=deadline_s,
+        backend=backend,
+        precision=precision,
+        warm_start=warm_start,
     )
     return StandardFormResult(
         matrix=norm.matrix, normalization=norm, zeroed_entries=zeroed

@@ -1,8 +1,9 @@
 """Machine-readable benchmark runs and the perf-regression gate.
 
 ``repro-hc bench`` runs a curated subset of the workloads behind
-``benchmarks/`` — scalar and batched Sinkhorn, the full characterize
-pipeline, the batched ensemble, and a scheduling heuristic — under
+``benchmarks/`` — scalar and batched Sinkhorn, warm-started
+re-standardization, the full characterize pipeline, the batched
+ensemble, and a scheduling heuristic — under
 metrics collection, and writes a ``BENCH_<n>.json`` snapshot: git sha,
 timestamps, per-benchmark wall/CPU stats, and the key histogram
 snapshots (Sinkhorn iterations/residuals, SVD wall time).  The files
@@ -148,9 +149,40 @@ def _case_serve_latency(quick: bool) -> dict:
         handle.stop()
 
 
+def _case_warm_start(quick: bool) -> dict:
+    """Warm-started re-standardization of a perturbed ensemble.
+
+    A what-if study standardizes the base environment once, then
+    re-standardizes a stack of small perturbations; the warm start
+    re-applies the base run's scaling vectors before iterating.  The
+    returned ``extra`` dict records the cold vs warm iteration totals
+    (and their ratio) alongside the wall times, so BENCH snapshots
+    track the speedup the warm start buys.
+    """
+    from ..batch.sinkhorn import standardize_batched
+    from ..generate.ensembles import perturb_stack
+    from ..normalize.standard_form import standardize
+
+    base = _rng(7).uniform(0.5, 10.0, size=(16, 8))
+    stack = perturb_stack(base, 1e-6, 16 if quick else 64, seed=7)
+    seeded = standardize(base)
+    cold = standardize_batched(stack)
+    warm = standardize_batched(
+        stack, warm_start=(seeded.row_scale, seeded.col_scale)
+    )
+    cold_iterations = int(cold.iterations.sum())
+    warm_iterations = int(warm.iterations.sum())
+    return {
+        "cold_iterations": cold_iterations,
+        "warm_iterations": warm_iterations,
+        "iteration_speedup": cold_iterations / max(warm_iterations, 1),
+    }
+
+
 BENCH_CASES = {
     "sinkhorn_scalar": _case_sinkhorn_scalar,
     "sinkhorn_batched": _case_sinkhorn_batched,
+    "warm_start": _case_warm_start,
     "characterize": _case_characterize,
     "ensemble_batched": _case_ensemble_batched,
     "schedule_min_min": _case_schedule_min_min,
@@ -400,7 +432,7 @@ class BenchComparison:
                     f"{row['ratio']:>6.2f}{flag}"
                 )
         for name in self.only_current:
-            lines.append(f"(new, not in baseline: {name})")
+            lines.append(f"(new case, no baseline: {name})")
         for name in self.only_baseline:
             lines.append(f"(in baseline only: {name})")
         threshold_pct = self.max_regression * 100

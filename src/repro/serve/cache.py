@@ -50,8 +50,9 @@ __all__ = [
 
 #: Folded into every digest so a future change to the canonical form
 #: (dtype, layout, option encoding) invalidates old disk spills instead
-#: of silently colliding with them.
-CACHE_KEY_VERSION = "repro-serve-key/1"
+#: of silently colliding with them.  Version 2: the ``backend`` request
+#: option joined the normalized option set, so every key changed.
+CACHE_KEY_VERSION = "repro-serve-key/2"
 
 
 def canonical_matrix_bytes(matrix) -> bytes:

@@ -3,14 +3,19 @@
 JSON over HTTP, one document per request.  Three POST endpoints:
 
 ``/v1/characterize``
-    ``{"matrix": [[...]], "tol"?, "tma_fallback"?, "policy"?}`` →
-    the paper measures of one environment.
+    ``{"matrix": [[...]], "tol"?, "tma_fallback"?, "policy"?,
+    "backend"?}`` → the paper measures of one environment.
 ``/v1/standardize``
-    ``{"matrix": [[...]], "tol"?, "max_iterations"?, "policy"?}`` →
-    the Sinkhorn standard form of one environment.
+    ``{"matrix": [[...]], "tol"?, "max_iterations"?, "policy"?,
+    "backend"?}`` → the Sinkhorn standard form of one environment.
 ``/v1/recommend-heuristic``
-    ``{"matrix": [[...]], "tol"?, "policy"?}`` → the measure-driven
-    mapping-heuristic recommendation.
+    ``{"matrix": [[...]], "tol"?, "policy"?, "backend"?}`` → the
+    measure-driven mapping-heuristic recommendation.
+
+``backend`` selects the registered kernel backend
+(:mod:`repro.backends`) running the request; it defaults to
+``"numpy"`` and is part of the cache identity, so the same matrix
+served by two backends occupies two cache entries.
 
 Every response carries ``"schema": "repro-serve/1"``.  Success bodies
 hold the endpoint name and a ``"result"`` object; failures hold an
@@ -50,9 +55,9 @@ SCHEMA = "repro-serve/1"
 
 #: Endpoint slug → allowed option names beyond ``matrix``.
 ENDPOINTS = {
-    "characterize": ("tol", "tma_fallback", "policy"),
-    "standardize": ("tol", "max_iterations", "policy"),
-    "recommend-heuristic": ("tol", "policy"),
+    "characterize": ("tol", "tma_fallback", "policy", "backend"),
+    "standardize": ("tol", "max_iterations", "policy", "backend"),
+    "recommend-heuristic": ("tol", "policy", "backend"),
 }
 
 _POLICIES = ("quarantine", "repair")
@@ -136,6 +141,16 @@ def parse_request(endpoint: str, payload) -> ServeRequest:
             f"'policy' must be one of {list(_POLICIES)}, got {policy!r}"
         )
     options["policy"] = policy
+
+    from ..backends import list_backends
+
+    backend = payload.get("backend", "numpy")
+    if backend not in list_backends():
+        raise ProtocolError(
+            f"'backend' must be one of {list(list_backends())}, "
+            f"got {backend!r}"
+        )
+    options["backend"] = backend
 
     if endpoint == "characterize":
         fallback = payload.get("tma_fallback", "limit")

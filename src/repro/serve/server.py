@@ -141,6 +141,7 @@ class CharacterizationServer:
             tol=options["tol"],
             tma_fallback=options.get("tma_fallback", "limit"),
             policy=options.get("policy", "quarantine"),
+            backend=options.get("backend"),
         )
         out: list = []
         for index in range(len(matrices)):
@@ -166,6 +167,7 @@ class CharacterizationServer:
             tol=options["tol"],
             max_iterations=options.get("max_iterations", 100_000),
             policy=options.get("policy", "quarantine"),
+            backend=options.get("backend"),
         )
         report = getattr(result, "report", None)
         out: list = []

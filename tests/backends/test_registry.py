@@ -1,0 +1,136 @@
+"""The backend registry: registration, lookup, env/kwarg resolution."""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    KernelBackend,
+    NumpyBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.exceptions import MatrixValueError
+
+
+class TestLookup:
+    def test_numpy_reference_always_registered(self):
+        assert "numpy" in list_backends()
+        backend = get_backend("numpy")
+        assert isinstance(backend, KernelBackend)
+        assert backend.name == "numpy"
+        assert backend.tolerance == 0.0
+
+    def test_numba_registered_iff_importable(self):
+        has_numba = importlib.util.find_spec("numba") is not None
+        assert ("numba" in list_backends()) == has_numba
+
+    def test_unknown_name_lists_registered_backends(self):
+        with pytest.raises(MatrixValueError, match="backend must be one of"):
+            get_backend("fortran")
+
+    def test_list_is_sorted_tuple(self):
+        names = list_backends()
+        assert isinstance(names, tuple)
+        assert list(names) == sorted(names)
+
+
+class TestRegister:
+    def test_duplicate_rejected_unless_replace(self):
+        with pytest.raises(MatrixValueError, match="already registered"):
+            register_backend("numpy", NumpyBackend())
+        register_backend("numpy", NumpyBackend(), replace=True)
+        assert get_backend("numpy").name == "numpy"
+
+    def test_rejects_non_backend_objects(self):
+        with pytest.raises(MatrixValueError, match="KernelBackend"):
+            register_backend("bogus", object())
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(MatrixValueError, match="name"):
+            register_backend("", NumpyBackend())
+
+
+class TestResolve:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(MatrixValueError, match="backend must be one of"):
+            resolve_backend(None)
+
+    def test_kwarg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_instance_passes_through(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_rejects_other_types(self):
+        with pytest.raises(MatrixValueError, match="backend"):
+            resolve_backend(42)
+
+
+class TestKwargSurface:
+    """One consistent error everywhere ``backend=`` is accepted."""
+
+    MATCH = "backend must be one of"
+
+    def test_sinkhorn_knopp(self):
+        from repro.normalize import sinkhorn_knopp
+
+        with pytest.raises(MatrixValueError, match=self.MATCH):
+            sinkhorn_knopp(np.ones((2, 2)), backend="fortran")
+
+    def test_standardize(self):
+        from repro.normalize import standardize
+
+        with pytest.raises(MatrixValueError, match=self.MATCH):
+            standardize(np.ones((2, 2)), backend="fortran")
+
+    def test_standardize_batched(self):
+        from repro.batch import standardize_batched
+
+        with pytest.raises(MatrixValueError, match=self.MATCH):
+            standardize_batched(np.ones((1, 2, 2)), backend="fortran")
+
+    def test_characterize(self):
+        from repro.measures import characterize
+
+        with pytest.raises(MatrixValueError, match=self.MATCH):
+            characterize(np.ones((2, 2)), backend="fortran")
+
+    def test_characterize_ensemble(self):
+        from repro.batch import characterize_ensemble
+
+        with pytest.raises(MatrixValueError, match=self.MATCH):
+            characterize_ensemble(np.ones((1, 2, 2)), backend="fortran")
+
+    def test_cli_measures_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.io import save_etc_csv
+        from repro.generate.range_based import range_based
+
+        path = tmp_path / "env.csv"
+        save_etc_csv(range_based(3, 3, seed=0), path)
+        assert main(["measures", str(path), "--backend", "fortran"]) == 2
+        assert "backend must be one of" in capsys.readouterr().err
+
+    def test_precision_choice_error(self):
+        from repro.normalize import sinkhorn_knopp
+
+        with pytest.raises(MatrixValueError, match="precision must be one of"):
+            sinkhorn_knopp(np.ones((2, 2)), precision="float16")

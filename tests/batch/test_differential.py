@@ -47,7 +47,7 @@ class TestSinkhornDifferential:
             assert bool(batched.converged[i]) == scalar.converged
             assert int(batched.iterations[i]) == scalar.iterations
             np.testing.assert_allclose(
-                batched.matrices[i], scalar.matrix, rtol=0, atol=ATOL
+                batched.matrix[i], scalar.matrix, rtol=0, atol=ATOL
             )
             np.testing.assert_allclose(
                 batched.row_scale[i], scalar.row_scale, rtol=ATOL
@@ -55,7 +55,7 @@ class TestSinkhornDifferential:
             np.testing.assert_allclose(
                 batched.col_scale[i], scalar.col_scale, rtol=ATOL
             )
-            assert batched.residual_histories[i] == pytest.approx(
+            assert batched.residual_history[i] == pytest.approx(
                 scalar.residual_history, abs=ATOL
             )
 
@@ -74,7 +74,7 @@ class TestSinkhornDifferential:
             assert bool(batched.converged[i]) == scalar.converged
             assert int(batched.iterations[i]) == scalar.iterations
             np.testing.assert_allclose(
-                batched.matrices[i], scalar.matrix, rtol=0, atol=ATOL
+                batched.matrix[i], scalar.matrix, rtol=0, atol=ATOL
             )
             assert float(batched.residual[i]) == pytest.approx(
                 scalar.residual, abs=ATOL
@@ -129,7 +129,7 @@ class TestStandardizeDifferential:
         for i in range(stack.shape[0]):
             scalar = standardize(stack[i])
             np.testing.assert_allclose(
-                batched.matrices[i], scalar.matrix, rtol=0, atol=ATOL
+                batched.matrix[i], scalar.matrix, rtol=0, atol=ATOL
             )
             assert int(batched.iterations[i]) == scalar.iterations
 

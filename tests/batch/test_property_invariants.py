@@ -52,10 +52,10 @@ class TestTheorem2:
         result = standardize_batched(stack)
         assert result.converged.all()
         np.testing.assert_allclose(
-            result.matrices.sum(axis=2), result.row_target, atol=1e-7
+            result.matrix.sum(axis=2), result.row_target, atol=1e-7
         )
         np.testing.assert_allclose(
-            result.matrices.sum(axis=1), result.col_target, atol=1e-7
+            result.matrix.sum(axis=1), result.col_target, atol=1e-7
         )
 
 
@@ -82,8 +82,8 @@ class TestTheorem1Independence:
         row, col = _random_diagonals(stack.shape, seed)
         rescaled = row[:, :, None] * stack * col[:, None, :]
         np.testing.assert_allclose(
-            standardize_batched(rescaled).matrices,
-            standardize_batched(stack).matrices,
+            standardize_batched(rescaled).matrix,
+            standardize_batched(stack).matrix,
             rtol=0,
             atol=SINKHORN_ATOL,
         )

@@ -165,7 +165,7 @@ class TestCompareBench:
         assert comparison.only_current == ("characterize",)
         assert comparison.only_baseline == ("legacy_case",)
         table = comparison.table()
-        assert "not in baseline: characterize" in table
+        assert "new case, no baseline: characterize" in table
         assert "in baseline only: legacy_case" in table
 
     def test_rejects_negative_threshold(self, quick_payload):
@@ -207,6 +207,28 @@ class TestBenchCli:
         ])
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_compare_against_baseline_missing_new_case_exits_zero(
+        self, tmp_path, quick_payload, capsys
+    ):
+        # A baseline written before warm_start existed must not fail
+        # the gate on the new case — it is reported, not compared.
+        current = write_bench(quick_payload, path=tmp_path / "BENCH_1.json")
+        old = copy.deepcopy(quick_payload)
+        del old["benchmarks"]["warm_start"]
+        baseline = write_bench(old, path=tmp_path / "BENCH_old.json")
+        code = main([
+            "bench", "--replay", str(current), "--compare", str(baseline),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new case, no baseline: warm_start" in out
+        assert "OK" in out
+
+    def test_warm_start_case_records_iteration_speedup(self, quick_payload):
+        extra = quick_payload["benchmarks"]["warm_start"]["extra"]
+        assert extra["warm_iterations"] < extra["cold_iterations"]
+        assert extra["iteration_speedup"] >= 3.0
 
     def test_unknown_case_exits_2(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)

@@ -132,7 +132,7 @@ class TestKeyBasics:
             matrix, endpoint="characterize", options={"tol": 1e-08}
         )
         assert key == (
-            "4bc76b1d7eb5f6eb2c68c71436d1ac4ff6d906832b066e369424bdd527159147"
+            "d41b643dbb48b1eef266e798071cd0958f5d2c39f68040597b1fc76616ff5c63"
         )
 
     def test_endpoint_and_options_partition_the_keyspace(self):
@@ -140,6 +140,41 @@ class TestKeyBasics:
         plain = matrix_cache_key(matrix)
         assert matrix_cache_key(matrix, endpoint="standardize") != plain
         assert matrix_cache_key(matrix, options={"tol": 1e-6}) != plain
+
+    def test_distinct_backends_distinct_keys(self):
+        # Part of the backend-dispatch contract: the same matrix served
+        # by two kernel backends occupies two cache entries, because
+        # parse_request folds the normalized "backend" option into the
+        # request's cache identity.
+        from repro.serve.protocol import parse_request
+
+        payload = {"matrix": [[1.0, 2.0], [3.0, 4.0]]}
+        keys = set()
+        for backend in ("numpy", None):
+            body = dict(payload)
+            if backend is not None:
+                body["backend"] = backend
+            request = parse_request("characterize", body)
+            keys.add(
+                matrix_cache_key(
+                    request.matrix,
+                    endpoint="characterize",
+                    options=request.options,
+                )
+            )
+        # Omitted backend normalizes to "numpy": same identity.
+        assert len(keys) == 1
+        other = matrix_cache_key(
+            np.asarray(payload["matrix"]),
+            endpoint="characterize",
+            options={
+                "tol": 1e-08,
+                "policy": "quarantine",
+                "tma_fallback": "limit",
+                "backend": "numba",
+            },
+        )
+        assert other not in keys
 
     def test_transpose_changes_the_key(self):
         matrix = np.arange(6.0).reshape(2, 3) + 1.0

@@ -127,7 +127,7 @@ class TestProcessStability:
     # disk-spilled cache entry in the wild silently invalidates, which
     # must be a deliberate CACHE_KEY_VERSION bump, never an accident.
     REFERENCE_KEY = (
-        "4bc76b1d7eb5f6eb2c68c71436d1ac4ff6d906832b066e369424bdd527159147"
+        "d41b643dbb48b1eef266e798071cd0958f5d2c39f68040597b1fc76616ff5c63"
     )
 
     @staticmethod

@@ -32,6 +32,7 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.robust",
     "repro.serve",
+    "repro.backends",
 ]
 
 
