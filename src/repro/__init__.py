@@ -58,6 +58,11 @@ Subpackages
     registry (:func:`register_backend`, :func:`get_backend`,
     :func:`list_backends`), the :class:`KernelBackend` protocol, the
     float32 fast path and warm-started re-characterization.
+``repro.shard``
+    Out-of-core sharded ensembles: the on-disk :class:`StackStore`
+    format, memory-budgeted chunk planning and
+    :func:`characterize_store` — streaming execution with speculative
+    straggler mitigation, bit-identical to the in-memory path.
 """
 
 from .backends import (
@@ -139,6 +144,15 @@ from .robust import (
     characterize_ensemble_robust,
     repaired_matrix,
 )
+from .shard import (
+    StackStore,
+    StackStoreWriter,
+    characterize_store,
+    create_store,
+    open_store,
+    plan_shards,
+    write_store,
+)
 
 __version__ = "1.0.0"
 
@@ -203,6 +217,14 @@ __all__ = [
     "RobustEnsembleCharacterization",
     "characterize_ensemble_robust",
     "repaired_matrix",
+    # shard
+    "StackStore",
+    "StackStoreWriter",
+    "create_store",
+    "open_store",
+    "write_store",
+    "plan_shards",
+    "characterize_store",
     # backends
     "KernelBackend",
     "get_backend",

@@ -221,8 +221,11 @@ def _characterize_stack_batched(
 
 @traced(name="batch.characterize_ensemble")
 def characterize_ensemble(
-    environments,
+    environments=None,
     *,
+    store=None,
+    memory_budget_mb: float | None = None,
+    chunk_size: int | None = None,
     task_weights=None,
     machine_weights=None,
     tol: float = DEFAULT_TOL,
@@ -246,7 +249,19 @@ def characterize_ensemble(
         :class:`~repro.core.ECSMatrix` / :class:`~repro.core.ETCMatrix`
         (wrapper weighting factors are folded in, as everywhere else).
         Same-shape sequences are stacked automatically; ragged ones
-        fall back to the scalar path.
+        fall back to the scalar path.  Omit it (and pass ``store``) to
+        stream a disk-backed ensemble instead.
+    store : repro.shard.StackStore or path, optional
+        An on-disk stack to characterize out-of-core with flat peak
+        memory — the call is delegated to
+        :func:`repro.shard.characterize_store` and the result is
+        bit-identical to loading the whole stack.  Mutually exclusive
+        with ``environments`` (and with weights/``warm_start``, which
+        the streamed path does not support).
+    memory_budget_mb, chunk_size : optional
+        Streaming controls for the ``store`` path (peak working-set
+        budget in MiB, or an explicit members-per-chunk); invalid
+        without ``store``.
     task_weights, machine_weights : array-like, optional
         Weighting factors applied to every member.  Only valid for
         raw-array input (wrappers carry their own weights; mixing the
@@ -304,6 +319,51 @@ def characterize_ensemble(
     >>> bool(result.batched.all()), bool(result.converged.all())
     (True, True)
     """
+    if store is not None:
+        if environments is not None:
+            raise MatrixValueError(
+                "pass either environments or store=, not both (a store "
+                "IS the ensemble; there is nothing to combine)"
+            )
+        if task_weights is not None or machine_weights is not None:
+            raise WeightError(
+                "task_weights/machine_weights are not supported on the "
+                "store path (bake weights in when writing the store)"
+            )
+        if warm_start is not None:
+            raise MatrixValueError(
+                "warm_start is not supported on the store path (chunks "
+                "stream through; there is no stable slice identity to "
+                "warm from)"
+            )
+        from ..shard.engine import characterize_store
+
+        return characterize_store(
+            store,
+            memory_budget_mb=memory_budget_mb,
+            chunk_size=chunk_size,
+            tol=tol,
+            max_iterations=max_iterations,
+            tma_fallback=tma_fallback,
+            batched=batched,
+            n_jobs=n_jobs,
+            policy=policy,
+            budget=budget,
+            fault_plan=fault_plan,
+            backend=backend,
+            precision=precision,
+        )
+    if environments is None:
+        raise MatrixValueError(
+            "characterize_ensemble needs environments (in-memory) or "
+            "store= (out-of-core)"
+        )
+    if memory_budget_mb is not None or chunk_size is not None:
+        raise MatrixValueError(
+            "memory_budget_mb/chunk_size only apply to the store path; "
+            "in-memory input is characterized in one pass (write the "
+            "stack with repro.shard.write_store to stream it)"
+        )
     if tma_fallback not in ("limit", "column", "raise"):
         raise MatrixValueError(
             f"tma_fallback must be 'limit', 'column' or 'raise', got "

@@ -37,7 +37,10 @@ Subcommands
     perturbation ensemble around an ETC CSV or bundled dataset, apply a
     quarantine/repair policy and print the per-member measures plus the
     quarantine report.  ``--inject-faults "nan=1,stall=2"`` runs a
-    seeded chaos drill against the pipeline.
+    seeded chaos drill against the pipeline.  ``--store PATH`` streams
+    an on-disk stack store (:mod:`repro.shard`) out-of-core instead,
+    with ``--memory-budget MB`` / ``--chunk-size`` bounding the peak
+    working set.
 ``bench``
     Run the curated benchmark suite (``repro.obs.bench``) and write a
     machine-readable ``BENCH_<n>.json`` payload (git sha, wall/CPU
@@ -242,8 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "file",
+        nargs="?",
+        default=None,
         help="labelled ETC CSV, or a bundled dataset name "
-        "(see `repro-hc dataset --list`)",
+        "(see `repro-hc dataset --list`); omit when streaming --store",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="characterize an on-disk stack store out-of-core "
+        "(repro.shard; see `docs/SHARDING.md`) instead of drawing an "
+        "ensemble around FILE",
+    )
+    p.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MB",
+        help="peak working-set budget in MiB for the --store path "
+        "(the shard planner picks the chunk size)",
+    )
+    p.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="members per shard chunk for the --store path "
+        "(mutually exclusive with --memory-budget)",
     )
     p.add_argument(
         "--members", type=int, default=16,
@@ -678,9 +701,54 @@ def main(argv: Sequence[str] | None = None) -> int:
                 if args.output:
                     print(f"\ntrace events written to {args.output}")
         elif args.command == "characterize":
-            env = _load_env(args.file)
-            stack = _ensemble_stack(env, args.members, args.noise, args.seed)
-            plan = _build_fault_plan(args, args.members)
+            stack = shard_plan = None
+            if args.store is not None:
+                if args.file is not None:
+                    print(
+                        "error: pass FILE or --store, not both (a store "
+                        "is already a full ensemble)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                from .shard import StackStore, plan_shards
+
+                store = StackStore(args.store)
+                n_members = len(store)
+                shard_plan = plan_shards(
+                    store.n_members,
+                    store.n_tasks,
+                    store.n_machines,
+                    memory_budget_bytes=(
+                        int(args.memory_budget * 2**20)
+                        if args.memory_budget is not None
+                        else None
+                    ),
+                    chunk_size=args.chunk_size,
+                )
+            else:
+                if args.file is None:
+                    print(
+                        "error: characterize needs an ETC FILE (or "
+                        "--store PATH for an on-disk ensemble)",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if (
+                    args.memory_budget is not None
+                    or args.chunk_size is not None
+                ):
+                    print(
+                        "error: --memory-budget/--chunk-size only apply "
+                        "to --store runs",
+                        file=sys.stderr,
+                    )
+                    return 2
+                env = _load_env(args.file)
+                stack = _ensemble_stack(
+                    env, args.members, args.noise, args.seed
+                )
+                n_members = args.members
+            plan = _build_fault_plan(args, n_members)
             budget = None
             if args.policy != "raise":
                 from .robust import Budget
@@ -692,18 +760,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             from .batch import characterize_ensemble
 
-            result = characterize_ensemble(
-                stack,
-                policy=args.policy,
-                budget=budget,
-                fault_plan=plan,
-                n_jobs=args.jobs,
-                backend=args.backend,
-            )
+            if args.store is not None:
+                result = characterize_ensemble(
+                    store=args.store,
+                    memory_budget_mb=args.memory_budget,
+                    chunk_size=args.chunk_size,
+                    policy=args.policy,
+                    budget=budget,
+                    fault_plan=plan,
+                    n_jobs=args.jobs,
+                    backend=args.backend,
+                )
+            else:
+                result = characterize_ensemble(
+                    stack,
+                    policy=args.policy,
+                    budget=budget,
+                    fault_plan=plan,
+                    n_jobs=args.jobs,
+                    backend=args.backend,
+                )
             report = getattr(result, "report", None)
             if args.json:
                 payload = {
-                    "file": args.file,
+                    "file": args.file if args.store is None else args.store,
                     "members": len(result),
                     "policy": args.policy,
                     "mph": [_json_float(v) for v in result.mph],
@@ -711,6 +791,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "tma": [_json_float(v) for v in result.tma],
                     "converged": result.converged.tolist(),
                 }
+                if shard_plan is not None:
+                    payload["shards"] = {
+                        "count": len(shard_plan.shards),
+                        "chunk_size": shard_plan.chunk_size,
+                        "memory_budget_bytes": (
+                            shard_plan.memory_budget_bytes
+                        ),
+                        "estimated_peak_bytes": (
+                            shard_plan.estimated_peak_bytes
+                        ),
+                    }
                 if plan is not None:
                     payload["injected"] = {
                         str(k): v
@@ -724,6 +815,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                     }
                 print(json.dumps(payload, indent=2))
             else:
+                if shard_plan is not None:
+                    print(shard_plan.summary())
                 if plan is not None:
                     print(plan.summary())
                 print(result.summary())

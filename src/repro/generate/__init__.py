@@ -35,6 +35,7 @@ from .ensembles import (
     heterogeneity_grid,
     random_ecs,
     random_ecs_stack,
+    random_ecs_store,
     EnsembleMember,
     perturb,
     perturb_stack,
@@ -56,6 +57,7 @@ __all__ = [
     "heterogeneity_grid",
     "random_ecs",
     "random_ecs_stack",
+    "random_ecs_store",
     "EnsembleMember",
     "perturb",
     "perturb_stack",

@@ -24,6 +24,7 @@ __all__ = [
     "heterogeneity_grid",
     "random_ecs",
     "random_ecs_stack",
+    "random_ecs_store",
     "perturb",
     "perturb_stack",
 ]
@@ -165,6 +166,84 @@ def random_ecs_stack(
             for _ in range(n_matrices)
         ]
     )
+
+
+def random_ecs_store(
+    path,
+    n_matrices: int,
+    n_tasks: int,
+    n_machines: int,
+    *,
+    zero_fraction: float = 0.0,
+    spread: float = 10.0,
+    seed=None,
+    dtype: str = "float64",
+    write_chunk: int = 4096,
+):
+    """Stream a random ECS ensemble straight to an on-disk stack store.
+
+    Member ``i`` is exactly :func:`random_ecs` called with the ``i``-th
+    child seed derived from ``seed`` — the same invariant as
+    :func:`random_ecs_stack`, so ``open_store(path).memmap()`` equals
+    ``random_ecs_stack(...)`` bit for bit while only ``write_chunk``
+    members ever live on the heap.  This is how atlas-scale ensembles
+    (millions of members) are materialized for
+    :func:`repro.shard.characterize_store`.
+
+    Parameters
+    ----------
+    path : path-like
+        Store directory to create (must not already hold a store).
+    n_matrices, n_tasks, n_machines, zero_fraction, spread, seed
+        As :func:`random_ecs_stack`.
+    dtype : {"float64", "float32"}
+        On-disk element type (float32 halves the footprint).
+    write_chunk : int
+        Members buffered per write; bounds the generator's peak memory.
+
+    Returns
+    -------
+    repro.shard.StackStore
+        The finalized, readable store.
+
+    Examples
+    --------
+    >>> import numpy as np, tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "ens")
+    >>> store = random_ecs_store(path, 10, 3, 2, seed=0)
+    >>> store.shape
+    (10, 3, 2)
+    >>> bool(np.array_equal(
+    ...     store.memmap(), random_ecs_stack(10, 3, 2, seed=0)))
+    True
+    """
+    from ..shard.store import create_store
+
+    n_matrices = check_positive_int(n_matrices, name="n_matrices")
+    write_chunk = check_positive_int(write_chunk, name="write_chunk")
+    rng = resolve_rng(seed)
+    with create_store(
+        path, n_tasks=n_tasks, n_machines=n_machines, dtype=dtype
+    ) as writer:
+        buffer = []
+        for _ in range(n_matrices):
+            buffer.append(
+                random_ecs(
+                    n_tasks,
+                    n_machines,
+                    zero_fraction=zero_fraction,
+                    spread=spread,
+                    seed=int(rng.integers(0, 2**63 - 1)),
+                ).values
+            )
+            if len(buffer) >= write_chunk:
+                writer.append(np.stack(buffer))
+                buffer = []
+        if buffer:
+            writer.append(np.stack(buffer))
+    from ..shard.store import StackStore
+
+    return StackStore(path)
 
 
 def perturb(matrix, rel_noise: float, *, seed=None) -> np.ndarray:

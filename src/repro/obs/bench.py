@@ -179,6 +179,95 @@ def _case_warm_start(quick: bool) -> dict:
     }
 
 
+#: Bench-local store cache: members -> store path.  A shard_scale store
+#: is written once per process and re-read by every warm-up/repeat (the
+#: workload under test is the *streaming read + characterize*, not
+#: store generation).
+_SHARD_STORES: dict[int, str] = {}
+
+
+def _shard_store(n_members: int) -> str:
+    path = _SHARD_STORES.get(n_members)
+    if path is None:
+        import os
+        import tempfile
+
+        import numpy as np
+
+        from ..shard.store import create_store
+
+        rng = _rng(8)
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-bench-shard-"),
+            f"store-{n_members}",
+        )
+        with create_store(path, n_tasks=8, n_machines=8) as writer:
+            remaining = n_members
+            while remaining:
+                k = min(8192, remaining)
+                writer.append(
+                    np.exp(rng.uniform(-2.3, 2.3, size=(k, 8, 8)))
+                )
+                remaining -= k
+        _SHARD_STORES[n_members] = path
+    return path
+
+
+#: Measured tracemalloc peaks: (members, budget_mb) -> peak bytes.
+#: tracemalloc slows allocation ~8x, so the peak is measured once per
+#: process — on the warm-up call — and the timed repeats run untracked.
+_SHARD_PEAKS: dict[tuple[int, int], int] = {}
+
+
+def _case_shard_scale(quick: bool) -> dict:
+    """Out-of-core sharded characterization with a flat memory ceiling.
+
+    Streams a disk-backed ``(N, 8, 8)`` ensemble through
+    :func:`repro.shard.characterize_store` under a fixed memory budget
+    and records the actual ``tracemalloc`` heap peak alongside the
+    plan, so BENCH snapshots pin both throughput *and* the flat-memory
+    promise (``extra.peak_under_budget``).
+    """
+    from ..shard import StackStore, characterize_store, plan_shards
+
+    n_members = 8_192 if quick else 131_072
+    budget_mb = 32
+    store = StackStore(_shard_store(n_members))
+    plan = plan_shards(
+        store.n_members,
+        store.n_tasks,
+        store.n_machines,
+        memory_budget_bytes=budget_mb * 2**20,
+    )
+    peak = _SHARD_PEAKS.get((n_members, budget_mb))
+    if peak is None:
+        import tracemalloc
+
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        try:
+            result = characterize_store(store, memory_budget_mb=budget_mb)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            if started_here:
+                tracemalloc.stop()
+        _SHARD_PEAKS[(n_members, budget_mb)] = peak
+    else:
+        result = characterize_store(store, memory_budget_mb=budget_mb)
+    return {
+        "members": n_members,
+        "memory_budget_mb": budget_mb,
+        "chunk_size": plan.chunk_size,
+        "shards": len(plan.shards),
+        "converged": int(result.converged.sum()),
+        "tracemalloc_peak_mb": round(peak / 2**20, 3),
+        "peak_under_budget": bool(peak <= budget_mb * 2**20),
+    }
+
+
 BENCH_CASES = {
     "sinkhorn_scalar": _case_sinkhorn_scalar,
     "sinkhorn_batched": _case_sinkhorn_batched,
@@ -187,6 +276,7 @@ BENCH_CASES = {
     "ensemble_batched": _case_ensemble_batched,
     "schedule_min_min": _case_schedule_min_min,
     "serve_latency": _case_serve_latency,
+    "shard_scale": _case_shard_scale,
 }
 
 

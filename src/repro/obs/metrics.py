@@ -64,6 +64,8 @@ __all__ = [
     "count_serve_kernel",
     "count_serve_cache",
     "count_serve_quarantined",
+    "observe_shard_chunk",
+    "count_shard_dispatch",
     "ITERATION_BUCKETS",
     "RESIDUAL_BUCKETS",
     "SECONDS_BUCKETS",
@@ -815,3 +817,61 @@ def count_serve_quarantined(
         "Service requests quarantined, by endpoint and fault category.",
         labelnames=("endpoint", "category"),
     ).inc(endpoint=endpoint, category=category)
+
+
+# -- shard-engine instruments (repro.shard) ----------------------------
+
+
+def observe_shard_chunk(
+    mode: str,
+    *,
+    members: int,
+    wall_s: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one completed shard chunk.
+
+    ``mode`` names the dispatch path: ``serial`` (streamed in-process)
+    or ``pool`` (scheduled on a worker process).
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_shard_chunks_total",
+        "Shard chunks characterized, by dispatch mode.",
+        labelnames=("mode",),
+    ).inc(mode=mode)
+    registry.counter(
+        "repro_shard_members_total",
+        "Ensemble members streamed through the shard engine, by mode.",
+        labelnames=("mode",),
+    ).inc(members, mode=mode)
+    registry.histogram(
+        "repro_shard_chunk_seconds",
+        "Wall time of one shard chunk (read + characterize), by mode.",
+        labelnames=("mode",),
+        buckets=SECONDS_BUCKETS,
+    ).observe(wall_s, mode=mode)
+
+
+def count_shard_dispatch(
+    event: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one shard-scheduler dispatch event.
+
+    ``event`` is ``primary`` (first dispatch of a shard),
+    ``speculative`` (redundant re-dispatch of a straggling shard),
+    ``winner_primary`` / ``winner_backup`` (which copy finished first),
+    or ``cancelled`` (the losing copy was revoked or abandoned).
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_shard_dispatch_total",
+        "Shard scheduler dispatch events (straggler mitigation).",
+        labelnames=("event",),
+    ).inc(event=event)

@@ -1,0 +1,69 @@
+"""random_ecs_store: streamed generation equals the in-memory stack."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MatrixValueError
+from repro.generate import random_ecs_store, random_ecs_stack
+from repro.shard import StackStore, open_store
+
+
+class TestSeedInvariant:
+    def test_store_equals_stack_bit_for_bit(self, tmp_path):
+        store = random_ecs_store(tmp_path / "s", 50, 4, 3, seed=123)
+        stack = random_ecs_stack(50, 4, 3, seed=123)
+        assert isinstance(store, StackStore)
+        assert store.shape == (50, 4, 3)
+        assert np.array_equal(np.asarray(store.memmap()), stack)
+
+    def test_write_chunk_does_not_change_members(self, tmp_path):
+        kwargs = dict(zero_fraction=0.2, spread=5.0, seed=7)
+        small = random_ecs_store(
+            tmp_path / "small", 23, 3, 3, write_chunk=4, **kwargs
+        )
+        large = random_ecs_store(
+            tmp_path / "large", 23, 3, 3, write_chunk=1000, **kwargs
+        )
+        assert np.array_equal(
+            np.asarray(small.memmap()), np.asarray(large.memmap())
+        )
+        assert np.array_equal(
+            np.asarray(small.memmap()),
+            random_ecs_stack(23, 3, 3, **kwargs),
+        )
+
+    def test_zero_fraction_members_stay_valid(self, tmp_path):
+        store = random_ecs_store(
+            tmp_path / "s", 30, 3, 4, zero_fraction=0.4, seed=5
+        )
+        stack = store.read(0, 30)
+        # The generator repairs all-zero lines, so every member keeps a
+        # positive entry in each row and column.
+        assert (stack > 0).any(axis=2).all() and (stack > 0).any(axis=1).all()
+
+    def test_reopen_roundtrip(self, tmp_path):
+        random_ecs_store(tmp_path / "s", 10, 2, 2, seed=1)
+        assert len(open_store(tmp_path / "s")) == 10
+
+
+class TestOptions:
+    def test_float32_store(self, tmp_path):
+        store = random_ecs_store(
+            tmp_path / "s", 12, 3, 3, seed=2, dtype="float32"
+        )
+        assert store.dtype == np.dtype("float32")
+        stack = random_ecs_stack(12, 3, 3, seed=2)
+        assert np.array_equal(
+            np.asarray(store.memmap()), stack.astype(np.float32)
+        )
+
+    def test_invalid_counts_rejected(self, tmp_path):
+        with pytest.raises(MatrixValueError, match="n_matrices"):
+            random_ecs_store(tmp_path / "a", 0, 2, 2)
+        with pytest.raises(MatrixValueError, match="write_chunk"):
+            random_ecs_store(tmp_path / "b", 4, 2, 2, write_chunk=0)
+
+    def test_refuses_existing_store(self, tmp_path):
+        random_ecs_store(tmp_path / "s", 4, 2, 2, seed=0)
+        with pytest.raises(MatrixValueError, match="already holds"):
+            random_ecs_store(tmp_path / "s", 4, 2, 2, seed=0)

@@ -1,0 +1,87 @@
+"""Memory-ceiling regression: streaming peaks stay under the budget.
+
+``tracemalloc`` sees every numpy heap allocation but not memmap pages
+(those live in the OS page cache), so the traced peak of a
+``characterize_store`` run is exactly the streaming working set the
+planner budgets: chunk copies, kernel temporaries, plus the O(N)
+result columns (~34 bytes per member — see docs/SHARDING.md).  The
+quick variant runs in tier 1; the ``slow``-marked variant streams a
+store several times larger than its budget.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.shard import characterize_store, create_store, open_store
+
+
+def build_store(path, n_members, *, chunk=8192, seed=0):
+    """Stream a positive (N, 8, 8) ensemble to disk in bounded chunks."""
+    rng = np.random.default_rng(seed)
+    with create_store(path, n_tasks=8, n_machines=8) as writer:
+        remaining = n_members
+        while remaining:
+            k = min(chunk, remaining)
+            writer.append(np.exp(rng.uniform(-2.3, 2.3, size=(k, 8, 8))))
+            remaining -= k
+    return open_store(path)
+
+
+def traced_peak_bytes(func):
+    """tracemalloc peak of one call, isolated from collection noise."""
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def run_and_assert_ceiling(store, budget_mb):
+    result, peak = traced_peak_bytes(
+        lambda: characterize_store(store, memory_budget_mb=budget_mb)
+    )
+    assert len(result) == len(store)
+    assert result.converged.all()
+    budget_bytes = budget_mb * 2**20
+    assert peak <= budget_bytes, (
+        f"streaming peak {peak / 2**20:.1f} MiB exceeds the "
+        f"{budget_mb} MiB budget"
+    )
+    return peak
+
+
+def test_quick_ceiling(tmp_path):
+    # 16384 members = 8 MiB on disk, streamed under an 8 MiB budget in
+    # 1024-member chunks.
+    store = build_store(tmp_path / "s", 16384)
+    peak = run_and_assert_ceiling(store, budget_mb=8)
+    # Sanity: the whole stack would not have fit the measured peak
+    # (float64 stack + standard form alone is 2x nbytes).
+    assert peak < 2 * store.nbytes
+
+
+@pytest.mark.slow
+def test_ceiling_on_store_much_larger_than_budget(tmp_path):
+    # 64 Ki members = 32 MiB on disk against a 16 MiB working-set
+    # budget: the stack cannot be materialized inside the budget even
+    # once, so only streaming can pass.
+    store = build_store(tmp_path / "s", 65536)
+    budget_mb = 16
+    assert store.nbytes == 32 * 2**20 > budget_mb * 2**20
+    run_and_assert_ceiling(store, budget_mb=budget_mb)
+
+
+def test_warm_import_baseline(tmp_path):
+    # Guard the harness itself: a tiny run must register a peak well
+    # below the quick budget, proving imports/caches are not billed to
+    # the streaming working set by the time the ceiling tests run.
+    store = build_store(tmp_path / "s", 64, chunk=64)
+    _, peak = traced_peak_bytes(
+        lambda: characterize_store(store, chunk_size=32)
+    )
+    assert peak < 4 * 2**20

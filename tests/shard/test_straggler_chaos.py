@@ -1,0 +1,168 @@
+"""Chaos drill: straggling shards are speculated around, not waited for.
+
+A ``stall`` fault pins one shard's primary dispatch; with a per-shard
+timeout (``Budget.member_timeout_s``) the pool scheduler re-dispatches
+the shard redundantly, the healthy copy wins, the straggler is
+cancelled, and the merged result is bit-identical to a stall-free
+in-memory run — all of it recorded by ``repro_shard_dispatch_total``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch import characterize_ensemble
+from repro.exceptions import MatrixValueError
+from repro.obs import recording
+from repro.obs.metrics import MetricsRegistry, collecting_metrics
+from repro.robust import Budget, FaultPlan
+from repro.robust.chaos import FaultSpec
+from repro.shard import characterize_store, write_store
+
+from .conftest import assert_results_equal, random_stack
+
+N_MEMBERS = 32
+CHUNK = 8  # four shards
+
+STALL_S = 3.0
+TIMEOUT_S = 0.25
+
+
+@pytest.fixture(scope="module")
+def stack():
+    return random_stack(N_MEMBERS, 6, 6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def store(stack, tmp_path_factory):
+    return write_store(tmp_path_factory.mktemp("chaos") / "store", stack)
+
+
+def dispatches(registry):
+    counter = registry.get("repro_shard_dispatch_total")
+    return {
+        event: counter.value(event=event)
+        for event in (
+            "primary",
+            "speculative",
+            "winner_primary",
+            "winner_backup",
+            "cancelled",
+        )
+    }
+
+
+class TestSpeculation:
+    def test_backup_overtakes_stalled_shard(self, stack, store):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="stall", member=3, stall_s=STALL_S),)
+        )
+        started = time.monotonic()
+        with collecting_metrics(MetricsRegistry()) as registry, recording() as rec:
+            sharded = characterize_store(
+                store,
+                chunk_size=CHUNK,
+                n_jobs=3,
+                policy="quarantine",
+                fault_plan=plan,
+                budget=Budget(member_timeout_s=TIMEOUT_S),
+            )
+        elapsed = time.monotonic() - started
+
+        # The run never waited out the stall: the backup finished first.
+        assert elapsed < STALL_S
+
+        events = dispatches(registry)
+        assert events["primary"] == 4.0
+        assert events["speculative"] >= 1.0
+        assert events["winner_backup"] >= 1.0
+        assert events["cancelled"] >= 1.0
+        assert (
+            events["winner_primary"] + events["winner_backup"] == 4.0
+        )  # every shard produced exactly one winning result
+        assert rec.counters.get("shard.speculative", 0) >= 1
+        assert rec.counters.get("shard.cancelled", 0) >= 1
+        assert rec.counters["shard.shards"] == 4
+        assert rec.counters["shard.members"] == N_MEMBERS
+
+        # Stalls delay, they do not corrupt: bit-identical to a healthy
+        # in-memory run.
+        whole = characterize_ensemble(stack, policy="quarantine")
+        assert_results_equal(sharded, whole)
+
+    def test_serial_stall_just_waits(self, stack, store):
+        plan = FaultPlan(
+            faults=(FaultSpec(kind="stall", member=3, stall_s=0.2),)
+        )
+        started = time.monotonic()
+        with collecting_metrics(MetricsRegistry()) as registry:
+            sharded = characterize_store(
+                store, chunk_size=CHUNK, fault_plan=plan
+            )
+        elapsed = time.monotonic() - started
+        assert elapsed >= 0.2  # no speculation without a pool
+        events = dispatches(registry)
+        assert events["primary"] == 4.0
+        assert events["speculative"] == 0.0
+        assert events["cancelled"] == 0.0
+        assert_results_equal(sharded, characterize_ensemble(stack))
+
+    def test_no_timeout_means_no_speculation(self, stack, store):
+        with collecting_metrics(MetricsRegistry()) as registry:
+            sharded = characterize_store(store, chunk_size=CHUNK, n_jobs=2)
+        events = dispatches(registry)
+        assert events["primary"] == 4.0
+        assert events["speculative"] == 0.0
+        assert events["winner_primary"] == 4.0
+        assert_results_equal(sharded, characterize_ensemble(stack))
+
+    def test_stall_combined_with_data_faults(self, stack, store):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="stall", member=3, stall_s=STALL_S),
+                FaultSpec(kind="nan", member=17),
+                FaultSpec(kind="zero-row", member=30),
+            )
+        )
+        with collecting_metrics(MetricsRegistry()) as registry:
+            sharded = characterize_store(
+                store,
+                chunk_size=CHUNK,
+                n_jobs=3,
+                policy="quarantine",
+                fault_plan=plan,
+                budget=Budget(member_timeout_s=TIMEOUT_S),
+            )
+        assert dispatches(registry)["winner_backup"] >= 1.0
+        # Data faults keep in-memory semantics even on a speculated run.
+        whole = characterize_ensemble(
+            stack,
+            policy="quarantine",
+            fault_plan=FaultPlan(
+                faults=(
+                    FaultSpec(kind="nan", member=17),
+                    FaultSpec(kind="zero-row", member=30),
+                )
+            ),
+        )
+        for name in ("mph", "tdh", "tma"):
+            assert np.array_equal(
+                getattr(sharded, name), getattr(whole, name), equal_nan=True
+            )
+        assert {f.index for f in sharded.report.faults} == {17, 30}
+
+
+class TestChaosValidation:
+    def test_timeout_requires_robust_policy(self, store):
+        with pytest.raises(MatrixValueError, match="policy='quarantine'"):
+            characterize_store(
+                store, chunk_size=CHUNK, budget=Budget(member_timeout_s=0.1)
+            )
+
+    def test_fault_beyond_store_rejected(self, store):
+        plan = FaultPlan(faults=(FaultSpec(kind="nan", member=N_MEMBERS),))
+        with pytest.raises(MatrixValueError, match="only 32 members"):
+            characterize_store(
+                store, chunk_size=CHUNK, policy="quarantine", fault_plan=plan
+            )

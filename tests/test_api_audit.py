@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.robust",
     "repro.serve",
     "repro.backends",
+    "repro.shard",
 ]
 
 

@@ -64,6 +64,22 @@ SPAN_ROW_SCHEMA = {
 }
 
 
+#: Keys (and value types) of `repro-hc characterize --store --json`.
+CHARACTERIZE_STORE_JSON_SCHEMA = {
+    "file": str,
+    "members": int,
+    "policy": str,
+    "mph": list,
+    "tdh": list,
+    "tma": list,
+    "converged": list,
+    "shards": dict,
+    "quarantined": list,
+    "repaired": list,
+    "categories": dict,
+}
+
+
 @pytest.fixture
 def etc_csv(tmp_path):
     path = tmp_path / "env.csv"
@@ -178,3 +194,89 @@ class TestProfileGolden:
         assert main(["profile", etc_csv]) == 0
         capsys.readouterr()
         assert current_recorder() is None
+
+
+class TestCharacterizeStoreGolden:
+    """`characterize --store`: out-of-core transcript and flag guards."""
+
+    @pytest.fixture
+    def store_path(self, tmp_path):
+        from repro.generate import random_ecs_store
+
+        random_ecs_store(tmp_path / "store", 12, 3, 2, seed=5)
+        return str(tmp_path / "store")
+
+    def test_text_transcript(self, store_path, capsys):
+        argv = ["characterize", "--store", store_path, "--chunk-size", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second  # store + seedless run => deterministic
+        lines = first.splitlines()
+        assert lines[0] == (
+            "3 shard(s) x 5 member(s) over 12 (no budget, est. peak 0.0 MB)"
+        )
+        assert lines[1].startswith("12 environments (3x2): MPH ")
+        assert lines[2] == "quarantine report: all members healthy"
+
+    def test_memory_budget_summary_line(self, store_path, capsys):
+        argv = [
+            "characterize", "--store", store_path, "--memory-budget", "1",
+        ]
+        assert main(argv) == 0
+        assert capsys.readouterr().out.splitlines()[0] == (
+            "1 shard(s) x 12 member(s) over 12 (1 MB budget, "
+            "est. peak 0.0 MB)"
+        )
+
+    def test_json_schema(self, store_path, capsys):
+        argv = [
+            "characterize", "--store", store_path,
+            "--memory-budget", "1", "--json",
+        ]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == set(CHARACTERIZE_STORE_JSON_SCHEMA)
+        for key, typ in CHARACTERIZE_STORE_JSON_SCHEMA.items():
+            assert isinstance(doc[key], typ), (key, doc[key])
+        assert doc["file"] == store_path
+        assert doc["members"] == 12
+        assert len(doc["mph"]) == 12
+        assert doc["converged"] == [True] * 12
+        assert doc["shards"] == {
+            "count": 1,
+            "chunk_size": 12,
+            "memory_budget_bytes": 2**20,
+            "estimated_peak_bytes": 12 * 3 * 2 * 8 * 16,
+        }
+
+    def test_matches_in_memory_pipeline(self, store_path, capsys):
+        from repro.batch import characterize_ensemble
+        from repro.shard import open_store
+
+        argv = [
+            "characterize", "--store", store_path,
+            "--chunk-size", "5", "--json",
+        ]
+        assert main(argv) == 0
+        doc = json.loads(capsys.readouterr().out)
+        whole = characterize_ensemble(
+            open_store(store_path).read(0, 12), policy="quarantine"
+        )
+        assert doc["mph"] == [float(v) for v in whole.mph]
+        assert doc["tma"] == [float(v) for v in whole.tma]
+
+    def test_file_and_store_conflict(self, etc_csv, store_path, capsys):
+        argv = ["characterize", etc_csv, "--store", store_path]
+        assert main(argv) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_store_flags_require_store(self, etc_csv, capsys):
+        argv = ["characterize", etc_csv, "--memory-budget", "8"]
+        assert main(argv) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_missing_file_and_store(self, capsys):
+        assert main(["characterize"]) == 2
+        assert "--store" in capsys.readouterr().err
