@@ -386,6 +386,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-metrics", action="store_true",
         help="do not enable the process metrics registry",
     )
+    p.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="per-endpoint ceiling on concurrent compute admissions; "
+        "overflow queues up to --queue-depth, then is shed with 503",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="bounded per-endpoint admission queue",
+    )
+    p.add_argument(
+        "--no-adaptive", action="store_true",
+        help="disable the AIMD capacity estimator (fixed admission "
+        "limit of --max-inflight)",
+    )
+    p.add_argument(
+        "--target-p99-ms", type=float, default=500.0,
+        help="request-latency target the AIMD estimator steers the "
+        "admission limit toward",
+    )
+    p.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="server-side deadline applied to requests that do not "
+        "send their own deadline_ms",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="graceful-shutdown budget (seconds) for in-flight "
+        "requests on SIGTERM/SIGINT",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -420,6 +449,15 @@ def build_parser() -> argparse.ArgumentParser:
         "'nan=2,zero-row=1' (data kinds only)",
     )
     p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="stamp this per-request latency budget into the payloads",
+    )
+    p.add_argument(
+        "--deadline-fraction", type=float, default=1.0,
+        help="seeded fraction of requests that carry the deadline "
+        "(default: all of them)",
+    )
     p = loadgen_sub.add_parser(
         "replay", help="fire a trace at a running server"
     )
@@ -861,6 +899,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     return 1
         elif args.command == "serve":
             import asyncio
+            import signal
 
             from .serve import CharacterizationServer, ServeConfig
 
@@ -873,6 +912,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                     cache_entries=args.cache_entries,
                     cache_dir=args.cache_dir,
                     enable_metrics=not args.no_metrics,
+                    max_inflight=args.max_inflight,
+                    queue_depth=args.queue_depth,
+                    adaptive=not args.no_adaptive,
+                    target_p99_ms=args.target_p99_ms,
+                    default_deadline_ms=args.default_deadline_ms,
+                    drain_timeout_s=args.drain_timeout,
                 )
             )
 
@@ -882,9 +927,50 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(
                     f"serving characterization API on "
                     f"http://{host}:{port}/v1/{{characterize,standardize,"
-                    f"recommend-heuristic}} (GET /metrics, /healthz)"
+                    f"recommend-heuristic}} (GET /metrics, /healthz)",
+                    flush=True,
                 )
-                await service.serve_forever()
+                loop = asyncio.get_running_loop()
+                drain = asyncio.Event()
+                received: dict[str, str] = {}
+
+                def _on_signal(name: str) -> None:
+                    received["signal"] = name
+                    drain.set()
+
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(sig, _on_signal, sig.name)
+                    except (NotImplementedError, ValueError):
+                        pass  # pragma: no cover - non-unix loop
+                serve_task = asyncio.create_task(service.serve_forever())
+                drain_task = asyncio.create_task(drain.wait())
+                await asyncio.wait(
+                    {serve_task, drain_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not drain.is_set():
+                    drain_task.cancel()
+                    await serve_task  # re-raise the server's error
+                    return
+                print(
+                    f"received {received.get('signal', 'signal')}: "
+                    f"draining (in-flight finishes, new work sheds, "
+                    f"timeout {args.drain_timeout:.1f}s)",
+                    flush=True,
+                )
+                clean = await service.shutdown(args.drain_timeout)
+                serve_task.cancel()
+                try:
+                    await serve_task
+                except asyncio.CancelledError:
+                    pass
+                print(
+                    "drain complete"
+                    if clean
+                    else "drain timed out with work in flight",
+                    flush=True,
+                )
 
             try:
                 asyncio.run(_serve())
@@ -910,6 +996,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         perturb_fraction=args.perturb_fraction,
                         faults=args.inject_faults,
                         fault_seed=args.fault_seed,
+                        deadline_ms=args.deadline_ms,
+                        deadline_fraction=args.deadline_fraction,
                     )
                 except ValueError as exc:
                     print(f"error: {exc}", file=sys.stderr)

@@ -149,6 +149,48 @@ def _case_serve_latency(quick: bool) -> dict:
         handle.stop()
 
 
+def _case_serve_overload(quick: bool) -> dict:
+    """Open-loop overload drill against a deliberately tiny server.
+
+    A server with a fixed admission limit of 2 and a queue depth of 4
+    receives a Poisson arrival stream at several times its measured
+    capacity.  The ``extra`` dict records the offered/accepted/shed
+    split and the accepted-only percentiles — the BENCH record of how
+    shedding behaves under pressure, not of raw speed.
+    """
+    from ..serve import ServeConfig, ServerThread
+    from ..serve.loadgen import overload_drill
+
+    handle = ServerThread(
+        ServeConfig(
+            port=0,
+            linger_s=0.001,
+            max_inflight=2,
+            queue_depth=4,
+            adaptive=False,
+        )
+    )
+    host, port = handle.start()
+    try:
+        drill = overload_drill(
+            host,
+            port,
+            multiplier=3.0 if quick else 5.0,
+            requests=32 if quick else 96,
+            seed=11,
+            deadline_ms=2000.0,
+        )
+    finally:
+        handle.stop()
+    report = drill["report"]
+    return {
+        "capacity_hz": round(drill["capacity_hz"], 2),
+        "offered_hz": round(drill["offered_hz"], 2),
+        "multiplier": drill["multiplier"],
+        **report.to_payload(),
+    }
+
+
 def _case_warm_start(quick: bool) -> dict:
     """Warm-started re-standardization of a perturbed ensemble.
 
@@ -276,6 +318,7 @@ BENCH_CASES = {
     "ensemble_batched": _case_ensemble_batched,
     "schedule_min_min": _case_schedule_min_min,
     "serve_latency": _case_serve_latency,
+    "serve_overload": _case_serve_overload,
     "shard_scale": _case_shard_scale,
 }
 

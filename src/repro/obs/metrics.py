@@ -64,6 +64,12 @@ __all__ = [
     "count_serve_kernel",
     "count_serve_cache",
     "count_serve_quarantined",
+    "count_serve_admitted",
+    "count_serve_shed",
+    "count_serve_deadline_exceeded",
+    "count_serve_drain",
+    "set_serve_admission_limit",
+    "register_serve_resilience_metrics",
     "observe_shard_chunk",
     "count_shard_dispatch",
     "ITERATION_BUCKETS",
@@ -817,6 +823,141 @@ def count_serve_quarantined(
         "Service requests quarantined, by endpoint and fault category.",
         labelnames=("endpoint", "category"),
     ).inc(endpoint=endpoint, category=category)
+
+
+# -- serving resilience instruments (repro.serve.resilience) -----------
+
+
+def count_serve_admitted(
+    endpoint: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one request admitted past the admission controller."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_admitted_total",
+        "Requests admitted to the compute path, by endpoint.",
+        labelnames=("endpoint",),
+    ).inc(endpoint=endpoint)
+
+
+def count_serve_shed(
+    endpoint: str, reason: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one request shed by the admission layer.
+
+    ``reason`` is ``queue-full`` (bounded pending queue overflowed) or
+    ``draining`` (graceful shutdown in progress); deadline sheds are
+    counted separately by :func:`count_serve_deadline_exceeded`.
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_shed_total",
+        "Requests shed with a structured 503, by endpoint and reason.",
+        labelnames=("endpoint", "reason"),
+    ).inc(endpoint=endpoint, reason=reason)
+
+
+def count_serve_deadline_exceeded(
+    endpoint: str, stage: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one request shed because its deadline expired.
+
+    ``stage`` names where the expiry was caught: ``entry`` (already
+    expired when parsed), ``admission`` (expired while queued for a
+    slot) or ``coalesce`` (expired while lingering in a batch group).
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_deadline_exceeded_total",
+        "Requests shed at their deadline, by endpoint and pipeline stage.",
+        labelnames=("endpoint", "stage"),
+    ).inc(endpoint=endpoint, stage=stage)
+
+
+def count_serve_drain(
+    event: str, registry: MetricsRegistry | None = None
+) -> None:
+    """Record one graceful-drain lifecycle event.
+
+    ``event`` is ``started``, ``flushed`` (coalescer groups flushed
+    during the drain), ``completed`` (all in-flight requests finished)
+    or ``timeout`` (the drain deadline expired with work still live).
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_drain_total",
+        "Graceful-drain lifecycle events.",
+        labelnames=("event",),
+    ).inc(event=event)
+
+
+def set_serve_admission_limit(
+    endpoint: str, limit: float, registry: MetricsRegistry | None = None
+) -> None:
+    """Publish the live AIMD admission limit of one endpoint."""
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.gauge(
+        "repro_serve_admission_limit",
+        "Current adaptive admission limit, by endpoint.",
+        labelnames=("endpoint",),
+    ).set(float(limit), endpoint=endpoint)
+
+
+def register_serve_resilience_metrics(
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Pre-register the resilience metric families (zero-valued).
+
+    The server calls this at startup so an operator scraping
+    ``/metrics`` sees the ``repro_serve_{admitted,shed,
+    deadline_exceeded,drain}_total`` families (HELP/TYPE lines) before
+    the first overload ever happens — a dashboard wired against a
+    healthy server keeps working when the weather turns.
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_admitted_total",
+        "Requests admitted to the compute path, by endpoint.",
+        labelnames=("endpoint",),
+    )
+    registry.counter(
+        "repro_serve_shed_total",
+        "Requests shed with a structured 503, by endpoint and reason.",
+        labelnames=("endpoint", "reason"),
+    )
+    registry.counter(
+        "repro_serve_deadline_exceeded_total",
+        "Requests shed at their deadline, by endpoint and pipeline stage.",
+        labelnames=("endpoint", "stage"),
+    )
+    registry.counter(
+        "repro_serve_drain_total",
+        "Graceful-drain lifecycle events.",
+        labelnames=("event",),
+    )
+    registry.gauge(
+        "repro_serve_admission_limit",
+        "Current adaptive admission limit, by endpoint.",
+        labelnames=("endpoint",),
+    )
 
 
 # -- shard-engine instruments (repro.shard) ----------------------------

@@ -8,10 +8,14 @@ characterization kernels:
   matrix bytes → SHA-256 key, in-memory LRU with optional disk spill);
 * :mod:`repro.serve.coalesce` — micro-batching queue that stacks
   concurrent same-shape requests into one (N, T, M) kernel call;
+* :mod:`repro.serve.resilience` — overload behavior: admission
+  control with bounded queueing, AIMD capacity estimation, deadline
+  shedding and the graceful-drain state machine;
 * :mod:`repro.serve.server` — the HTTP server, request router and
   serving glue (singleflight, quarantine, metrics);
 * :mod:`repro.serve.loadgen` — seedable trace generation and replay
-  for tests, chaos drills and the ``serve_latency`` bench case.
+  for tests, chaos drills and the ``serve_latency`` /
+  ``serve_overload`` bench cases.
 """
 
 from .cache import (
@@ -27,9 +31,11 @@ from .loadgen import (
     ReplayReport,
     RequestOutcome,
     TraceRequest,
+    estimate_capacity,
     generate_trace,
     latency_study,
     load_trace,
+    overload_drill,
     percentile,
     replay_trace,
     save_trace,
@@ -46,6 +52,13 @@ from .protocol import (
     parse_request,
     result_body,
 )
+from .resilience import (
+    AdmissionController,
+    CapacityEstimator,
+    DeadlineExceeded,
+    DrainState,
+    ShedError,
+)
 from .server import (
     CharacterizationServer,
     ServeConfig,
@@ -53,10 +66,14 @@ from .server import (
 )
 
 __all__ = [
+    "AdmissionController",
     "CACHE_KEY_VERSION",
+    "CapacityEstimator",
     "CharacterizationServer",
     "CoalesceResult",
     "Coalescer",
+    "DeadlineExceeded",
+    "DrainState",
     "ENDPOINTS",
     "ProtocolError",
     "ReplayReport",
@@ -67,6 +84,7 @@ __all__ = [
     "ServeFault",
     "ServeRequest",
     "ServerThread",
+    "ShedError",
     "TRACE_SCHEMA",
     "TraceRequest",
     "canonical_matrix_bytes",
@@ -74,11 +92,13 @@ __all__ = [
     "decode_json",
     "encode_json",
     "error_body",
+    "estimate_capacity",
     "generate_trace",
     "json_safe",
     "latency_study",
     "load_trace",
     "matrix_cache_key",
+    "overload_drill",
     "parse_request",
     "percentile",
     "replay_trace",

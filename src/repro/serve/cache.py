@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 
@@ -107,6 +108,20 @@ def matrix_cache_key(matrix, *, endpoint: str = "", options=None) -> str:
     return digest.hexdigest()
 
 
+def _plausible_response(value: bytes) -> bool:
+    """True when spilled bytes still parse as one JSON document.
+
+    Every value the service caches is a complete JSON response body, so
+    a spill file that no longer parses (truncated write, disk damage)
+    is provably corrupt and must not be promoted.
+    """
+    try:
+        json.loads(value.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False
+    return True
+
+
 class ResultCache:
     """Thread-safe LRU of response bytes with optional disk spill.
 
@@ -119,6 +134,14 @@ class ResultCache:
         ``<spill_dir>/<key>.json`` and read back (and re-promoted into
         memory) on the next lookup, so a bounce of the process keeps
         the long tail warm.
+
+    Disk I/O never reaches a request.  An unwritable or uncreatable
+    spill directory degrades the cache to memory-only with a one-time
+    :class:`RuntimeWarning` and a
+    ``repro_serve_cache_events_total{event="spill_error"}`` count; a
+    corrupt or truncated spill file found on promote is deleted and
+    treated as a miss (its result is simply recomputed) instead of
+    being served to the client.
 
     Examples
     --------
@@ -136,14 +159,33 @@ class ResultCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
-        if self.spill_dir is not None:
-            self.spill_dir.mkdir(parents=True, exist_ok=True)
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._lock = threading.Lock()
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
         self.evictions = 0
+        self.spill_errors = 0
+        self.spill_degraded = False
+        if self.spill_dir is not None:
+            try:
+                self.spill_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                self._degrade_spill(f"cannot create {self.spill_dir}: {exc}")
+
+    def _degrade_spill(self, why: str) -> None:
+        """Fall back to memory-only LRU; warn once, count the event."""
+        self.spill_errors += 1
+        _metrics.count_serve_cache("spill_error")
+        if not self.spill_degraded:
+            self.spill_degraded = True
+            self.spill_dir = None
+            warnings.warn(
+                "result-cache disk spill disabled (degrading to "
+                f"memory-only LRU): {why}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def __len__(self) -> int:
         with self._lock:
@@ -170,7 +212,21 @@ class ResultCache:
             path = self._spill_path(key)
             try:
                 value = path.read_bytes()
-            except OSError:
+            except FileNotFoundError:
+                value = None  # plain miss: this key never spilled
+            except OSError as exc:
+                value = None
+                self._degrade_spill(f"cannot read {path}: {exc}")
+            if value is not None and not _plausible_response(value):
+                # Corrupt / truncated spill (partial write, disk
+                # damage): never serve it — drop the file and
+                # recompute.  The spill path itself stays enabled.
+                self.spill_errors += 1
+                _metrics.count_serve_cache("spill_error")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
                 value = None
             if value is not None:
                 with self._lock:
@@ -202,12 +258,18 @@ class ResultCache:
                 if self.spill_dir is not None:
                     spilled = (old_key, old_value)
         _metrics.count_serve_cache("store")
-        if spilled is not None:
+        spill_dir = self.spill_dir
+        if spilled is not None and spill_dir is not None:
             _metrics.count_serve_cache("spill")
+            path = spill_dir / f"{spilled[0]}.json"
             try:
-                self._spill_path(spilled[0]).write_bytes(spilled[1])
-            except OSError:
-                pass  # spill is best-effort; the result can be recomputed
+                path.write_bytes(spilled[1])
+            except OSError as exc:
+                # Spill is best-effort (the result can be recomputed),
+                # but a write failure means the directory is unusable:
+                # degrade to memory-only instead of failing every
+                # future eviction the same way.
+                self._degrade_spill(f"cannot write {path}: {exc}")
 
     def stats(self) -> dict:
         """JSON-safe counter snapshot (hits, misses, evictions, size)."""
@@ -220,4 +282,6 @@ class ResultCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "spill_dir": str(self.spill_dir) if self.spill_dir else None,
+                "spill_errors": self.spill_errors,
+                "spill_degraded": self.spill_degraded,
             }

@@ -23,6 +23,19 @@ or an exception (typically :class:`ServeFault`, carrying a
 caller only.  A faulty member therefore never poisons the healthy
 requests sharing its batch; that is the per-request quarantine
 semantics of :mod:`repro.robust` lifted into the serving layer.
+
+**Deadline propagation.**  ``submit`` accepts an optional started
+:class:`repro.robust.Deadline`.  At flush time, members whose deadline
+has already expired are shed with
+:class:`repro.serve.resilience.DeadlineExceeded` *before* the kernel
+runs — their callers have given up, so spending kernel time on them
+would only slow their batch-mates.  The surviving members' tightest
+remaining deadline is threaded into the runner options as
+``deadline_s``, which the server-side runners turn into a
+:class:`repro.robust.Budget` so the batched kernel itself stops at the
+wall instead of burning its full iteration budget.  This is safe for
+batch-mates with looser deadlines: a deadline can only freeze a slice
+as a structured ``converged=False`` partial outcome, never corrupt it.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ import numpy as np
 from ..obs import metrics as _metrics
 from .cache import canonical_options
 from .protocol import ServeRequest
+from .resilience import DeadlineExceeded
 
 __all__ = ["Coalescer", "ServeFault", "CoalesceResult"]
 
@@ -67,6 +81,7 @@ class _PendingGroup:
     options: dict
     matrices: list = field(default_factory=list)
     futures: list = field(default_factory=list)
+    deadlines: list = field(default_factory=list)
     timer: asyncio.TimerHandle | None = None
 
 
@@ -107,6 +122,7 @@ class Coalescer:
         self._groups: dict[tuple, _PendingGroup] = {}
         self.batches_flushed = 0
         self.requests_coalesced = 0
+        self.deadline_shed = 0
 
     # -- submission ----------------------------------------------------
 
@@ -118,8 +134,17 @@ class Coalescer:
             canonical_options(request.options),
         )
 
-    async def submit(self, request: ServeRequest) -> CoalesceResult:
+    async def submit(
+        self, request: ServeRequest, deadline=None
+    ) -> CoalesceResult:
         """Queue one request; resolves when its batch has been run.
+
+        ``deadline`` is an optional started
+        :class:`repro.robust.Deadline`; a member whose deadline expires
+        before its group flushes is shed with
+        :class:`~repro.serve.resilience.DeadlineExceeded` instead of
+        running, and the batch kernel runs under the tightest surviving
+        deadline.
 
         Raises whatever exception the runner assigned to this request's
         slot (or the runner's own exception if the whole batch failed).
@@ -137,6 +162,7 @@ class Coalescer:
         future: asyncio.Future = loop.create_future()
         group.matrices.append(np.asarray(request.matrix, dtype=np.float64))
         group.futures.append(future)
+        group.deadlines.append(deadline)
         if len(group.matrices) >= self.max_batch:
             self._flush_now(key)
         return await future
@@ -152,8 +178,47 @@ class Coalescer:
             group.timer.cancel()
         asyncio.get_running_loop().create_task(self._run_batch(group))
 
+    def _shed_expired(self, group: _PendingGroup) -> tuple[list, list]:
+        """Fail expired members; returns the surviving (matrices, futures).
+
+        The tightest surviving deadline (if any) is threaded into
+        ``group.options["deadline_s"]`` for the runner.
+        """
+        matrices: list = []
+        futures: list = []
+        tightest: float | None = None
+        for matrix, future, deadline in zip(
+            group.matrices, group.futures, group.deadlines
+        ):
+            if deadline is not None and deadline.expired():
+                self.deadline_shed += 1
+                _metrics.count_serve_deadline_exceeded(
+                    self.endpoint, "coalesce"
+                )
+                if not future.done():
+                    future.set_exception(
+                        DeadlineExceeded(
+                            "deadline expired while the request "
+                            "lingered in a coalescing group; the "
+                            "kernel was never run for it"
+                        )
+                    )
+                continue
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if tightest is None or remaining < tightest:
+                    tightest = remaining
+            matrices.append(matrix)
+            futures.append(future)
+        if tightest is not None:
+            group.options["deadline_s"] = tightest
+        return matrices, futures
+
     async def _run_batch(self, group: _PendingGroup) -> None:
-        size = len(group.matrices)
+        matrices, futures = self._shed_expired(group)
+        if not matrices:  # every member expired: nothing to compute
+            return
+        size = len(matrices)
         self.batches_flushed += 1
         self.requests_coalesced += size
         _metrics.observe_coalesce_batch(self.endpoint, size)
@@ -161,7 +226,7 @@ class Coalescer:
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
-                None, self.runner, group.options, group.matrices
+                None, self.runner, group.options, matrices
             )
             if len(results) != size:
                 raise RuntimeError(
@@ -169,17 +234,22 @@ class Coalescer:
                     f"{size} requests"
                 )
         except Exception as exc:  # runner blew up: fail the whole batch
-            for future in group.futures:
+            for future in futures:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for future, result in zip(group.futures, results):
+        for future, result in zip(futures, results):
             if future.done():  # caller went away (cancelled request)
                 continue
             if isinstance(result, Exception):
                 future.set_exception(result)
             else:
                 future.set_result(CoalesceResult(result, size))
+
+    @property
+    def pending(self) -> int:
+        """Requests currently lingering in un-flushed groups."""
+        return sum(len(g.matrices) for g in self._groups.values())
 
     async def drain(self) -> None:
         """Flush every pending group immediately (shutdown path)."""

@@ -23,11 +23,24 @@ Three pieces:
 :func:`latency_study` drives the three canonical serving paths (cold,
 coalesced, cache-hit) and reports per-path percentiles; it is the
 engine of the ``serve_latency`` bench case.
+
+**Overload drills.**  :func:`estimate_capacity` measures the server's
+sustainable throughput with a closed-loop concurrent burst, and
+:func:`overload_drill` then runs an *open-loop* drill: Poisson
+arrivals at a chosen multiple of that capacity, fired regardless of
+how fast the server answers (open-loop is the honest overload model —
+a closed-loop client self-throttles and can never overwhelm anything).
+The resulting :class:`ReplayReport` separates accepted requests from
+shed ones and records whether every rejection was **well-formed**: a
+structured 503 with a ``Retry-After`` header and a
+``retry_after_s`` hint in the error body.  This is the engine of the
+``serve_overload`` bench case and the overload chaos tests.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -45,8 +58,11 @@ __all__ = [
     "load_trace",
     "replay_trace",
     "http_request",
+    "http_exchange",
     "percentile",
     "latency_study",
+    "estimate_capacity",
+    "overload_drill",
 ]
 
 TRACE_SCHEMA = "repro-serve-trace/1"
@@ -77,13 +93,23 @@ class TraceRequest:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """One replayed request's result."""
+    """One replayed request's result.
+
+    ``retry_after_s`` is the back-off hint parsed from a shed (503)
+    answer's ``Retry-After`` header; ``well_formed`` records whether an
+    error answer carried the structured body shape the protocol
+    promises (JSON document with ``error.category`` — and, for 503s,
+    both the header and the ``retry_after_s`` body field).
+    """
 
     index: int
     endpoint: str
     status: int
     latency_s: float
     category: str | None = None  # error category on non-200 answers
+    retry_after_s: float | None = None
+    well_formed: bool = True
+    digest: str | None = None  # SHA-256 of a 200 answer's body bytes
 
 
 def percentile(values, q: float) -> float:
@@ -120,6 +146,18 @@ class ReplayReport:
     def errors(self) -> tuple[RequestOutcome, ...]:
         return tuple(o for o in self.outcomes if o.status != 200)
 
+    @property
+    def shed(self) -> tuple[RequestOutcome, ...]:
+        """The load-shed answers (structured 503s)."""
+        return tuple(o for o in self.outcomes if o.status == 503)
+
+    @property
+    def malformed(self) -> tuple[RequestOutcome, ...]:
+        """Error answers that broke the structured-body contract."""
+        return tuple(
+            o for o in self.outcomes if o.status != 200 and not o.well_formed
+        )
+
     def latencies_ms(self, endpoint: str | None = None) -> list[float]:
         return [
             o.latency_s * 1e3
@@ -143,15 +181,35 @@ class ReplayReport:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def accepted_percentiles(self) -> dict:
+        """p50/p99 over the *accepted* (200) requests, or Nones.
+
+        Under overload this is the latency that matters: the shed
+        requests answer in microseconds by design and would make the
+        blended percentiles look flatteringly fast.
+        """
+        latencies = [o.latency_s * 1e3 for o in self.ok]
+        if not latencies:
+            return {"accepted_p50_ms": None, "accepted_p99_ms": None}
+        return {
+            "accepted_p50_ms": percentile(latencies, 50),
+            "accepted_p99_ms": percentile(latencies, 99),
+        }
+
     def to_payload(self) -> dict:
         """JSON-safe digest (CI logs, bench snapshots)."""
+        categories = self.by_category()
         return {
             "requests": len(self.outcomes),
             "ok": len(self.ok),
             "errors": len(self.errors),
-            "error_categories": self.by_category(),
+            "shed": len(self.shed),
+            "deadline_exceeded": categories.get("deadline-exceeded", 0),
+            "malformed_errors": len(self.malformed),
+            "error_categories": categories,
             "wall_s": self.wall_s,
             **self.percentiles(),
+            **self.accepted_percentiles(),
         }
 
     def summary(self) -> str:
@@ -159,9 +217,20 @@ class ReplayReport:
         lines = [
             f"replayed {len(self.outcomes)} request(s) in "
             f"{self.wall_s * 1e3:.1f}ms: {len(self.ok)} ok, "
-            f"{len(self.errors)} error(s)",
+            f"{len(self.errors)} error(s), {len(self.shed)} shed",
             f"  latency p50={p['p50_ms']:.2f}ms p99={p['p99_ms']:.2f}ms",
         ]
+        accepted = self.accepted_percentiles()
+        if accepted["accepted_p50_ms"] is not None:
+            lines.append(
+                "  accepted-only "
+                f"p50={accepted['accepted_p50_ms']:.2f}ms "
+                f"p99={accepted['accepted_p99_ms']:.2f}ms"
+            )
+        if self.malformed:
+            lines.append(
+                f"  MALFORMED error bodies: {len(self.malformed)}"
+            )
         for category, count in sorted(self.by_category().items()):
             lines.append(f"  error category {category}: {count}")
         return "\n".join(lines)
@@ -181,6 +250,8 @@ def generate_trace(
     endpoint_mix: dict[str, float] | None = None,
     faults: str | dict | None = None,
     fault_seed: int = 0,
+    deadline_ms: float | None = None,
+    deadline_fraction: float = 1.0,
 ) -> list[TraceRequest]:
     """A deterministic service workload (same seed → same trace).
 
@@ -189,6 +260,10 @@ def generate_trace(
     small multiplicative perturbation of a base matrix (same shape, new
     content — coalescing material); the rest draw fresh matrices.
     Arrivals are exponential with mean rate ``rate_hz``.
+
+    ``deadline_ms`` stamps a per-request latency budget into a seeded
+    ``deadline_fraction`` of the payloads (all of them by default) —
+    the overload traces use this to exercise the deadline-shed path.
 
     Examples
     --------
@@ -235,11 +310,14 @@ def generate_trace(
             matrix = rng.uniform(0.5, 10.0, size=shape)
         if plan is not None:
             matrix = plan.apply_member(i, matrix)
+        payload: dict = {"matrix": matrix.tolist()}
+        if deadline_ms is not None and rng.uniform() < deadline_fraction:
+            payload["deadline_ms"] = float(deadline_ms)
         trace.append(
             TraceRequest(
                 offset_s=float(offsets[i]),
                 endpoint=endpoint,
-                payload={"matrix": matrix.tolist()},
+                payload=payload,
             )
         )
     return trace
@@ -293,7 +371,7 @@ def load_trace(path) -> list[TraceRequest]:
 # -- the replay client -------------------------------------------------
 
 
-async def http_request(
+async def http_exchange(
     host: str,
     port: int,
     method: str,
@@ -301,8 +379,12 @@ async def http_request(
     body: bytes = b"",
     *,
     timeout_s: float = 30.0,
-) -> tuple[int, bytes]:
-    """One HTTP/1.1 exchange (Connection: close) over asyncio streams."""
+) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP/1.1 exchange; returns (status, headers, body).
+
+    Header names are lower-cased; ``Connection: close`` framing over
+    asyncio streams (one connection per request, like the server).
+    """
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout_s
     )
@@ -326,11 +408,32 @@ async def http_request(
         except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
             pass
     head, _, payload = raw.partition(b"\r\n\r\n")
-    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
-    parts = status_line.split()
+    lines = head.decode("latin-1", "replace").split("\r\n")
+    parts = lines[0].split()
     if len(parts) < 2 or not parts[1].isdigit():
-        raise ValueError(f"malformed HTTP status line {status_line!r}")
-    return int(parts[1]), payload
+        raise ValueError(f"malformed HTTP status line {lines[0]!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    return int(parts[1]), headers, payload
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    *,
+    timeout_s: float = 30.0,
+) -> tuple[int, bytes]:
+    """:func:`http_exchange` without the headers (compat wrapper)."""
+    status, _, payload = await http_exchange(
+        host, port, method, path, body, timeout_s=timeout_s
+    )
+    return status, payload
 
 
 def _error_category(body: bytes) -> str | None:
@@ -339,6 +442,35 @@ def _error_category(body: bytes) -> str | None:
         return document["error"]["category"]
     except (ValueError, KeyError, TypeError):
         return None
+
+
+def _classify_error(
+    status: int, headers: dict[str, str], body: bytes
+) -> tuple[str | None, float | None, bool]:
+    """(category, retry_after_s, well_formed) of one error answer.
+
+    Well-formed means: the body is a JSON document with a non-empty
+    ``error.category`` string, and — for shed (503) answers — the
+    ``Retry-After`` header parses as a number and the body carries the
+    sub-second ``retry_after_s`` hint.
+    """
+    retry_after_s: float | None = None
+    try:
+        document = json.loads(body.decode("utf-8"))
+        error = document["error"]
+        category = error["category"]
+        well_formed = isinstance(category, str) and bool(category)
+    except (ValueError, KeyError, TypeError):
+        return None, None, False
+    if status == 503:
+        header = headers.get("retry-after")
+        try:
+            retry_after_s = float(header) if header is not None else None
+        except ValueError:
+            retry_after_s = None
+        if retry_after_s is None or "retry_after_s" not in error:
+            well_formed = False
+    return category, retry_after_s, well_formed
 
 
 async def replay_trace_async(
@@ -364,7 +496,7 @@ async def replay_trace_async(
             await asyncio.sleep(delay)
         body = json.dumps(request.payload, allow_nan=True).encode("utf-8")
         t0 = loop.time()
-        status, answer = await http_request(
+        status, headers, answer = await http_exchange(
             host,
             port,
             "POST",
@@ -373,12 +505,25 @@ async def replay_trace_async(
             timeout_s=timeout_s,
         )
         latency = loop.time() - t0
+        category: str | None = None
+        retry_after_s: float | None = None
+        well_formed = True
+        digest: str | None = None
+        if status == 200:
+            digest = hashlib.sha256(answer).hexdigest()
+        else:
+            category, retry_after_s, well_formed = _classify_error(
+                status, headers, answer
+            )
         return RequestOutcome(
             index=index,
             endpoint=request.endpoint,
             status=status,
             latency_s=latency,
-            category=None if status == 200 else _error_category(answer),
+            category=category,
+            retry_after_s=retry_after_s,
+            well_formed=well_formed,
+            digest=digest,
         )
 
     outcomes = await asyncio.gather(
@@ -481,3 +626,102 @@ def latency_study(
         return {name: p.to_payload() for name, p in paths.items()}
 
     return asyncio.run(_run())
+
+
+# -- overload drills ---------------------------------------------------
+
+
+def estimate_capacity(
+    host: str,
+    port: int,
+    *,
+    shape: tuple[int, int] = (8, 8),
+    probe: int = 16,
+    seed: int = 0,
+    timeout_s: float = 30.0,
+) -> float:
+    """Rough sustainable throughput (requests/s) of a live server.
+
+    One closed-loop burst of ``probe`` distinct same-shape characterize
+    requests, issued concurrently so the coalescer batches them —
+    throughput is ``probe / wall``.  Deliberately a *favourable*
+    measurement: the overload drill multiplies it, so underestimating
+    capacity would only make the drill harsher.
+    """
+    rng = np.random.default_rng(seed)
+    bodies = [
+        json.dumps(
+            {"matrix": rng.uniform(0.5, 10.0, size=shape).tolist()}
+        ).encode("utf-8")
+        for _ in range(probe)
+    ]
+
+    async def _run() -> float:
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        await asyncio.gather(
+            *(
+                http_exchange(
+                    host, port, "POST", "/v1/characterize", body,
+                    timeout_s=timeout_s,
+                )
+                for body in bodies
+            )
+        )
+        return probe / max(1e-6, loop.time() - t0)
+
+    return asyncio.run(_run())
+
+
+def overload_drill(
+    host: str,
+    port: int,
+    *,
+    multiplier: float = 5.0,
+    requests: int = 96,
+    seed: int = 0,
+    shape: tuple[int, int] = (8, 8),
+    deadline_ms: float | None = None,
+    capacity_hz: float | None = None,
+    max_rate_hz: float = 5000.0,
+    timeout_s: float = 30.0,
+) -> dict:
+    """Open-loop Poisson overload: offer ``multiplier``× the capacity.
+
+    Generates a seeded trace with Poisson arrivals at
+    ``capacity_hz * multiplier`` (measuring capacity first via
+    :func:`estimate_capacity` when not given) and replays it
+    **open-loop** — every request fires at its scheduled arrival time
+    no matter how the server is coping, which is what a real overload
+    looks like.  All requests are distinct same-shape matrices
+    (``duplicate_fraction=0``), so nothing hides behind the cache.
+
+    Returns ``{"report": ReplayReport, "capacity_hz", "offered_hz",
+    "multiplier"}``; callers assert on the report (no crash, bounded
+    accepted-p99, well-formed rejections).
+    """
+    if multiplier <= 0:
+        raise ValueError(f"multiplier must be > 0, got {multiplier}")
+    if capacity_hz is None:
+        capacity_hz = estimate_capacity(
+            host, port, shape=shape, seed=seed, timeout_s=timeout_s
+        )
+    offered_hz = min(max_rate_hz, capacity_hz * multiplier)
+    trace = generate_trace(
+        requests=requests,
+        seed=seed,
+        shape=shape,
+        rate_hz=offered_hz,
+        duplicate_fraction=0.0,
+        perturb_fraction=0.3,
+        deadline_ms=deadline_ms,
+    )
+    report = replay_trace(
+        trace, host, port, time_scale=1.0, timeout_s=timeout_s
+    )
+    return {
+        "report": report,
+        "capacity_hz": float(capacity_hz),
+        "offered_hz": float(offered_hz),
+        "multiplier": float(multiplier),
+    }

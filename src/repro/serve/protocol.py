@@ -17,6 +17,13 @@ JSON over HTTP, one document per request.  Three POST endpoints:
 ``"numpy"`` and is part of the cache identity, so the same matrix
 served by two backends occupies two cache entries.
 
+Every endpoint additionally accepts ``deadline_ms`` — the caller's
+end-to-end latency budget in milliseconds.  A request that can no
+longer meet its deadline is shed with a structured ``503`` before it
+burns a kernel slot; see :mod:`repro.serve.resilience` and
+``docs/SERVING.md``.  The deadline is *not* part of the cache or
+coalescing identity (it changes whether work runs, never its result).
+
 Every response carries ``"schema": "repro-serve/1"``.  Success bodies
 hold the endpoint name and a ``"result"`` object; failures hold an
 ``"error"`` object with a stable fault ``category`` — protocol-level
@@ -55,9 +62,13 @@ SCHEMA = "repro-serve/1"
 
 #: Endpoint slug → allowed option names beyond ``matrix``.
 ENDPOINTS = {
-    "characterize": ("tol", "tma_fallback", "policy", "backend"),
-    "standardize": ("tol", "max_iterations", "policy", "backend"),
-    "recommend-heuristic": ("tol", "policy", "backend"),
+    "characterize": (
+        "tol", "tma_fallback", "policy", "backend", "deadline_ms",
+    ),
+    "standardize": (
+        "tol", "max_iterations", "policy", "backend", "deadline_ms",
+    ),
+    "recommend-heuristic": ("tol", "policy", "backend", "deadline_ms"),
 }
 
 _POLICIES = ("quarantine", "repair")
@@ -78,12 +89,17 @@ class ServeRequest:
 
     ``matrix`` is the float64 C-contiguous environment; ``options`` are
     the normalized kernel options (defaults filled in), which also form
-    part of the request's cache identity.
+    part of the request's cache identity.  ``deadline_ms`` is the
+    caller's latency budget — deliberately *not* part of ``options``:
+    two requests for the same matrix under different deadlines must
+    share a cache entry and a coalescing group, because the deadline
+    changes *whether* the work runs, never its result.
     """
 
     endpoint: str
     matrix: np.ndarray = field(repr=False)
     options: dict
+    deadline_ms: float | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -172,7 +188,26 @@ def parse_request(endpoint: str, payload) -> ServeRequest:
                 f"{max_iterations!r}"
             )
         options["max_iterations"] = max_iterations
-    return ServeRequest(endpoint=endpoint, matrix=matrix, options=options)
+
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or not math.isfinite(float(deadline_ms))
+            or float(deadline_ms) <= 0
+        ):
+            raise ProtocolError(
+                "'deadline_ms' must be a positive finite number of "
+                f"milliseconds, got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    return ServeRequest(
+        endpoint=endpoint,
+        matrix=matrix,
+        options=options,
+        deadline_ms=deadline_ms,
+    )
 
 
 def json_safe(value):
@@ -225,12 +260,23 @@ def result_body(endpoint: str, result: dict) -> bytes:
     )
 
 
-def error_body(endpoint: str | None, category: str, message: str) -> bytes:
-    """The canonical error body (stable ``category`` + human message)."""
-    document = {
-        "schema": SCHEMA,
-        "error": {"category": category, "message": message},
-    }
+def error_body(
+    endpoint: str | None,
+    category: str,
+    message: str,
+    *,
+    retry_after_s: float | None = None,
+) -> bytes:
+    """The canonical error body (stable ``category`` + human message).
+
+    Shed responses (503) carry ``retry_after_s`` in the error object —
+    the same back-off hint as the ``Retry-After`` header, but with
+    sub-second resolution for clients that parse the body.
+    """
+    error: dict = {"category": category, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(float(retry_after_s), 3)
+    document = {"schema": SCHEMA, "error": error}
     if endpoint is not None:
         document["endpoint"] = endpoint
     return encode_json(document)

@@ -8,7 +8,9 @@ offline measure library into a standing endpoint:
   :mod:`repro.serve.protocol` and ``docs/SERVING.md``;
 * ``GET /metrics`` — the process metrics registry in Prometheus text
   exposition (:func:`repro.obs.render_prometheus`);
-* ``GET /healthz`` — liveness plus cache/coalescer counters.
+* ``GET /healthz`` — the combined health report (``ok`` / ``degraded``
+  / ``draining``), with ``/healthz/live`` and ``/healthz/ready`` as
+  the split liveness / readiness probes.
 
 Request flow (the order is the point):
 
@@ -18,13 +20,25 @@ Request flow (the order is the point):
    kernel work;
 2. **in-flight dedup** — an identical request already being computed
    is joined, not recomputed (single-flight);
-3. **micro-batching coalescer** — same-shape, same-options requests
+3. **admission control** — compute work passes a per-endpoint
+   concurrency gate with a bounded pending queue
+   (:class:`repro.serve.resilience.AdmissionController`); excess load
+   is shed with a structured ``503`` + ``Retry-After`` instead of
+   queued unboundedly, and an AIMD estimator adapts the limit to the
+   capacity the host actually exhibits;
+4. **micro-batching coalescer** — same-shape, same-options requests
    are stacked into one ``(N, T, M)`` batched kernel call
-   (:class:`repro.serve.coalesce.Coalescer`);
-4. the batch runs under the **robust pipeline** with the per-request
+   (:class:`repro.serve.coalesce.Coalescer`), under the tightest
+   surviving request deadline;
+5. the batch runs under the **robust pipeline** with the per-request
    quarantine/repair policy, so one corrupt matrix in a coalesced
    batch yields a structured error for *its* caller while every
    healthy cohabitant succeeds.
+
+Shutdown is graceful: SIGTERM/SIGINT (wired by the CLI) triggers
+:meth:`CharacterizationServer.shutdown` — stop accepting, flush the
+coalescer, finish every in-flight request under the drain timeout, and
+exit 0 with zero dropped responses.
 
 :class:`ServerThread` hosts the whole loop in a daemon thread for
 tests, benchmarks and embedding.
@@ -42,7 +56,8 @@ import numpy as np
 from .. import __version__
 from ..obs import metrics as _metrics
 from ..obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
-from ..obs.metrics import enable_metrics
+from ..obs.metrics import enable_metrics, register_serve_resilience_metrics
+from ..robust.budget import Budget, Deadline
 from .cache import ResultCache, matrix_cache_key
 from .coalesce import Coalescer, ServeFault
 from .protocol import (
@@ -52,6 +67,13 @@ from .protocol import (
     error_body,
     parse_request,
     result_body,
+)
+from .resilience import (
+    AdmissionController,
+    CapacityEstimator,
+    DeadlineExceeded,
+    DrainState,
+    ShedError,
 )
 
 __all__ = ["ServeConfig", "CharacterizationServer", "ServerThread"]
@@ -64,6 +86,7 @@ _REASONS = {
     413: "Payload Too Large",
     422: "Unprocessable Entity",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: Protects the event loop from unbounded request bodies (16 MiB is a
@@ -73,7 +96,23 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Operational knobs of the characterization service."""
+    """Operational knobs of the characterization service.
+
+    The resilience knobs (see :mod:`repro.serve.resilience` and
+    ``docs/SERVING.md``):
+
+    * ``max_inflight`` / ``queue_depth`` — per-endpoint admission
+      ceiling and bounded pending queue; overflow is shed with a
+      structured ``503`` + ``Retry-After``;
+    * ``adaptive`` — when True (default) an AIMD estimator per
+      endpoint tightens the admission limit while the observed request
+      p99 breaches ``target_p99_ms`` and relaxes it while the server
+      keeps up;
+    * ``default_deadline_ms`` — server-side deadline applied to
+      requests that do not send their own ``deadline_ms``;
+    * ``drain_timeout_s`` — how long a graceful shutdown waits for
+      in-flight requests before giving up on them.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8787
@@ -82,6 +121,13 @@ class ServeConfig:
     cache_entries: int = 1024
     cache_dir: str | None = None
     enable_metrics: bool = True
+    max_inflight: int = 64
+    queue_depth: int = 256
+    adaptive: bool = True
+    target_p99_ms: float = 500.0
+    min_inflight: int = 2
+    default_deadline_ms: float | None = None
+    drain_timeout_s: float = 10.0
 
 
 @dataclass
@@ -123,18 +169,56 @@ class CharacterizationServer:
                 max_batch=self.config.max_batch,
             ),
         }
-        self.started_at = time.time()
+        estimators = None
+        if self.config.adaptive:
+            estimators = {
+                endpoint: CapacityEstimator(
+                    base_limit=self.config.max_inflight,
+                    min_limit=min(
+                        self.config.min_inflight, self.config.max_inflight
+                    ),
+                    max_limit=self.config.max_inflight,
+                    target_p99_s=self.config.target_p99_ms / 1e3,
+                )
+                for endpoint in (
+                    "characterize", "standardize", "recommend-heuristic"
+                )
+            }
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            queue_depth=self.config.queue_depth,
+            estimators=estimators,
+        )
+        self.drain_state = DrainState()
+        self.started_at = self.drain_state.started_at
         self.requests_served = 0
+        self._active_exchanges = 0
         self._server: asyncio.base_events.Server | None = None
         if self.config.enable_metrics:
             enable_metrics()
+            register_serve_resilience_metrics()
 
     # -- batch runners (executor threads) ------------------------------
+
+    @staticmethod
+    def _batch_budget(options: dict) -> Budget | None:
+        """The kernel budget for one batch: tightest member deadline.
+
+        The coalescer injects ``deadline_s`` (the tightest surviving
+        request deadline) into the flush options; the kernel runs under
+        it so a batch never outlives every caller that is still
+        waiting on it.
+        """
+        deadline_s = options.pop("deadline_s", None)
+        if deadline_s is None:
+            return None
+        return Budget(deadline_s=max(0.001, float(deadline_s)))
 
     def _run_characterize_batch(self, options: dict, matrices: list) -> list:
         """One batched characterize kernel call; per-slice payloads."""
         from ..batch import characterize_ensemble
 
+        budget = self._batch_budget(options)
         stack = np.stack(matrices)
         result = characterize_ensemble(
             stack,
@@ -142,6 +226,7 @@ class CharacterizationServer:
             tma_fallback=options.get("tma_fallback", "limit"),
             policy=options.get("policy", "quarantine"),
             backend=options.get("backend"),
+            budget=budget,
         )
         out: list = []
         for index in range(len(matrices)):
@@ -161,6 +246,7 @@ class CharacterizationServer:
         """One batched standardize kernel call; per-slice payloads."""
         from ..batch.sinkhorn import standardize_batched
 
+        budget = self._batch_budget(options)
         stack = np.stack(matrices)
         result = standardize_batched(
             stack,
@@ -168,6 +254,7 @@ class CharacterizationServer:
             max_iterations=options.get("max_iterations", 100_000),
             policy=options.get("policy", "quarantine"),
             backend=options.get("backend"),
+            budget=budget,
         )
         report = getattr(result, "report", None)
         out: list = []
@@ -202,7 +289,9 @@ class CharacterizationServer:
 
     # -- request handling ----------------------------------------------
 
-    async def _compute(self, request: ServeRequest) -> tuple[bytes, str]:
+    async def _compute(
+        self, request: ServeRequest, deadline: Deadline | None = None
+    ) -> tuple[bytes, str]:
         """Body bytes for one request, via the coalescer; no caching."""
         endpoint = request.endpoint
         if endpoint == "recommend-heuristic":
@@ -214,7 +303,9 @@ class CharacterizationServer:
                 matrix=request.matrix,
                 options={**request.options, "tma_fallback": "limit"},
             )
-            outcome = await self.coalescers["characterize"].submit(inner)
+            outcome = await self.coalescers["characterize"].submit(
+                inner, deadline
+            )
             measures = outcome.payload
             name, reason = recommend_from_measures(
                 measures["mph"], measures["tdh"], measures["tma"]
@@ -230,22 +321,49 @@ class CharacterizationServer:
             }
             source = "batched" if outcome.batch_size > 1 else "cold"
             return result_body(endpoint, result), source
-        outcome = await self.coalescers[endpoint].submit(request)
+        outcome = await self.coalescers[endpoint].submit(request, deadline)
         source = "batched" if outcome.batch_size > 1 else "cold"
         return result_body(endpoint, outcome.payload), source
 
+    def _request_deadline(
+        self, request: ServeRequest, elapsed_s: float = 0.0
+    ) -> Deadline | None:
+        """The request's started deadline clock, or None (unbounded).
+
+        The clock starts at *arrival* (the top of :meth:`dispatch`),
+        so ``elapsed_s`` — time already spent reading and parsing the
+        request — is subtracted from the budget before it starts.
+        """
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        if deadline_ms is None:
+            return None
+        return Deadline(max(0.0, deadline_ms / 1e3 - elapsed_s))
+
     async def handle_request(
-        self, endpoint: str, payload
+        self, endpoint: str, payload, elapsed_s: float = 0.0
     ) -> tuple[int, bytes, str]:
         """Full pipeline for one parsed JSON request document.
 
         Returns ``(status, body_bytes, source)``; ``source`` is the
-        serving-path label fed to the latency histogram.
+        serving-path label fed to the latency histogram.  Raises
+        :class:`~repro.serve.resilience.ShedError` when the request is
+        rejected by admission control or its deadline.
         """
         request = parse_request(endpoint, payload)
+        deadline = self._request_deadline(request, elapsed_s)
+        if deadline is not None and deadline.expired():
+            _metrics.count_serve_deadline_exceeded(endpoint, "entry")
+            raise DeadlineExceeded(
+                "request deadline expired before any work was scheduled"
+            )
         key = matrix_cache_key(
             request.matrix, endpoint=endpoint, options=request.options
         )
+        # Cache hits and singleflight joins bypass admission control:
+        # they cost no kernel work, and shedding them under load would
+        # throw away exactly the requests that are free to serve.
         cached = self.cache.get(key)
         if cached is not None:
             return 200, cached, "cache-memory"
@@ -258,8 +376,11 @@ class CharacterizationServer:
 
         entry = _Inflight(asyncio.get_running_loop().create_future())
         self._inflight[key] = entry
+        admitted = False
         try:
-            body, source = await self._compute(request)
+            await self.admission.admit(endpoint, deadline)
+            admitted = True
+            body, source = await self._compute(request, deadline)
         except BaseException as exc:
             # Faults are not cached (a retry with fixed data must
             # recompute); waiters get the same exception re-raised.
@@ -271,14 +392,71 @@ class CharacterizationServer:
             raise
         finally:
             self._inflight.pop(key, None)
+            if admitted:
+                self.admission.release(endpoint)
         self.cache.put(key, body)
         entry.future.set_result(body)
         return 200, body, source
 
+    def health_payload(self) -> dict:
+        """The ``/healthz`` body: status, probes, pipeline counters."""
+        degraded = self.admission.degraded or self.cache.spill_degraded
+        return {
+            "status": self.drain_state.status(degraded=degraded),
+            "live": True,
+            "ready": self.drain_state.ready,
+            "version": __version__,
+            "uptime_s": self.drain_state.uptime_s(),
+            "requests_served": self.requests_served,
+            "active_exchanges": self._active_exchanges,
+            "admission": self.admission.stats(),
+            "cache": self.cache.stats(),
+            "coalescer": {
+                name: {
+                    "batches_flushed": c.batches_flushed,
+                    "requests_coalesced": c.requests_coalesced,
+                    "deadline_shed": c.deadline_shed,
+                    "pending": c.pending,
+                }
+                for name, c in self.coalescers.items()
+            },
+        }
+
+    def _healthz(self, path: str) -> tuple[int, str, bytes]:
+        """The liveness / readiness probe split.
+
+        * ``/healthz`` — the combined report: 200 while the process is
+          up, with ``status`` ok / degraded / draining in the body;
+        * ``/healthz/live`` — liveness only: 200 until the process
+          exits (an orchestrator must not kill a draining server);
+        * ``/healthz/ready`` — readiness: 503 once draining starts, so
+          balancers stop routing here while in-flight work finishes.
+        """
+        payload = self.health_payload()
+        status = 200
+        if path == "/healthz/ready" and not payload["ready"]:
+            status = 503
+        return status, "application/json", result_body("healthz", payload)
+
     async def dispatch(
         self, method: str, path: str, body: bytes
     ) -> tuple[int, str, bytes]:
-        """Route one HTTP exchange; returns (status, content-type, body)."""
+        """Route one exchange; returns (status, content-type, body).
+
+        Compatibility wrapper around :meth:`exchange` for callers that
+        do not need response headers.
+        """
+        status, ctype, payload, _ = await self.exchange(method, path, body)
+        return status, ctype, payload
+
+    async def exchange(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, str, bytes, dict[str, str]]:
+        """Route one HTTP exchange; returns (status, ctype, body, headers).
+
+        ``headers`` carries response headers beyond the content ones —
+        today that is ``Retry-After`` on every shed (503) response.
+        """
         t0 = time.perf_counter()
         path = path.split("?", 1)[0]
         endpoint = None
@@ -288,46 +466,43 @@ class CharacterizationServer:
             if method == "GET" and path in ("/metrics", "/"):
                 return 200, PROMETHEUS_CONTENT_TYPE, render_prometheus(
                     _metrics.get_registry()
-                ).encode("utf-8")
-            if method == "GET" and path == "/healthz":
-                return 200, "application/json", result_body(
-                    "healthz",
-                    {
-                        "status": "ok",
-                        "version": __version__,
-                        "uptime_s": time.time() - self.started_at,
-                        "requests_served": self.requests_served,
-                        "cache": self.cache.stats(),
-                        "coalescer": {
-                            name: {
-                                "batches_flushed": c.batches_flushed,
-                                "requests_coalesced": c.requests_coalesced,
-                            }
-                            for name, c in self.coalescers.items()
-                        },
-                    },
-                )
+                ).encode("utf-8"), {}
+            if method == "GET" and path in (
+                "/healthz", "/healthz/live", "/healthz/ready"
+            ):
+                status, ctype, payload = self._healthz(path)
+                return status, ctype, payload, {}
             if endpoint is None:
                 return 404, "application/json", error_body(
                     None, "not-found", f"unknown path {path!r}"
-                )
+                ), {}
             if method != "POST":
                 return 405, "application/json", error_body(
                     endpoint, "bad-request",
                     f"{endpoint} requires POST, got {method}",
+                ), {}
+            if self.drain_state.draining:
+                _metrics.count_serve_shed(endpoint, "draining")
+                raise ShedError(
+                    "draining",
+                    "the server is draining for shutdown and accepts "
+                    "no new work",
+                    retry_after_s=max(1.0, self.config.drain_timeout_s),
                 )
             payload = decode_json(body)
             status, response, source = await self.handle_request(
-                endpoint, payload
+                endpoint, payload, elapsed_s=time.perf_counter() - t0
             )
             self.requests_served += 1
+            wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
-                endpoint,
-                status=status,
-                source=source,
-                wall_s=time.perf_counter() - t0,
+                endpoint, status=status, source=source, wall_s=wall_s
             )
-            return status, "application/json", response
+            if source in ("cold", "batched", "inflight"):
+                # Feed the AIMD estimator from the compute path only:
+                # memoized answers say nothing about kernel capacity.
+                self.admission.observe(endpoint, wall_s)
+            return status, "application/json", response, {}
         except ProtocolError as exc:
             status = exc.status
             category = "not-found" if status == 404 else "bad-request"
@@ -339,7 +514,20 @@ class CharacterizationServer:
             )
             return status, "application/json", error_body(
                 endpoint, category, str(exc)
+            ), {}
+        except ShedError as shed:
+            _metrics.observe_serve_request(
+                endpoint or "unknown",
+                status=shed.status,
+                source="shed",
+                wall_s=time.perf_counter() - t0,
             )
+            return shed.status, "application/json", error_body(
+                endpoint,
+                shed.category,
+                str(shed),
+                retry_after_s=shed.retry_after_s,
+            ), {"Retry-After": shed.retry_after_header}
         except ServeFault as fault:
             _metrics.observe_serve_request(
                 endpoint or "unknown",
@@ -352,7 +540,7 @@ class CharacterizationServer:
             )
             return fault.status, "application/json", error_body(
                 endpoint, fault.category, str(fault)
-            )
+            ), {}
         except Exception as exc:  # pragma: no cover - defensive
             _metrics.observe_serve_request(
                 endpoint or "unknown",
@@ -362,7 +550,7 @@ class CharacterizationServer:
             )
             return 500, "application/json", error_body(
                 endpoint, "internal", f"{type(exc).__name__}: {exc}"
-            )
+            ), {}
 
     # -- the socket layer ----------------------------------------------
 
@@ -386,6 +574,7 @@ class CharacterizationServer:
                         content_length = int(value.strip())
                     except ValueError:
                         content_length = 0
+            headers: dict[str, str] = {}
             if content_length > MAX_BODY_BYTES:
                 status, ctype, body = 413, "application/json", error_body(
                     None, "bad-request",
@@ -398,15 +587,23 @@ class CharacterizationServer:
                     if content_length
                     else b""
                 )
-                status, ctype, body = await self.dispatch(
-                    method, target, body_in
-                )
+                self._active_exchanges += 1
+                try:
+                    status, ctype, body, headers = await self.exchange(
+                        method, target, body_in
+                    )
+                finally:
+                    self._active_exchanges -= 1
             reason = _REASONS.get(status, "Unknown")
+            extra = "".join(
+                f"{name}: {value}\r\n" for name, value in headers.items()
+            )
             writer.write(
                 (
                     f"HTTP/1.1 {status} {reason}\r\n"
                     f"Content-Type: {ctype}\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{extra}"
                     "Connection: close\r\n\r\n"
                 ).encode("latin-1")
                 + body
@@ -458,6 +655,40 @@ class CharacterizationServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    async def shutdown(self, drain_timeout_s: float | None = None) -> bool:
+        """Graceful drain: finish in-flight work, then close the socket.
+
+        The sequence (see ``docs/SERVING.md``):
+
+        1. flip :class:`~repro.serve.resilience.DrainState` — new POSTs
+           are shed with ``503 draining`` and ``/healthz/ready`` goes
+           red, while ``/healthz/live`` stays green;
+        2. stop accepting new connections (close the listening socket);
+        3. flush every lingering coalescer group and wait for in-flight
+           exchanges to finish, up to ``drain_timeout_s``.
+
+        Returns True when the drain completed cleanly (no exchange was
+        abandoned), False on timeout.  Idempotent: a second call just
+        waits alongside the first.
+        """
+        if drain_timeout_s is None:
+            drain_timeout_s = self.config.drain_timeout_s
+        self.drain_state.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for coalescer in self.coalescers.values():
+            await coalescer.drain()
+        _metrics.count_serve_drain("flushed")
+        waited = 0.0
+        while self._active_exchanges > 0 and waited < drain_timeout_s:
+            await asyncio.sleep(0.01)
+            waited += 0.01
+        clean = self._active_exchanges == 0
+        _metrics.count_serve_drain("completed" if clean else "timeout")
+        return clean
 
 
 @dataclass

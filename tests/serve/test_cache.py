@@ -73,14 +73,16 @@ class TestLru:
 
 class TestDiskSpill:
     def test_evicted_entry_survives_on_disk(self, tmp_path):
+        # Values must parse as JSON: promotes run the plausibility
+        # screen that keeps corrupt spills from being served.
         cache = ResultCache(max_entries=1, spill_dir=tmp_path)
-        cache.put("aa", b"first")
-        cache.put("bb", b"second")  # evicts aa -> disk
-        assert (tmp_path / "aa.json").read_bytes() == b"first"
-        assert cache.get("aa") == b"first"  # disk hit
+        cache.put("aa", b'"first"')
+        cache.put("bb", b'"second"')  # evicts aa -> disk
+        assert (tmp_path / "aa.json").read_bytes() == b'"first"'
+        assert cache.get("aa") == b'"first"'  # disk hit
         assert cache.hits_disk == 1
         # The disk hit promoted aa back into memory (evicting bb).
-        assert cache.get("aa") == b"first"
+        assert cache.get("aa") == b'"first"'
         assert cache.hits_memory == 1
 
     def test_spill_dir_is_created(self, tmp_path):
@@ -99,6 +101,64 @@ class TestDiskSpill:
         assert stats["hits_memory"] == 1
         assert stats["misses"] == 1
         assert stats["spill_dir"] == str(tmp_path)
+        assert stats["spill_errors"] == 0
+        assert stats["spill_degraded"] is False
+
+
+class TestSpillDegradation:
+    """Disk I/O failures degrade to memory-only; they never fail a get.
+
+    Permission tricks don't work under root, so the unusable-directory
+    cases use a regular *file* on the spill path — mkdir/write then
+    fail with NotADirectoryError, a plain OSError subclass.
+    """
+
+    def test_uncreatable_dir_degrades_at_construction(self, tmp_path):
+        blocker = tmp_path / "blocker.txt"
+        blocker.write_text("not a directory")
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            cache = ResultCache(
+                max_entries=1, spill_dir=blocker / "spill"
+            )
+        assert cache.spill_degraded
+        assert cache.spill_dir is None
+        # Still a perfectly good memory cache.
+        cache.put("a", b"1")
+        cache.put("b", b"2")  # evicts a; no spill attempted
+        assert cache.get("b") == b"2"
+        assert cache.get("a") is None
+        assert cache.stats()["spill_errors"] == 1
+
+    def test_write_failure_degrades_once(self, tmp_path):
+        cache = ResultCache(max_entries=1, spill_dir=tmp_path / "ok")
+        blocker = tmp_path / "blocker.txt"
+        blocker.write_text("not a directory")
+        cache.spill_dir = blocker / "spill"  # dir vanishes from under us
+        with pytest.warns(RuntimeWarning, match="spill disabled"):
+            cache.put("a", b"1")
+            cache.put("b", b"2")  # eviction tries to spill a -> OSError
+        assert cache.spill_degraded
+        assert cache.spill_dir is None
+        # Further evictions stay silent (no second warning, no error).
+        cache.put("c", b"3")
+        assert cache.get("c") == b"3"
+        assert cache.stats()["spill_errors"] == 1
+
+    def test_corrupt_spill_is_dropped_not_served(
+        self, metrics_registry, tmp_path
+    ):
+        cache = ResultCache(max_entries=1, spill_dir=tmp_path)
+        cache.put("aa", b'"good"')
+        cache.put("bb", b'"other"')  # evicts aa -> disk
+        (tmp_path / "aa.json").write_bytes(b'{"trunc')  # simulate damage
+        assert cache.get("aa") is None  # miss, not corrupt bytes
+        assert not (tmp_path / "aa.json").exists()  # dropped
+        assert not cache.spill_degraded  # the directory still works
+        assert cache.stats()["spill_errors"] == 1
+        assert cache_events(metrics_registry, "spill_error") == 1
+        # A later eviction spills fine.
+        cache.put("cc", b'"more"')
+        assert cache.get("bb") == b'"other"'
 
 
 class TestCacheMetrics:

@@ -1,0 +1,152 @@
+"""Graceful drain: in-flight completes, new work sheds, process exits 0."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import CharacterizationServer, ServeConfig
+from repro.serve.loadgen import http_exchange
+
+_BODY = json.dumps({"matrix": [[1.0, 2.0], [3.0, 4.0]]}).encode("utf-8")
+
+
+class TestInProcessDrain:
+    def test_inflight_completes_and_new_work_sheds(self, metrics_registry):
+        async def _run():
+            server = CharacterizationServer(
+                ServeConfig(linger_s=0.1, adaptive=False)
+            )
+            inflight = asyncio.ensure_future(
+                server.exchange("POST", "/v1/characterize", _BODY)
+            )
+            await asyncio.sleep(0.02)  # lingering in the coalescer
+            clean = await server.shutdown(drain_timeout_s=5.0)
+            first = await inflight
+            late = await server.exchange("POST", "/v1/characterize", _BODY)
+            health = await server.exchange("GET", "/healthz", b"")
+            ready = await server.exchange("GET", "/healthz/ready", b"")
+            live = await server.exchange("GET", "/healthz/live", b"")
+            return clean, first, late, health, ready, live
+
+        clean, first, late, health, ready, live = asyncio.run(_run())
+        assert clean is True
+        # The request caught mid-linger still got its real answer.
+        assert first[0] == 200
+        assert b'"result"' in first[2]
+        # New work is shed with the draining category + Retry-After.
+        assert late[0] == 503
+        assert json.loads(late[2])["error"]["category"] == "draining"
+        assert "Retry-After" in late[3]
+        # Probe split: combined report says draining, readiness fails,
+        # liveness holds.
+        assert health[0] == 200
+        assert json.loads(health[2])["result"]["status"] == "draining"
+        assert ready[0] == 503
+        assert live[0] == 200
+
+    def test_drain_lifecycle_metrics(self, metrics_registry):
+        async def _run():
+            server = CharacterizationServer(ServeConfig(linger_s=0.001))
+            await server.exchange("POST", "/v1/characterize", _BODY)
+            await server.shutdown(drain_timeout_s=1.0)
+
+        asyncio.run(_run())
+        drain = metrics_registry.counter(
+            "repro_serve_drain_total", labelnames=("event",)
+        )
+        assert drain.value(event="started") == 1
+        assert drain.value(event="flushed") == 1
+        assert drain.value(event="completed") == 1
+        assert drain.value(event="timeout") == 0
+
+    def test_shutdown_is_idempotent(self, metrics_registry):
+        async def _run():
+            server = CharacterizationServer(ServeConfig(linger_s=0.001))
+            assert await server.shutdown(drain_timeout_s=1.0) is True
+            assert await server.shutdown(drain_timeout_s=1.0) is True
+
+        asyncio.run(_run())
+        drain = metrics_registry.counter(
+            "repro_serve_drain_total", labelnames=("event",)
+        )
+        assert drain.value(event="started") == 1  # begin_drain once
+
+
+@pytest.mark.slow
+class TestSubprocessSignals:
+    """The real contract: a signalled `repro-hc serve` exits 0 cleanly."""
+
+    @staticmethod
+    def _spawn() -> tuple[subprocess.Popen, str, int]:
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--linger-ms", "150",
+                "--drain-timeout", "10",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        assert process.stdout is not None
+        banner = process.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)/", banner)
+        assert match, f"no address in banner {banner!r}"
+        return process, match.group(1), int(match.group(2))
+
+    @staticmethod
+    def _post_in_thread(host: str, port: int, out: dict) -> threading.Thread:
+        def _work() -> None:
+            try:
+                out["response"] = asyncio.run(
+                    http_exchange(
+                        host, port, "POST", "/v1/characterize", _BODY,
+                        timeout_s=30.0,
+                    )
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                out["error"] = exc
+
+        thread = threading.Thread(target=_work, daemon=True)
+        thread.start()
+        return thread
+
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_drains_and_exits_zero(self, signum):
+        process, host, port = self._spawn()
+        try:
+            # The 150ms linger keeps the request in flight while the
+            # signal lands; the drain must still answer it.
+            out: dict = {}
+            thread = self._post_in_thread(host, port, out)
+            time.sleep(0.06)  # request has arrived and is lingering
+            process.send_signal(signum)
+            stdout, _ = process.communicate(timeout=30)
+            thread.join(timeout=30)
+            assert "error" not in out, out.get("error")
+            status, _, body = out["response"]
+            assert status == 200
+            assert b'"result"' in body
+            assert process.returncode == 0
+            assert "draining" in stdout
+            assert "drain complete" in stdout
+            # The socket is really gone.
+            with pytest.raises(OSError):
+                asyncio.run(
+                    http_exchange(
+                        host, port, "GET", "/healthz", b"", timeout_s=5.0
+                    )
+                )
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.communicate(timeout=10)

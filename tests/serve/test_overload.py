@@ -1,0 +1,165 @@
+"""Open-loop overload chaos drill: shed cleanly, never crash or corrupt.
+
+The server under test is deliberately tiny (admission limit 2, queue
+depth 4, fixed — no AIMD) so a Poisson arrival stream at several times
+its capacity reliably forces shedding.  The properties:
+
+* every request gets an answer (no crash, no hang, no dropped socket);
+* every rejection is a *well-formed* 503 — structured category,
+  ``Retry-After`` header, ``retry_after_s`` body hint;
+* accepted requests keep a bounded latency (the bounded queue is the
+  bound — nothing waits behind an unbounded backlog);
+* accepted responses are **bit-identical** to an unloaded replay of
+  the same trace — load changes who gets served, never what they get;
+* the server stays healthy (``/healthz`` ok) after the storm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.loadgen import (
+    generate_trace,
+    http_exchange,
+    overload_drill,
+    replay_trace,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture
+def tiny_server(metrics_registry):
+    """A server with almost no headroom: overload is easy to provoke."""
+    handle = ServerThread(
+        ServeConfig(
+            port=0,
+            linger_s=0.001,
+            max_inflight=2,
+            queue_depth=4,
+            adaptive=False,
+            cache_entries=256,
+        )
+    )
+    host, port = handle.start()
+    yield host, port
+    handle.stop()
+
+
+@pytest.fixture
+def roomy_server(metrics_registry):
+    """A generously provisioned server: the unloaded reference."""
+    handle = ServerThread(
+        ServeConfig(port=0, linger_s=0.001, cache_entries=256)
+    )
+    host, port = handle.start()
+    yield host, port
+    handle.stop()
+
+
+class TestOverloadDrill:
+    def test_storm_sheds_cleanly(self, tiny_server):
+        host, port = tiny_server
+        drill = overload_drill(
+            host,
+            port,
+            multiplier=10.0,
+            requests=64,
+            seed=3,
+            capacity_hz=500.0,  # forced: the drill offers 5000 req/s
+            deadline_ms=5000.0,
+        )
+        report = drill["report"]
+        # No crash, no hang: every request came back with a status.
+        assert len(report.outcomes) == 64
+        statuses = {o.status for o in report.outcomes}
+        assert statuses <= {200, 503}  # zero 5xx-other-than-503
+        # The storm actually overloaded the server, and it shed.
+        assert len(report.shed) > 0
+        assert len(report.ok) > 0
+        # Every rejection is well-formed: category + header + body hint.
+        assert len(report.malformed) == 0
+        for outcome in report.shed:
+            assert outcome.category in (
+                "queue-full", "deadline-exceeded", "draining"
+            )
+            assert outcome.retry_after_s is not None
+            assert outcome.retry_after_s >= 1.0
+        # Accepted requests kept a bounded latency: the worst case is
+        # the bounded queue ahead of them, far under the 30s timeout.
+        accepted = report.accepted_percentiles()
+        assert accepted["accepted_p99_ms"] is not None
+        assert accepted["accepted_p99_ms"] < 10_000
+
+    def test_server_healthy_after_the_storm(self, tiny_server):
+        host, port = tiny_server
+        overload_drill(
+            host,
+            port,
+            multiplier=8.0,
+            requests=32,
+            seed=5,
+            capacity_hz=500.0,
+        )
+
+        async def _probe():
+            return await http_exchange(host, port, "GET", "/healthz", b"")
+
+        status, _, body = asyncio.run(_probe())
+        assert status == 200
+        result = json.loads(body)["result"]
+        assert result["status"] == "ok"  # fixed limit: never "degraded"
+        assert result["ready"] is True
+        admission = result["admission"]["characterize"]
+        assert admission["shed"] + admission["admitted"] > 0
+        assert admission["inflight"] == 0  # nothing leaked a slot
+
+    def test_accepted_results_bit_identical_under_load(
+        self, tiny_server, roomy_server
+    ):
+        # No deadlines here: a deadline can legitimately freeze a
+        # result as a partial outcome, which would break byte equality.
+        trace = generate_trace(
+            requests=48,
+            seed=17,
+            duplicate_fraction=0.0,
+            perturb_fraction=0.3,
+            rate_hz=5000.0,
+        )
+        loaded = replay_trace(
+            trace, *tiny_server, time_scale=1.0, timeout_s=60.0
+        )
+        unloaded = replay_trace(
+            trace, *roomy_server, time_scale=0.0, timeout_s=60.0
+        )
+        assert all(o.status == 200 for o in unloaded.outcomes)
+        reference = {o.index: o.digest for o in unloaded.outcomes}
+        compared = 0
+        for outcome in loaded.ok:
+            assert outcome.digest == reference[outcome.index]
+            compared += 1
+        assert compared > 0
+
+
+class TestDeadlineOverTheWire:
+    def test_doomed_deadline_is_shed_with_headers(self, tiny_server):
+        host, port = tiny_server
+        body = json.dumps(
+            {"matrix": [[1.0, 2.0], [3.0, 4.0]], "deadline_ms": 0.001}
+        ).encode("utf-8")
+
+        async def _post():
+            return await http_exchange(
+                host, port, "POST", "/v1/characterize", body
+            )
+
+        status, headers, answer = asyncio.run(_post())
+        assert status == 503
+        assert int(headers["retry-after"]) >= 1
+        error = json.loads(answer)["error"]
+        assert error["category"] == "deadline-exceeded"
+        assert error["retry_after_s"] > 0
