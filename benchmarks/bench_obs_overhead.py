@@ -25,12 +25,16 @@ below 1% of the kernel runtime.
 
 from __future__ import annotations
 
+import asyncio
+import json
+import tempfile
 import time
 import timeit
 
 import numpy as np
 
 from repro.batch import characterize_ensemble
+from repro.obs import RequestTrace
 from repro.obs import metrics as obs_metrics
 from repro.obs import recording, span
 
@@ -106,6 +110,24 @@ def test_disabled_overhead_under_2_percent(write_result):
     ) / n_iter
     feed_pct = disabled_observe_s / kernel_s * 100
 
+    # Serve-path tracing with span emission *disabled* (no trace_path):
+    # the only per-request cost is the RequestTrace bookkeeping — mint
+    # the trace id for the always-on ``X-Repro-Trace-Id`` header and
+    # accumulate a few stage timings (the breakdown dict itself is
+    # built lazily, only when a span, slow-log record, or
+    # ``debug_timings`` answer consumes it).  That cost is microbenched
+    # directly and gated at 0.1% of a compute request under the default
+    # serving config; the cache-hit time is reported alongside so the
+    # relative cost on the fastest path stays visible.
+    def _bookkeeping() -> None:
+        rtrace = RequestTrace.begin(None)
+        rtrace.add("cache_s", 1e-4)
+        rtrace.add("kernel_s", 1e-3)
+
+    serve_noop_s = timeit.timeit(_bookkeeping, number=50_000) / 50_000
+    hit_s, compute_s, bit_identical = _serve_hot_path()
+    serve_pct = serve_noop_s / compute_s * 100
+
     lines = [
         f"repro.obs overhead on characterize_ensemble"
         f"({N_SLICES}, {N_TASKS}, {N_MACHINES})",
@@ -122,6 +144,15 @@ def test_disabled_overhead_under_2_percent(write_result):
         f"{disabled_observe_s * 1e9:8.1f} ns/call",
         f"disabled metrics feed (1 call/run)   : {feed_pct:8.4f} %"
         f"  (acceptance < 1%)",
+        f"serve cache-hit request              : {hit_s * 1e6:8.1f} us",
+        f"serve compute request (default cfg)  : "
+        f"{compute_s * 1e6:8.1f} us",
+        f"disabled trace bookkeeping           : "
+        f"{serve_noop_s * 1e9:8.1f} ns/request",
+        f"disabled serve tracing overhead      : {serve_pct:8.4f} %"
+        f"  (acceptance <= 0.1% of a compute request)",
+        f"traced vs untraced response bytes    : "
+        f"{'bit-identical' if bit_identical else 'DIVERGED'}",
     ]
     write_result(
         "obs_overhead",
@@ -138,6 +169,11 @@ def test_disabled_overhead_under_2_percent(write_result):
             "scalar_sinkhorn_s": kernel_s,
             "disabled_observe_ns": disabled_observe_s * 1e9,
             "disabled_metrics_feed_pct": feed_pct,
+            "serve_cache_hit_s": hit_s,
+            "serve_compute_s": compute_s,
+            "serve_trace_bookkeeping_ns": serve_noop_s * 1e9,
+            "serve_disabled_tracing_pct": serve_pct,
+            "serve_traced_bit_identical": bit_identical,
         },
     )
 
@@ -150,6 +186,62 @@ def test_disabled_overhead_under_2_percent(write_result):
     # Sinkhorn call while collection is disabled (the default).
     assert feed_pct < 1.0, f"disabled metrics feed {feed_pct:.4f}% >= 1%"
     assert disabled_observe_s < 2e-6
+    # Serve-path acceptance: with no trace_path the per-request tracing
+    # bookkeeping costs <= 0.1% of a compute request under the default
+    # config, and span emission never changes the served bytes.
+    assert serve_pct <= 0.1, f"serve tracing overhead {serve_pct:.4f}% > 0.1%"
+    assert bit_identical, "traced and untraced responses diverged"
+
+
+def _serve_hot_path() -> tuple[float, float, bool]:
+    """(cache-hit s, cold compute s, traced == untraced body bytes).
+
+    Both times are in-process exchanges under the *default* serving
+    config (coalescing linger included — that is the deployed request
+    path).  The compute time is the cold-path denominator for the 0.1%
+    gate; the cache hit is the fastest possible request, reported for
+    context.
+    """
+    from repro.serve import CharacterizationServer, ServeConfig
+
+    matrix = np.random.default_rng(3).uniform(0.5, 10.0, (12, 8))
+    body = json.dumps({"matrix": matrix.tolist()}).encode("utf-8")
+
+    async def _measure(trace_path=None):
+        server = CharacterizationServer(
+            ServeConfig(adaptive=False, trace_path=trace_path)
+        )
+        try:
+            # Cold compute: distinct matrices so every request runs the
+            # kernel (a batch of one after the linger window).
+            rng = np.random.default_rng(11)
+            compute = float("inf")
+            for _ in range(REPEATS):
+                fresh = json.dumps(
+                    {"matrix": rng.uniform(0.5, 10.0, (12, 8)).tolist()}
+                ).encode("utf-8")
+                t0 = time.perf_counter()
+                await server.exchange("POST", "/v1/characterize", fresh)
+                compute = min(compute, time.perf_counter() - t0)
+            # Cache hit: the same body over and over.
+            await server.exchange("POST", "/v1/characterize", body)  # warm
+            hit = float("inf")
+            answer = b""
+            for _ in range(REPEATS):
+                t0 = time.perf_counter()
+                for _ in range(50):
+                    _, _, answer, _ = await server.exchange(
+                        "POST", "/v1/characterize", body
+                    )
+                hit = min(hit, (time.perf_counter() - t0) / 50)
+            return hit, compute, answer
+        finally:
+            await server.stop()
+
+    hit_s, compute_s, untraced_body = asyncio.run(_measure())
+    with tempfile.TemporaryDirectory() as tmp:
+        _, _, traced_body = asyncio.run(_measure(f"{tmp}/spans.jsonl"))
+    return hit_s, compute_s, traced_body == untraced_body
 
 
 def test_enabled_recording_collects_without_blowup(write_result):

@@ -38,7 +38,7 @@ from ..backends.base import (
     run_sinkhorn_batched,
 )
 from ..exceptions import ConvergenceError, MatrixValueError
-from ..normalize.outcome import _deprecated_alias
+from ..normalize.outcome import _removed_alias
 from ..normalize.sinkhorn import (
     NormalizationResult,
     _check_deadline,
@@ -63,7 +63,9 @@ class BatchNormalizationResult:
     protocol shared with the scalar results — ``matrix`` is the whole
     scaled stack here, and the diagnostics are per-slice arrays instead
     of scalars.  The pre-1.1 names ``matrices`` and
-    ``residual_histories`` remain as deprecated aliases.
+    ``residual_histories`` were removed after their deprecation cycle;
+    accessing them raises :class:`AttributeError` naming the
+    replacement field.
 
     Attributes
     ----------
@@ -98,8 +100,8 @@ class BatchNormalizationResult:
     row_target: float = 1.0
     col_target: float = 1.0
 
-    matrices = _deprecated_alias("matrices", "matrix")
-    residual_histories = _deprecated_alias(
+    matrices = _removed_alias("matrices", "matrix")
+    residual_histories = _removed_alias(
         "residual_histories", "residual_history"
     )
 

@@ -66,6 +66,10 @@ Subcommands
 ``trace convert IN -o OUT``
     Convert a ``repro-hc profile -o trace.jsonl`` event stream into
     Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto).
+``trace query FILE [--trace-id ID] [--slower-than MS] [--last N]``
+    Inspect request traces from a ``repro-hc serve --trace`` span file:
+    per-trace span trees with the stage-timing breakdown, filterable by
+    trace id (prefix), total latency, or recency.
 """
 
 from __future__ import annotations
@@ -415,6 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-shutdown budget (seconds) for in-flight "
         "requests on SIGTERM/SIGINT",
     )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="emit request/cache/kernel spans to this JSONL file "
+        "(query with `repro-hc trace query`); responses carry "
+        "X-Repro-Trace-Id regardless",
+    )
+    p.add_argument(
+        "--slow-log", default=None, metavar="PATH",
+        help="rotating JSONL log of requests slower than "
+        "--slow-threshold-ms (trace id + stage breakdown per record)",
+    )
+    p.add_argument(
+        "--slow-threshold-ms", type=float, default=500.0,
+        help="slow-request threshold for --slow-log (default 500)",
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -486,7 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
-        "trace", help="trace-file utilities (Chrome trace-event export)"
+        "trace",
+        help="trace-file utilities (Chrome export, request-trace query)",
     )
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
     p = trace_sub.add_parser(
@@ -497,6 +517,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-o", "--output", required=True,
         help="Chrome trace-event JSON output path",
+    )
+    p = trace_sub.add_parser(
+        "query",
+        help="inspect request traces from a span JSONL file "
+        "(`repro-hc serve --trace`)",
+    )
+    p.add_argument("input", help="span JSONL file from `serve --trace`")
+    p.add_argument(
+        "--trace-id", default=None,
+        help="show only this trace (a unique id prefix suffices)",
+    )
+    p.add_argument(
+        "--slower-than", type=float, default=None, metavar="MS",
+        help="show only traces with total latency above this (ms)",
+    )
+    p.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="show only the N most recent matching traces",
     )
     return parser
 
@@ -918,6 +956,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     target_p99_ms=args.target_p99_ms,
                     default_deadline_ms=args.default_deadline_ms,
                     drain_timeout_s=args.drain_timeout,
+                    trace_path=args.trace,
+                    slow_log_path=args.slow_log,
+                    slow_threshold_ms=args.slow_threshold_ms,
                 )
             )
 
@@ -1061,7 +1102,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     pass
                 finally:
                     server.server_close()
-        elif args.command == "trace":
+        elif args.command == "trace" and args.trace_command == "convert":
             from .obs import convert_trace_jsonl
 
             try:
@@ -1070,6 +1111,29 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
             print(f"wrote {count} trace event(s) to {args.output}")
+        elif args.command == "trace" and args.trace_command == "query":
+            from .obs import format_trace, load_spans, query_traces
+
+            try:
+                spans = load_spans(args.input)
+                views = query_traces(
+                    spans,
+                    trace_id=args.trace_id,
+                    slower_than_s=(
+                        args.slower_than / 1e3
+                        if args.slower_than is not None
+                        else None
+                    ),
+                    last=args.last,
+                )
+            except (ValueError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not views:
+                print("no matching traces")
+                return 1
+            for view in views:
+                print(format_trace(view))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -33,13 +33,14 @@ run on a perturbed copy of the same environment, which re-applies
 ``D1``/``D2`` before iterating (see ``docs/BACKENDS.md``).
 
 Code written against these seven names works on any of the three
-results; the old batch-specific spellings remain as deprecated
-properties that emit :class:`DeprecationWarning`.
+results.  The pre-protocol batch spellings (``matrices``,
+``residual_histories``) went through a DeprecationWarning cycle and
+have been **removed**; accessing them raises :class:`AttributeError`
+naming the replacement field.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Protocol, runtime_checkable
 
 __all__ = ["ScalingOutcome"]
@@ -84,20 +85,20 @@ class ScalingOutcome(Protocol):
     def residual_history(self) -> Any: ...
 
 
-def _deprecated_alias(old: str, new: str) -> property:
-    """A read-only property forwarding ``old`` to ``new`` with a
-    :class:`DeprecationWarning` (used to keep pre-protocol field names
-    alive on the result dataclasses)."""
+def _removed_alias(old: str, new: str) -> property:
+    """A property that raises for a field name removed after its
+    deprecation cycle, pointing at the ScalingOutcome replacement.
+
+    A plain missing attribute would raise too, but with no hint; this
+    keeps the rename discoverable for code migrating from the
+    pre-protocol spellings."""
 
     def getter(self):
-        warnings.warn(
-            f"{type(self).__name__}.{old} is deprecated; use .{new} "
-            "(the ScalingOutcome field name)",
-            DeprecationWarning,
-            stacklevel=2,
+        raise AttributeError(
+            f"{type(self).__name__}.{old} was removed; use .{new} "
+            "(the ScalingOutcome field name)"
         )
-        return getattr(self, new)
 
     getter.__name__ = old
-    getter.__doc__ = f"Deprecated alias for :attr:`{new}`."
+    getter.__doc__ = f"Removed: use :attr:`{new}`."
     return property(getter)

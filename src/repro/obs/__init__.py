@@ -82,8 +82,26 @@ from .recorder import (
     span,
     traced,
 )
-from .sinks import JsonlSink, LoggingSink, MemorySink, Sink
+from .sinks import JsonlSink, LoggingSink, MemorySink, RotatingJsonlSink, Sink
 from .summary import SpanStats, SpanSummary, summarize, summary
+from .trace_context import (
+    TIMING_STAGES,
+    RequestTrace,
+    TraceContext,
+    Tracer,
+    current_trace,
+    current_tracer,
+    set_tracer,
+    trace_scope,
+    tracing,
+)
+from .trace_query import (
+    TraceView,
+    format_trace,
+    group_traces,
+    load_spans,
+    query_traces,
+)
 
 __all__ = [
     "Recorder",
@@ -101,7 +119,22 @@ __all__ = [
     "Sink",
     "MemorySink",
     "JsonlSink",
+    "RotatingJsonlSink",
     "LoggingSink",
+    "TraceContext",
+    "RequestTrace",
+    "Tracer",
+    "TIMING_STAGES",
+    "current_trace",
+    "current_tracer",
+    "set_tracer",
+    "trace_scope",
+    "tracing",
+    "TraceView",
+    "load_spans",
+    "group_traces",
+    "query_traces",
+    "format_trace",
     "MetricsRegistry",
     "MetricFamily",
     "Counter",

@@ -73,6 +73,14 @@ class SpanEvent:
         (convergence residuals, active-mask occupancy, ...).
     error : str or None
         Exception type name when the region exited by raising.
+    trace_id, span_id, parent_id : str or None
+        Distributed-trace identity (W3C format), stamped when a
+        :class:`repro.obs.trace_context.TraceContext` was ambient while
+        the span closed.  None for untraced runs, and omitted from the
+        record so existing sinks and tooling see unchanged output.
+    links : tuple of dict
+        Span links (``{"trace_id", "span_id"}``) for fan-in spans such
+        as a batched kernel serving several request traces.
     """
 
     name: str
@@ -84,6 +92,10 @@ class SpanEvent:
     meta: dict = field(default_factory=dict)
     samples: dict = field(default_factory=dict)
     error: str | None = None
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    links: tuple = ()
 
     def to_record(self) -> dict:
         record = {
@@ -102,6 +114,13 @@ class SpanEvent:
             }
         if self.error is not None:
             record["error"] = self.error
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+            record["span_id"] = self.span_id
+            if self.parent_id is not None:
+                record["parent_id"] = self.parent_id
+            if self.links:
+                record["links"] = [dict(link) for link in self.links]
         return record
 
 

@@ -68,6 +68,26 @@ def _labels_text(labelnames, key, extra=()) -> str:
     return "{" + ",".join(pairs) + "}" if pairs else ""
 
 
+def _exemplar_text(exemplar: dict | None) -> str:
+    """OpenMetrics exemplar suffix for one bucket sample line.
+
+    Renders `` # {trace_id="..."} value timestamp`` — the OpenMetrics
+    exemplar syntax, which Prometheus accepts on classic histogram
+    bucket lines and plain-text consumers can strip at the ``#``.
+    """
+    if not exemplar:
+        return ""
+    labels = "{" + ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(exemplar.get("labels", {}).items())
+    ) + "}"
+    text = f" # {labels} {_format_value(float(exemplar['value']))}"
+    timestamp = exemplar.get("timestamp")
+    if timestamp is not None:
+        text += f" {float(timestamp):.3f}"
+    return text
+
+
 def render_prometheus(registry: MetricsRegistry | None = None) -> str:
     """The registry in Prometheus text exposition format (0.0.4).
 
@@ -103,7 +123,10 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
                 )
                 continue
             running = 0
-            for bound, count in zip(family.buckets, value["counts"]):
+            exemplars = value.get("exemplars") or {}
+            for idx, (bound, count) in enumerate(
+                zip(family.buckets, value["counts"])
+            ):
                 running += count
                 lines.append(
                     f"{family.name}_bucket"
@@ -113,12 +136,14 @@ def render_prometheus(registry: MetricsRegistry | None = None) -> str:
                         extra=[("le", _format_value(bound))],
                     )
                     + f" {running}"
+                    + _exemplar_text(exemplars.get(idx))
                 )
             running += value["counts"][-1]
             lines.append(
                 f"{family.name}_bucket"
                 + _labels_text(family.labelnames, key, extra=[("le", "+Inf")])
                 + f" {running}"
+                + _exemplar_text(exemplars.get(len(family.buckets)))
             )
             lines.append(
                 f"{family.name}_sum"
@@ -201,11 +226,32 @@ def chrome_trace_events(records) -> list[dict]:
     ``counter_total`` records flushed at session close) map to counter
     (``ph="C"``) events.  Unknown record types are skipped, so the
     converter tolerates trace files from newer writers.
+
+    Records from multi-process runs (shard pool workers stamp ``pid``
+    and ``process``) get a stable per-process lane: real pids map to
+    sequential trace pids in first-seen order, and ``process_name`` /
+    ``thread_name`` metadata (``ph="M"``) events name every lane, so
+    Perfetto shows "shard-worker-1234" rather than an anonymous tid.
     """
     events: list[dict] = []
+    lanes: dict[object, int] = {}
+    lane_names: dict[int, str] = {}
+
+    def lane(record: dict) -> int:
+        raw = record.get("pid")
+        assigned = lanes.get(raw)
+        if assigned is None:
+            assigned = lanes[raw] = len(lanes) + 1
+            name = record.get("process")
+            if not name:
+                name = "repro" if raw is None else f"pid {raw}"
+            lane_names[assigned] = str(name)
+        return assigned
+
     for record in records:
         kind = record.get("type")
         if kind == "span":
+            pid = lane(record)
             events.append(
                 {
                     "name": record["name"],
@@ -213,24 +259,45 @@ def chrome_trace_events(records) -> list[dict]:
                     "ph": "X",
                     "ts": record["start"] * 1e6,
                     "dur": record["wall_s"] * 1e6,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "args": _span_args(record),
                 }
             )
         elif kind in ("counter", "gauge", "counter_total"):
+            pid = lane(record)
             events.append(
                 {
                     "name": record["name"],
                     "cat": kind,
                     "ph": "C",
                     "ts": record["start"] * 1e6,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": 1,
                     "args": {record["name"]: record["value"]},
                 }
             )
-    return events
+    metadata: list[dict] = []
+    for pid in sorted(lane_names):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": lane_names[pid]},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 1,
+                "args": {"name": "main"},
+            }
+        )
+    return metadata + events
 
 
 def chrome_trace(source) -> dict:
@@ -248,7 +315,9 @@ def chrome_trace(source) -> dict:
     ...         pass
     >>> doc = chrome_trace(rec)
     >>> doc["traceEvents"][0]["name"], doc["traceEvents"][0]["ph"]
-    ('demo.step', 'X')
+    ('process_name', 'M')
+    >>> [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+    ['demo.step']
     """
     if hasattr(source, "events") and hasattr(source, "counters"):
         records = [event.to_record() for event in source.events]

@@ -43,6 +43,7 @@ import bisect
 import math
 import re
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -60,6 +61,7 @@ __all__ = [
     "collecting_metrics",
     "fold_recorder",
     "observe_serve_request",
+    "observe_serve_scrape",
     "observe_coalesce_batch",
     "count_serve_kernel",
     "count_serve_cache",
@@ -207,12 +209,16 @@ class Gauge(_Metric):
 
 
 class _HistogramSeries:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int) -> None:
         self.counts = [0] * (n_buckets + 1)  # last slot = +Inf bucket
         self.sum = 0.0
         self.count = 0
+        # bucket index -> {"labels": {...}, "value": v, "timestamp": ts};
+        # populated only when observe() is handed an exemplar, so
+        # exemplar-free histograms pay nothing.
+        self.exemplars: dict[int, dict] | None = None
 
 
 class Histogram(_Metric):
@@ -234,12 +240,17 @@ class Histogram(_Metric):
             )
         self.buckets = bounds
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: dict | None = None, **labels) -> None:
         """Record one observation into the series selected by ``labels``.
 
         NaN observations are dropped (a NaN would poison ``sum`` and
         land in no meaningful bucket — robust pipelines can legitimately
         produce NaN residuals for quarantined members).
+
+        ``exemplar`` is an optional label dict (e.g. ``{"trace_id":
+        "..."}``): the last exemplar per bucket is kept and rendered as
+        an OpenMetrics exemplar on that bucket's sample line, so a p99
+        bucket points at a concrete trace to pull up.
         """
         value = float(value)
         if math.isnan(value):
@@ -255,6 +266,14 @@ class Histogram(_Metric):
             series.counts[idx] += 1
             series.sum += value
             series.count += 1
+            if exemplar:
+                if series.exemplars is None:
+                    series.exemplars = {}
+                series.exemplars[idx] = {
+                    "labels": {str(k): str(v) for k, v in exemplar.items()},
+                    "value": value,
+                    "timestamp": time.time(),
+                }
 
     def snapshot(self, **labels) -> dict:
         """``{"buckets": {le: cumulative_count}, "sum": s, "count": n}``
@@ -275,11 +294,16 @@ class Histogram(_Metric):
 
     @staticmethod
     def _copy_value(value):
-        return {
+        copied = {
             "counts": list(value.counts),
             "sum": value.sum,
             "count": value.count,
         }
+        if value.exemplars:
+            copied["exemplars"] = {
+                idx: dict(ex) for idx, ex in value.exemplars.items()
+            }
+        return copied
 
 
 _METRIC_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -397,6 +421,9 @@ class MetricsRegistry:
             for key, value in sorted(family.samples.items()):
                 labels = dict(zip(family.labelnames, key))
                 if family.kind == "histogram":
+                    # Exemplars are scrape-surface decoration, not part
+                    # of the stable BENCH payload shape.
+                    value = {k: v for k, v in value.items() if k != "exemplars"}
                     series.append({"labels": labels, **value})
                 else:
                     series.append({"labels": labels, "value": value})
@@ -733,6 +760,7 @@ def observe_serve_request(
     status: int,
     source: str,
     wall_s: float,
+    trace_id: str | None = None,
     registry: MetricsRegistry | None = None,
 ) -> None:
     """Record one finished service request.
@@ -741,7 +769,14 @@ def observe_serve_request(
     ``cold`` (computed in a batch of one), ``batched`` (computed in a
     coalesced batch > 1), ``inflight`` (joined an identical in-flight
     computation), ``cache-memory`` / ``cache-disk`` (content-addressed
-    cache hit), or ``error``.
+    cache hit), or ``error``.  Scrape traffic (``GET /metrics``,
+    ``/healthz*``) never lands here — it is recorded separately by
+    :func:`observe_serve_scrape` so it cannot skew the latency
+    distribution the adaptive admission controller tunes against.
+
+    ``trace_id`` attaches an OpenMetrics exemplar to the latency bucket
+    this request fell into, tying the histogram tail to a concrete
+    trace.
     """
     if registry is None:
         if not _enabled:
@@ -757,7 +792,45 @@ def observe_serve_request(
         "Service request wall time by endpoint and serving path.",
         labelnames=("endpoint", "source"),
         buckets=SECONDS_BUCKETS,
-    ).observe(wall_s, endpoint=endpoint, source=source)
+    ).observe(
+        wall_s,
+        exemplar={"trace_id": trace_id} if trace_id else None,
+        endpoint=endpoint,
+        source=source,
+    )
+
+
+def observe_serve_scrape(
+    kind: str,
+    *,
+    status: int,
+    wall_s: float,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Record one observability scrape (``GET /metrics`` or ``/healthz*``).
+
+    Scrapes are kept out of ``repro_serve_requests_total`` /
+    ``repro_serve_request_seconds`` entirely: a 15-second Prometheus
+    scrape interval would otherwise pile sub-millisecond observations
+    into the serving histograms and drag the p99 the AIMD estimator
+    targets.  They get their own family instead, so scrape traffic is
+    still visible.
+    """
+    if registry is None:
+        if not _enabled:
+            return
+        registry = _default_registry
+    registry.counter(
+        "repro_serve_scrapes_total",
+        "Observability scrapes (metrics/health endpoints) by kind and status.",
+        labelnames=("kind", "status"),
+    ).inc(kind=kind, status=str(int(status)))
+    registry.histogram(
+        "repro_serve_scrape_seconds",
+        "Wall time of observability scrapes, by kind.",
+        labelnames=("kind",),
+        buckets=SECONDS_BUCKETS,
+    ).observe(wall_s, kind=kind)
 
 
 def observe_coalesce_batch(

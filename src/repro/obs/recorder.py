@@ -197,6 +197,14 @@ class _LiveSpan:
         cpu = time.process_time() - self._c0
         rec = self._rec
         rec._depth -= 1
+        # Stamp distributed-trace identity when a TraceContext is ambient
+        # (recorder spans become children of the surrounding trace).
+        # Lookup happens only on the enabled path; the no-op span is
+        # untouched.
+        from .trace_context import current_trace
+
+        ctx = current_trace()
+        child = ctx.child() if ctx is not None else None
         event = SpanEvent(
             name=self._name,
             index=rec._index,
@@ -207,6 +215,9 @@ class _LiveSpan:
             meta=self._meta,
             samples={k: tuple(v) for k, v in self._samples.items()},
             error=None if exc_type is None else exc_type.__name__,
+            trace_id=None if child is None else child.trace_id,
+            span_id=None if child is None else child.span_id,
+            parent_id=None if child is None else child.parent_id,
         )
         rec._index += 1
         rec._record_span(event)

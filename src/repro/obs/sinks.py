@@ -9,7 +9,12 @@ with the library:
   usually suffices, this exists for sink-API symmetry and fan-out).
 * :class:`JsonlSink` — one JSON object per line, append-mode file.
   The file is opened lazily on the first record so constructing the
-  sink never touches the filesystem.
+  sink never touches the filesystem.  Every line is flushed as it is
+  written: a process killed mid-run (SIGTERM under drain) loses at most
+  the record being written, never completed ones.
+* :class:`RotatingJsonlSink` — a JsonlSink with size-based rotation
+  (``path`` → ``path.1`` → ``path.2`` ...), used for the serving slow-
+  request log so an unattended server cannot fill a disk.
 * :class:`LoggingSink` — bridge into :mod:`logging`; each record
   becomes one ``DEBUG`` (spans/gauges) or ``INFO`` (counters at close)
   message on the ``repro.obs`` logger, so existing logging
@@ -23,9 +28,10 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 from typing import Protocol, runtime_checkable
 
-__all__ = ["Sink", "MemorySink", "JsonlSink", "LoggingSink"]
+__all__ = ["Sink", "MemorySink", "JsonlSink", "RotatingJsonlSink", "LoggingSink"]
 
 
 @runtime_checkable
@@ -58,6 +64,9 @@ class JsonlSink:
 
     The file handle is opened on the first :meth:`emit` and closed by
     :meth:`close` (which :func:`repro.obs.recording` calls on exit).
+    Each record is written and flushed as one line, so a SIGTERM'd
+    process never loses spans that already completed — at worst the
+    final line is truncated, which ``trace query`` tolerates.
     """
 
     def __init__(self, path) -> None:
@@ -68,6 +77,58 @@ class JsonlSink:
         if self._handle is None:
             self._handle = open(self.path, "a", encoding="utf-8")
         self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class RotatingJsonlSink:
+    """A :class:`JsonlSink` with size-based rotation.
+
+    When appending a record would push the current file past
+    ``max_bytes``, the file is rotated: ``path.{backups}`` is dropped,
+    ``path.N`` → ``path.N+1``, ``path`` → ``path.1`` and a fresh file is
+    started.  With ``backups=0`` the file is simply truncated.
+    """
+
+    def __init__(self, path, *, max_bytes: int = 1_000_000, backups: int = 3) -> None:
+        self.path = str(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._handle = None
+
+    def _open(self):
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def _rotate(self) -> None:
+        self.close()
+        if self.backups <= 0:
+            if os.path.exists(self.path):
+                os.remove(self.path)
+            return
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.backups - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        if os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record) + "\n"
+        handle = self._open()
+        if self.max_bytes > 0 and handle.tell() + len(line) > self.max_bytes:
+            self._rotate()
+            handle = self._open()
+        handle.write(line)
+        handle.flush()
 
     def close(self) -> None:
         if self._handle is not None:

@@ -41,6 +41,7 @@ as a structured ``converged=False`` partial outcome, never corrupt it.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,10 +71,18 @@ class ServeFault(Exception):
 
 @dataclass(frozen=True)
 class CoalesceResult:
-    """One request's outcome plus how it was computed."""
+    """One request's outcome plus how it was computed.
+
+    ``linger_s`` is how long *this member* waited between submission and
+    its batch flushing; ``kernel_s`` the batched kernel's wall time
+    (shared by every member of the batch).  Together they feed the
+    per-request ``debug.timings`` breakdown.
+    """
 
     payload: object
     batch_size: int
+    linger_s: float = 0.0
+    kernel_s: float = 0.0
 
 
 @dataclass
@@ -82,6 +91,8 @@ class _PendingGroup:
     matrices: list = field(default_factory=list)
     futures: list = field(default_factory=list)
     deadlines: list = field(default_factory=list)
+    submitted: list = field(default_factory=list)
+    traces: list = field(default_factory=list)
     timer: asyncio.TimerHandle | None = None
 
 
@@ -101,6 +112,10 @@ class Coalescer:
     max_batch : int
         Flush threshold; also the largest stack a single kernel call
         materializes.
+    tracer : repro.obs.Tracer, optional
+        When set, every flushed batch emits one ``serve.kernel`` span
+        *linked* to the request spans it served (fan-in), so a single
+        slow batch explains N slow responses.
     """
 
     def __init__(
@@ -110,6 +125,7 @@ class Coalescer:
         endpoint: str,
         linger_s: float = 0.002,
         max_batch: int = 64,
+        tracer=None,
     ) -> None:
         if linger_s < 0:
             raise ValueError(f"linger_s must be >= 0, got {linger_s}")
@@ -119,6 +135,7 @@ class Coalescer:
         self.endpoint = endpoint
         self.linger_s = float(linger_s)
         self.max_batch = int(max_batch)
+        self.tracer = tracer
         self._groups: dict[tuple, _PendingGroup] = {}
         self.batches_flushed = 0
         self.requests_coalesced = 0
@@ -135,7 +152,7 @@ class Coalescer:
         )
 
     async def submit(
-        self, request: ServeRequest, deadline=None
+        self, request: ServeRequest, deadline=None, trace=None
     ) -> CoalesceResult:
         """Queue one request; resolves when its batch has been run.
 
@@ -145,6 +162,10 @@ class Coalescer:
         :class:`~repro.serve.resilience.DeadlineExceeded` instead of
         running, and the batch kernel runs under the tightest surviving
         deadline.
+
+        ``trace`` is an optional
+        :class:`repro.obs.TraceContext` identifying the request span
+        this member belongs to; the batch span links back to it.
 
         Raises whatever exception the runner assigned to this request's
         slot (or the runner's own exception if the whole batch failed).
@@ -163,6 +184,8 @@ class Coalescer:
         group.matrices.append(np.asarray(request.matrix, dtype=np.float64))
         group.futures.append(future)
         group.deadlines.append(deadline)
+        group.submitted.append(time.perf_counter())
+        group.traces.append(trace)
         if len(group.matrices) >= self.max_batch:
             self._flush_now(key)
         return await future
@@ -178,17 +201,26 @@ class Coalescer:
             group.timer.cancel()
         asyncio.get_running_loop().create_task(self._run_batch(group))
 
-    def _shed_expired(self, group: _PendingGroup) -> tuple[list, list]:
-        """Fail expired members; returns the surviving (matrices, futures).
+    def _shed_expired(
+        self, group: _PendingGroup
+    ) -> tuple[list, list, list, list]:
+        """Fail expired members; returns the surviving parallel lists
+        (matrices, futures, submit times, trace contexts).
 
         The tightest surviving deadline (if any) is threaded into
         ``group.options["deadline_s"]`` for the runner.
         """
         matrices: list = []
         futures: list = []
+        submitted: list = []
+        traces: list = []
         tightest: float | None = None
-        for matrix, future, deadline in zip(
-            group.matrices, group.futures, group.deadlines
+        for matrix, future, deadline, submit_t, trace in zip(
+            group.matrices,
+            group.futures,
+            group.deadlines,
+            group.submitted,
+            group.traces,
         ):
             if deadline is not None and deadline.expired():
                 self.deadline_shed += 1
@@ -210,12 +242,14 @@ class Coalescer:
                     tightest = remaining
             matrices.append(matrix)
             futures.append(future)
+            submitted.append(submit_t)
+            traces.append(trace)
         if tightest is not None:
             group.options["deadline_s"] = tightest
-        return matrices, futures
+        return matrices, futures, submitted, traces
 
     async def _run_batch(self, group: _PendingGroup) -> None:
-        matrices, futures = self._shed_expired(group)
+        matrices, futures, submitted, traces = self._shed_expired(group)
         if not matrices:  # every member expired: nothing to compute
             return
         size = len(matrices)
@@ -224,27 +258,68 @@ class Coalescer:
         _metrics.observe_coalesce_batch(self.endpoint, size)
         _metrics.count_serve_kernel(self.endpoint)
         loop = asyncio.get_running_loop()
+        flush_t = time.perf_counter()
+        lingers = [max(0.0, flush_t - submit_t) for submit_t in submitted]
         try:
             results = await loop.run_in_executor(
                 None, self.runner, group.options, matrices
             )
+            kernel_s = time.perf_counter() - flush_t
             if len(results) != size:
                 raise RuntimeError(
                     f"batch runner returned {len(results)} results for "
                     f"{size} requests"
                 )
         except Exception as exc:  # runner blew up: fail the whole batch
+            self._emit_batch_span(
+                traces,
+                size,
+                kernel_s=time.perf_counter() - flush_t,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             for future in futures:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for future, result in zip(futures, results):
+        self._emit_batch_span(traces, size, kernel_s=kernel_s)
+        for future, result, linger_s in zip(futures, results, lingers):
             if future.done():  # caller went away (cancelled request)
                 continue
             if isinstance(result, Exception):
                 future.set_exception(result)
             else:
-                future.set_result(CoalesceResult(result, size))
+                future.set_result(
+                    CoalesceResult(
+                        result, size, linger_s=linger_s, kernel_s=kernel_s
+                    )
+                )
+
+    def _emit_batch_span(
+        self, traces, size, *, kernel_s, error=None
+    ) -> None:
+        """One fan-in span per flushed batch, linked to its members.
+
+        The batch span is parented under the first traced member (a
+        batch has no single request parent) and carries a link to every
+        member's request span, so trace tooling can walk from any slow
+        response to the batch that computed it and back out to its
+        batch-mates.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        members = [trace for trace in traces if trace is not None]
+        if not members:
+            return
+        context = members[0].child()
+        tracer.emit_span(
+            "serve.kernel",
+            context,
+            wall_s=kernel_s,
+            meta={"endpoint": self.endpoint, "batch_size": size},
+            links=[member.link() for member in members],
+            error=error,
+        )
 
     @property
     def pending(self) -> int:

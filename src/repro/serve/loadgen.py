@@ -110,6 +110,7 @@ class RequestOutcome:
     retry_after_s: float | None = None
     well_formed: bool = True
     digest: str | None = None  # SHA-256 of a 200 answer's body bytes
+    trace_id: str | None = None  # the answer's X-Repro-Trace-Id header
 
 
 def percentile(values, q: float) -> float:
@@ -204,6 +205,7 @@ class ReplayReport:
             "ok": len(self.ok),
             "errors": len(self.errors),
             "shed": len(self.shed),
+            "traced": sum(1 for o in self.outcomes if o.trace_id),
             "deadline_exceeded": categories.get("deadline-exceeded", 0),
             "malformed_errors": len(self.malformed),
             "error_categories": categories,
@@ -524,6 +526,7 @@ async def replay_trace_async(
             retry_after_s=retry_after_s,
             well_formed=well_formed,
             digest=digest,
+            trace_id=headers.get("x-repro-trace-id"),
         )
 
     outcomes = await asyncio.gather(

@@ -24,6 +24,12 @@ burns a kernel slot; see :mod:`repro.serve.resilience` and
 ``docs/SERVING.md``.  The deadline is *not* part of the cache or
 coalescing identity (it changes whether work runs, never its result).
 
+Every endpoint also accepts ``debug_timings`` (boolean): when true the
+success response gains a ``debug`` section with the request's trace id
+and a per-stage latency breakdown.  Like the deadline, it is excluded
+from the cache and coalescing identity — the canonical result bytes
+stay bit-identical and the debug section is attached per response.
+
 Every response carries ``"schema": "repro-serve/1"``.  Success bodies
 hold the endpoint name and a ``"result"`` object; failures hold an
 ``"error"`` object with a stable fault ``category`` — protocol-level
@@ -64,11 +70,15 @@ SCHEMA = "repro-serve/1"
 ENDPOINTS = {
     "characterize": (
         "tol", "tma_fallback", "policy", "backend", "deadline_ms",
+        "debug_timings",
     ),
     "standardize": (
         "tol", "max_iterations", "policy", "backend", "deadline_ms",
+        "debug_timings",
     ),
-    "recommend-heuristic": ("tol", "policy", "backend", "deadline_ms"),
+    "recommend-heuristic": (
+        "tol", "policy", "backend", "deadline_ms", "debug_timings",
+    ),
 }
 
 _POLICIES = ("quarantine", "repair")
@@ -94,12 +104,18 @@ class ServeRequest:
     two requests for the same matrix under different deadlines must
     share a cache entry and a coalescing group, because the deadline
     changes *whether* the work runs, never its result.
+    ``debug_timings`` follows the same rule: it asks for a per-request
+    latency breakdown in the response body, which changes what is
+    *reported*, never what is computed — so it stays out of the cache
+    and coalescing identity and the debug section is attached after the
+    canonical (cacheable) body is produced.
     """
 
     endpoint: str
     matrix: np.ndarray = field(repr=False)
     options: dict
     deadline_ms: float | None = None
+    debug_timings: bool = False
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -202,11 +218,18 @@ def parse_request(endpoint: str, payload) -> ServeRequest:
                 f"milliseconds, got {deadline_ms!r}"
             )
         deadline_ms = float(deadline_ms)
+
+    debug_timings = payload.get("debug_timings", False)
+    if not isinstance(debug_timings, bool):
+        raise ProtocolError(
+            f"'debug_timings' must be a boolean, got {debug_timings!r}"
+        )
     return ServeRequest(
         endpoint=endpoint,
         matrix=matrix,
         options=options,
         deadline_ms=deadline_ms,
+        debug_timings=debug_timings,
     )
 
 

@@ -281,8 +281,13 @@ class AdmissionController:
             0.1, waiting * per_request / max(1, self.limit(endpoint))
         )
 
-    async def admit(self, endpoint: str, deadline=None) -> None:
+    async def admit(self, endpoint: str, deadline=None, trace=None) -> None:
         """Acquire one admission slot; raises instead of queuing unboundedly.
+
+        ``trace`` is an optional :class:`repro.obs.RequestTrace`: a
+        request that has to *wait* for a slot records the wait as its
+        ``queue_wait_s`` stage (the uncontended grant path records
+        nothing and pays nothing).
 
         Raises
         ------
@@ -313,6 +318,7 @@ class AdmissionController:
         )
         gate.waiters.append(future)
         timeout = deadline.remaining() if deadline is not None else None
+        wait_t0 = time.perf_counter()
         try:
             if timeout is None:
                 await future
@@ -331,12 +337,16 @@ class AdmissionController:
             gate.shed += 1
             retry = self.retry_after_s(endpoint)
             _metrics.count_serve_deadline_exceeded(endpoint, "admission")
+            if trace is not None:
+                trace.add("queue_wait_s", time.perf_counter() - wait_t0)
             raise DeadlineExceeded(
                 f"deadline expired after {timeout * 1e3:.1f}ms waiting "
                 f"for admission to {endpoint!r}",
                 retry_after_s=retry,
             ) from None
         # Granted by release(); inflight was already incremented there.
+        if trace is not None:
+            trace.add("queue_wait_s", time.perf_counter() - wait_t0)
 
     def _grant(self, endpoint: str, gate: _Gate) -> None:
         gate.inflight += 1

@@ -57,6 +57,8 @@ from .. import __version__
 from ..obs import metrics as _metrics
 from ..obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..obs.metrics import enable_metrics, register_serve_resilience_metrics
+from ..obs.sinks import JsonlSink, RotatingJsonlSink
+from ..obs.trace_context import RequestTrace, Tracer
 from ..robust.budget import Budget, Deadline
 from .cache import ResultCache, matrix_cache_key
 from .coalesce import Coalescer, ServeFault
@@ -64,6 +66,7 @@ from .protocol import (
     ProtocolError,
     ServeRequest,
     decode_json,
+    encode_json,
     error_body,
     parse_request,
     result_body,
@@ -112,6 +115,19 @@ class ServeConfig:
       requests that do not send their own ``deadline_ms``;
     * ``drain_timeout_s`` — how long a graceful shutdown waits for
       in-flight requests before giving up on them.
+
+    The tracing knobs (see ``docs/OBSERVABILITY.md``):
+
+    * ``trace_path`` — JSONL span-sink file; when set, every request
+      emits a ``serve.request`` root span (plus cache / kernel child
+      spans) queryable with ``repro-hc trace query``.  Trace *ids* are
+      minted regardless — every response carries ``X-Repro-Trace-Id`` —
+      only span emission is gated on this path;
+    * ``slow_log_path`` / ``slow_threshold_ms`` — rotating JSONL log of
+      requests slower than the threshold, each record carrying the
+      trace id and the full stage breakdown;
+    * ``slow_log_max_bytes`` / ``slow_log_backups`` — rotation policy
+      of the slow-request log.
     """
 
     host: str = "127.0.0.1"
@@ -128,6 +144,11 @@ class ServeConfig:
     min_inflight: int = 2
     default_deadline_ms: float | None = None
     drain_timeout_s: float = 10.0
+    trace_path: str | None = None
+    slow_log_path: str | None = None
+    slow_threshold_ms: float = 500.0
+    slow_log_max_bytes: int = 1_000_000
+    slow_log_backups: int = 3
 
 
 @dataclass
@@ -154,6 +175,18 @@ class CharacterizationServer:
             max_entries=self.config.cache_entries,
             spill_dir=self.config.cache_dir,
         )
+        self.tracer: Tracer | None = None
+        if self.config.trace_path is not None:
+            self.tracer = Tracer(
+                JsonlSink(self.config.trace_path), process="repro-serve"
+            )
+        self.slow_log: RotatingJsonlSink | None = None
+        if self.config.slow_log_path is not None:
+            self.slow_log = RotatingJsonlSink(
+                self.config.slow_log_path,
+                max_bytes=self.config.slow_log_max_bytes,
+                backups=self.config.slow_log_backups,
+            )
         self._inflight: dict[str, _Inflight] = {}
         self.coalescers = {
             "characterize": Coalescer(
@@ -161,12 +194,14 @@ class CharacterizationServer:
                 endpoint="characterize",
                 linger_s=self.config.linger_s,
                 max_batch=self.config.max_batch,
+                tracer=self.tracer,
             ),
             "standardize": Coalescer(
                 self._run_standardize_batch,
                 endpoint="standardize",
                 linger_s=self.config.linger_s,
                 max_batch=self.config.max_batch,
+                tracer=self.tracer,
             ),
         }
         estimators = None
@@ -290,10 +325,14 @@ class CharacterizationServer:
     # -- request handling ----------------------------------------------
 
     async def _compute(
-        self, request: ServeRequest, deadline: Deadline | None = None
+        self,
+        request: ServeRequest,
+        deadline: Deadline | None = None,
+        trace: RequestTrace | None = None,
     ) -> tuple[bytes, str]:
         """Body bytes for one request, via the coalescer; no caching."""
         endpoint = request.endpoint
+        context = trace.context if trace is not None else None
         if endpoint == "recommend-heuristic":
             # Rides the characterize coalescer, then applies the rule.
             from ..scheduling.selection import recommend_from_measures
@@ -304,8 +343,11 @@ class CharacterizationServer:
                 options={**request.options, "tma_fallback": "limit"},
             )
             outcome = await self.coalescers["characterize"].submit(
-                inner, deadline
+                inner, deadline, context
             )
+            if trace is not None:
+                trace.add("coalesce_linger_s", outcome.linger_s)
+                trace.add("kernel_s", outcome.kernel_s)
             measures = outcome.payload
             name, reason = recommend_from_measures(
                 measures["mph"], measures["tdh"], measures["tma"]
@@ -320,10 +362,23 @@ class CharacterizationServer:
                 },
             }
             source = "batched" if outcome.batch_size > 1 else "cold"
-            return result_body(endpoint, result), source
-        outcome = await self.coalescers[endpoint].submit(request, deadline)
+            render_t0 = time.perf_counter()
+            body = result_body(endpoint, result)
+            if trace is not None:
+                trace.add("render_s", time.perf_counter() - render_t0)
+            return body, source
+        outcome = await self.coalescers[endpoint].submit(
+            request, deadline, context
+        )
+        if trace is not None:
+            trace.add("coalesce_linger_s", outcome.linger_s)
+            trace.add("kernel_s", outcome.kernel_s)
         source = "batched" if outcome.batch_size > 1 else "cold"
-        return result_body(endpoint, outcome.payload), source
+        render_t0 = time.perf_counter()
+        body = result_body(endpoint, outcome.payload)
+        if trace is not None:
+            trace.add("render_s", time.perf_counter() - render_t0)
+        return body, source
 
     def _request_deadline(
         self, request: ServeRequest, elapsed_s: float = 0.0
@@ -341,8 +396,25 @@ class CharacterizationServer:
             return None
         return Deadline(max(0.0, deadline_ms / 1e3 - elapsed_s))
 
+    def _emit_cache_span(
+        self, trace: RequestTrace | None, wall_s: float, outcome: str
+    ) -> None:
+        """A ``serve.cache`` child span, when tracing is on."""
+        if self.tracer is None or trace is None:
+            return
+        self.tracer.emit_span(
+            "serve.cache",
+            trace.context.child(),
+            wall_s=wall_s,
+            meta={"outcome": outcome},
+        )
+
     async def handle_request(
-        self, endpoint: str, payload, elapsed_s: float = 0.0
+        self,
+        endpoint: str,
+        payload,
+        elapsed_s: float = 0.0,
+        trace: RequestTrace | None = None,
     ) -> tuple[int, bytes, str]:
         """Full pipeline for one parsed JSON request document.
 
@@ -364,9 +436,15 @@ class CharacterizationServer:
         # Cache hits and singleflight joins bypass admission control:
         # they cost no kernel work, and shedding them under load would
         # throw away exactly the requests that are free to serve.
+        cache_t0 = time.perf_counter()
         cached = self.cache.get(key)
+        cache_s = time.perf_counter() - cache_t0
+        if trace is not None:
+            trace.add("cache_s", cache_s)
         if cached is not None:
+            self._emit_cache_span(trace, cache_s, "hit")
             return 200, cached, "cache-memory"
+        self._emit_cache_span(trace, cache_s, "miss")
 
         inflight = self._inflight.get(key)
         if inflight is not None:
@@ -378,9 +456,9 @@ class CharacterizationServer:
         self._inflight[key] = entry
         admitted = False
         try:
-            await self.admission.admit(endpoint, deadline)
+            await self.admission.admit(endpoint, deadline, trace)
             admitted = True
-            body, source = await self._compute(request, deadline)
+            body, source = await self._compute(request, deadline, trace)
         except BaseException as exc:
             # Faults are not cached (a retry with fixed data must
             # recompute); waiters get the same exception re-raised.
@@ -394,7 +472,10 @@ class CharacterizationServer:
             self._inflight.pop(key, None)
             if admitted:
                 self.admission.release(endpoint)
+        put_t0 = time.perf_counter()
         self.cache.put(key, body)
+        if trace is not None:
+            trace.add("cache_s", time.perf_counter() - put_t0)
         entry.future.set_result(body)
         return 200, body, source
 
@@ -449,38 +530,135 @@ class CharacterizationServer:
         status, ctype, payload, _ = await self.exchange(method, path, body)
         return status, ctype, payload
 
+    def _finish_request(
+        self,
+        rtrace: RequestTrace,
+        endpoint: str | None,
+        *,
+        status: int,
+        source: str,
+        wall_s: float,
+        error: str | None = None,
+        need_timings: bool = False,
+    ) -> dict[str, float] | None:
+        """Root span + slow-log emission for one ``/v1`` exchange.
+
+        Returns the stage breakdown (``other_s`` absorbs unattributed
+        time, so the stages sum to ``wall_s`` by construction) — or
+        None when nothing consumes it: the breakdown is only built when
+        a span is emitted, the request is slow enough to log, or the
+        caller asked for it (``debug_timings``), keeping the fully
+        disabled path free of the dict work.
+        """
+        slow = (
+            self.slow_log is not None
+            and wall_s * 1e3 >= self.config.slow_threshold_ms
+        )
+        if self.tracer is None and not slow and not need_timings:
+            return None
+        timings = rtrace.timings(wall_s)
+        if self.tracer is not None:
+            self.tracer.emit_span(
+                "serve.request",
+                rtrace.context,
+                wall_s=wall_s,
+                start=rtrace.started_at,
+                meta={
+                    "endpoint": endpoint or "unknown",
+                    "status": status,
+                    "source": source,
+                    "timings": timings,
+                },
+                error=error,
+            )
+        if slow:
+            self.slow_log.emit(
+                {
+                    "type": "slow_request",
+                    "ts": rtrace.started_at,
+                    "trace_id": rtrace.context.trace_id,
+                    "endpoint": endpoint or "unknown",
+                    "status": status,
+                    "source": source,
+                    "total_s": wall_s,
+                    "timings": timings,
+                }
+            )
+        return timings
+
+    @staticmethod
+    def _inject_debug(
+        response: bytes, rtrace: RequestTrace, timings: dict, wall_s: float
+    ) -> bytes:
+        """Attach the ``debug`` section to a success body.
+
+        Happens *after* cache/coalescer handling, on a decoded copy, so
+        the canonical cached bytes stay bit-identical across requests
+        that do and do not ask for timings.
+        """
+        document = decode_json(response)
+        document["debug"] = {
+            "trace_id": rtrace.context.trace_id,
+            "total_s": wall_s,
+            "timings": timings,
+        }
+        return encode_json(document)
+
     async def exchange(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, str, bytes, dict[str, str]]:
         """Route one HTTP exchange; returns (status, ctype, body, headers).
 
-        ``headers`` carries response headers beyond the content ones —
-        today that is ``Retry-After`` on every shed (503) response.
+        ``headers`` (optional) carries the lower-cased request headers;
+        a valid W3C ``traceparent`` among them is adopted as the
+        request's remote parent.  The returned header dict carries
+        ``X-Repro-Trace-Id`` on every ``/v1`` response and
+        ``Retry-After`` on every shed (503) response.
+
+        ``GET /metrics`` and ``GET /healthz*`` are *scrape* traffic:
+        they are observed in their own metric families
+        (``repro_serve_scrapes_total`` / ``repro_serve_scrape_seconds``)
+        and never land in the request-latency histogram the adaptive
+        admission estimator reads.
         """
         t0 = time.perf_counter()
         path = path.split("?", 1)[0]
+        if method == "GET" and path in ("/metrics", "/"):
+            payload = render_prometheus(
+                _metrics.get_registry()
+            ).encode("utf-8")
+            _metrics.observe_serve_scrape(
+                "metrics", status=200, wall_s=time.perf_counter() - t0
+            )
+            return 200, PROMETHEUS_CONTENT_TYPE, payload, {}
+        if method == "GET" and path in (
+            "/healthz", "/healthz/live", "/healthz/ready"
+        ):
+            status, ctype, payload = self._healthz(path)
+            _metrics.observe_serve_scrape(
+                "healthz", status=status, wall_s=time.perf_counter() - t0
+            )
+            return status, ctype, payload, {}
         endpoint = None
         if path.startswith("/v1/"):
             endpoint = path[len("/v1/"):]
+        rtrace = RequestTrace.begin((headers or {}).get("traceparent"))
+        trace_id = rtrace.context.trace_id
+        out_headers = {"X-Repro-Trace-Id": trace_id}
         try:
-            if method == "GET" and path in ("/metrics", "/"):
-                return 200, PROMETHEUS_CONTENT_TYPE, render_prometheus(
-                    _metrics.get_registry()
-                ).encode("utf-8"), {}
-            if method == "GET" and path in (
-                "/healthz", "/healthz/live", "/healthz/ready"
-            ):
-                status, ctype, payload = self._healthz(path)
-                return status, ctype, payload, {}
             if endpoint is None:
                 return 404, "application/json", error_body(
                     None, "not-found", f"unknown path {path!r}"
-                ), {}
+                ), out_headers
             if method != "POST":
                 return 405, "application/json", error_body(
                     endpoint, "bad-request",
                     f"{endpoint} requires POST, got {method}",
-                ), {}
+                ), out_headers
             if self.drain_state.draining:
                 _metrics.count_serve_shed(endpoint, "draining")
                 raise ShedError(
@@ -491,66 +669,110 @@ class CharacterizationServer:
                 )
             payload = decode_json(body)
             status, response, source = await self.handle_request(
-                endpoint, payload, elapsed_s=time.perf_counter() - t0
+                endpoint,
+                payload,
+                elapsed_s=time.perf_counter() - t0,
+                trace=rtrace,
             )
             self.requests_served += 1
             wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
-                endpoint, status=status, source=source, wall_s=wall_s
+                endpoint,
+                status=status,
+                source=source,
+                wall_s=wall_s,
+                trace_id=trace_id,
             )
             if source in ("cold", "batched", "inflight"):
                 # Feed the AIMD estimator from the compute path only:
                 # memoized answers say nothing about kernel capacity.
                 self.admission.observe(endpoint, wall_s)
-            return status, "application/json", response, {}
+            want_debug = (
+                status == 200
+                and isinstance(payload, dict)
+                and payload.get("debug_timings") is True
+            )
+            timings = self._finish_request(
+                rtrace, endpoint, status=status, source=source,
+                wall_s=wall_s, need_timings=want_debug,
+            )
+            if want_debug:
+                response = self._inject_debug(
+                    response, rtrace, timings, wall_s
+                )
+            return status, "application/json", response, out_headers
         except ProtocolError as exc:
             status = exc.status
             category = "not-found" if status == 404 else "bad-request"
+            wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
                 endpoint or "unknown",
                 status=status,
                 source="error",
-                wall_s=time.perf_counter() - t0,
+                wall_s=wall_s,
+                trace_id=trace_id,
+            )
+            self._finish_request(
+                rtrace, endpoint, status=status, source="error",
+                wall_s=wall_s, error=f"ProtocolError: {exc}",
             )
             return status, "application/json", error_body(
                 endpoint, category, str(exc)
-            ), {}
+            ), out_headers
         except ShedError as shed:
+            wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
                 endpoint or "unknown",
                 status=shed.status,
                 source="shed",
-                wall_s=time.perf_counter() - t0,
+                wall_s=wall_s,
+                trace_id=trace_id,
+            )
+            self._finish_request(
+                rtrace, endpoint, status=shed.status, source="shed",
+                wall_s=wall_s, error=f"ShedError: {shed}",
             )
             return shed.status, "application/json", error_body(
                 endpoint,
                 shed.category,
                 str(shed),
                 retry_after_s=shed.retry_after_s,
-            ), {"Retry-After": shed.retry_after_header}
+            ), {**out_headers, "Retry-After": shed.retry_after_header}
         except ServeFault as fault:
+            wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
                 endpoint or "unknown",
                 status=fault.status,
                 source="error",
-                wall_s=time.perf_counter() - t0,
+                wall_s=wall_s,
+                trace_id=trace_id,
             )
             _metrics.count_serve_quarantined(
                 endpoint or "unknown", fault.category
             )
+            self._finish_request(
+                rtrace, endpoint, status=fault.status, source="error",
+                wall_s=wall_s, error=f"ServeFault: {fault}",
+            )
             return fault.status, "application/json", error_body(
                 endpoint, fault.category, str(fault)
-            ), {}
+            ), out_headers
         except Exception as exc:  # pragma: no cover - defensive
+            wall_s = time.perf_counter() - t0
             _metrics.observe_serve_request(
                 endpoint or "unknown",
                 status=500,
                 source="error",
-                wall_s=time.perf_counter() - t0,
+                wall_s=wall_s,
+                trace_id=trace_id,
+            )
+            self._finish_request(
+                rtrace, endpoint, status=500, source="error",
+                wall_s=wall_s, error=f"{type(exc).__name__}: {exc}",
             )
             return 500, "application/json", error_body(
                 endpoint, "internal", f"{type(exc).__name__}: {exc}"
-            ), {}
+            ), out_headers
 
     # -- the socket layer ----------------------------------------------
 
@@ -564,16 +786,19 @@ class CharacterizationServer:
                 return
             method, target = parts[0].upper(), parts[1]
             content_length = 0
+            request_headers: dict[str, str] = {}
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    try:
-                        content_length = int(value.strip())
-                    except ValueError:
-                        content_length = 0
+                request_headers[name.strip().lower()] = value.strip()
+            try:
+                content_length = int(
+                    request_headers.get("content-length", "0")
+                )
+            except ValueError:
+                content_length = 0
             headers: dict[str, str] = {}
             if content_length > MAX_BODY_BYTES:
                 status, ctype, body = 413, "application/json", error_body(
@@ -590,7 +815,7 @@ class CharacterizationServer:
                 self._active_exchanges += 1
                 try:
                     status, ctype, body, headers = await self.exchange(
-                        method, target, body_in
+                        method, target, body_in, request_headers
                     )
                 finally:
                     self._active_exchanges -= 1
@@ -655,6 +880,10 @@ class CharacterizationServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.tracer is not None:
+            self.tracer.close()
+        if self.slow_log is not None:
+            self.slow_log.close()
 
     async def shutdown(self, drain_timeout_s: float | None = None) -> bool:
         """Graceful drain: finish in-flight work, then close the socket.

@@ -40,6 +40,7 @@ so results stay bit-identical to a stall-free run.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import replace
@@ -48,6 +49,12 @@ from .._parallel import resolve_n_jobs
 from ..exceptions import MatrixValueError
 from ..normalize.standard_form import DEFAULT_TOL
 from ..obs import current_recorder, metrics as _metrics, span as _obs_span, traced
+from ..obs.trace_context import (
+    TraceContext,
+    append_span_record,
+    current_trace,
+    current_tracer,
+)
 from .merge import merge_characterizations
 from .planner import plan_shards
 from .store import StackStore
@@ -127,14 +134,55 @@ def _shard_worker(args):
     Opens the store by path and memory-maps only its own slice; the
     primary dispatch (``attempt == 0``) hosts any injected stall, so a
     speculative re-dispatch models a healthy replacement machine.
+
+    ``trace`` (optional) is the serialized span-context handoff:
+    ``(span_file_path, shard_context_payload)``.  Both dispatch copies
+    of a shard receive the *same* pre-allocated shard context, so the
+    primary and its speculative backup emit sibling ``shard.worker``
+    spans under one ``shard.dispatch`` parent.  The record is written
+    with one ``O_APPEND`` write (atomic under ``PIPE_BUF``), so
+    concurrent workers sharing the span file never interleave lines.
     """
-    (store_path, start, stop, attempt, stall_s, data_specs, budget, kwargs) = args
+    (
+        store_path, start, stop, attempt, stall_s, data_specs, budget,
+        kwargs, trace,
+    ) = args
     if attempt == 0 and stall_s > 0.0:
         time.sleep(stall_s)
+    wall_start = time.time()
+    t0 = time.perf_counter()
+    c0 = time.process_time()
     store = StackStore(store_path)
-    return start, _characterize_chunk(
+    result = _characterize_chunk(
         store, start, stop, data_specs, budget, kwargs
     )
+    if trace is not None:
+        trace_path, ctx_payload = trace
+        context = TraceContext.from_payload(ctx_payload)
+        if context is not None:
+            # os.urandom span ids are fork-safe: sibling workers never
+            # inherit shared RNG state and mint identical ids.
+            append_span_record(
+                trace_path,
+                {
+                    "type": "span",
+                    "name": "shard.worker",
+                    "trace_id": context.trace_id,
+                    "span_id": os.urandom(8).hex(),
+                    "parent_id": context.span_id,
+                    "start": wall_start,
+                    "wall_s": time.perf_counter() - t0,
+                    "cpu_s": time.process_time() - c0,
+                    "pid": os.getpid(),
+                    "process": f"shard-worker-{os.getpid()}",
+                    "meta": {
+                        "attempt": attempt,
+                        "start_member": start,
+                        "members": stop - start,
+                    },
+                },
+            )
+    return start, result
 
 
 def _shard_budget(budget, deadline):
@@ -186,11 +234,26 @@ def _run_pool(
     rec = current_recorder()
     timeout = budget.member_timeout_s if budget is not None else None
     store_path = str(store.path)
+    # Trace handoff: pre-allocate one context per shard so both dispatch
+    # copies (primary + speculative backup) emit sibling spans under the
+    # same ``shard.dispatch`` parent.  Workers need a file path to append
+    # to, so only file-backed tracers cross the process boundary.
+    tracer = current_tracer()
+    trace_path = tracer.path if tracer is not None else None
+    dispatch_ctx: dict[int, TraceContext] = {}
+    if trace_path is not None:
+        ambient = current_trace()
+        run_ctx = ambient if ambient is not None else TraceContext.new()
+        for shard in plan.shards:
+            dispatch_ctx[shard.index] = run_ctx.child()
 
     def submit(pool, shard, attempt):
         _metrics.count_shard_dispatch(
             "primary" if attempt == 0 else "speculative"
         )
+        trace = None
+        if trace_path is not None:
+            trace = (trace_path, dispatch_ctx[shard.index].to_payload())
         return pool.submit(
             _shard_worker,
             (
@@ -202,6 +265,7 @@ def _run_pool(
                 data_specs,
                 _shard_budget(budget, deadline),
                 kwargs,
+                trace,
             ),
         )
 
@@ -248,6 +312,18 @@ def _run_pool(
                 _metrics.count_shard_dispatch(
                     "winner_backup" if attempt else "winner_primary"
                 )
+                if tracer is not None and shard.index in dispatch_ctx:
+                    tracer.emit_span(
+                        "shard.dispatch",
+                        dispatch_ctx[shard.index],
+                        wall_s=wall_s,
+                        meta={
+                            "start_member": shard.start,
+                            "members": shard.n_members,
+                            "winner": "backup" if attempt else "primary",
+                            "speculated": shard.index in backups,
+                        },
+                    )
                 if attempt and rec is not None:
                     rec.counter("shard.backup_wins", 1)
                 sibling = next(
@@ -259,11 +335,28 @@ def _run_pool(
                     None,
                 )
                 if sibling is not None:
-                    del outstanding[sibling]
+                    _, lost_attempt = outstanding.pop(sibling)
                     if not sibling.cancel():
                         # Already running (the straggler): abandon it
                         # and terminate its process at shutdown.
                         abandoned = True
+                    if tracer is not None and shard.index in dispatch_ctx:
+                        # The loser may never get to write its own span
+                        # (its process is terminated at shutdown), so
+                        # the scheduler records the losing dispatch as a
+                        # sibling of the winner's ``shard.worker`` span.
+                        tracer.emit_span(
+                            "shard.worker.lost",
+                            dispatch_ctx[shard.index].child(),
+                            wall_s=time.monotonic()
+                            - dispatched_at[sibling],
+                            meta={
+                                "attempt": lost_attempt,
+                                "start_member": shard.start,
+                                "members": shard.n_members,
+                            },
+                            error="lost the dispatch race; cancelled",
+                        )
                     _metrics.count_shard_dispatch("cancelled")
                     if rec is not None:
                         rec.counter("shard.cancelled", 1)

@@ -1,4 +1,4 @@
-"""The unified ScalingOutcome result protocol and deprecated aliases."""
+"""The unified ScalingOutcome result protocol and removed aliases."""
 
 import numpy as np
 import pytest
@@ -53,43 +53,44 @@ class TestProtocolConformance:
             assert final_residual(outcome) <= 1e-8
 
 
-class TestDeprecatedAliases:
-    def test_matrices_alias_warns_and_matches(self):
-        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
-        with pytest.warns(DeprecationWarning, match="matrices is deprecated"):
-            old = result.matrices
-        assert old is result.matrix
+class TestRemovedAliases:
+    """The pre-protocol batch spellings completed their deprecation
+    cycle; the tombstone properties must raise AttributeError naming
+    the replacement field."""
 
-    def test_residual_histories_alias_warns_and_matches(self):
+    def test_matrices_alias_raises_with_replacement(self):
         result = sinkhorn_knopp_batched(STACK, row_target=1.0)
-        with pytest.warns(
-            DeprecationWarning, match="residual_histories is deprecated"
+        with pytest.raises(
+            AttributeError, match=r"matrices was removed; use \.matrix"
         ):
-            old = result.residual_histories
-        assert old == result.residual_history
-
-    def test_new_names_do_not_warn(self):
-        import warnings
-
-        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            _ = result.matrix
-            _ = result.residual_history
-
-    def test_standardize_batched_aliases_warn_too(self):
-        # Both batched constructors share the result class; the aliases
-        # must warn regardless of which kernel produced the object.
-        result = standardize_batched(STACK)
-        with pytest.warns(DeprecationWarning, match="use .matrix"):
             _ = result.matrices
-        with pytest.warns(DeprecationWarning, match="use .residual_history"):
+
+    def test_residual_histories_alias_raises_with_replacement(self):
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with pytest.raises(
+            AttributeError,
+            match=r"residual_histories was removed; use \.residual_history",
+        ):
             _ = result.residual_histories
 
-    def test_warning_points_at_the_calling_line(self):
+    def test_new_names_still_work(self):
         result = sinkhorn_knopp_batched(STACK, row_target=1.0)
-        with pytest.warns(DeprecationWarning) as captured:
+        assert isinstance(result.matrix, np.ndarray)
+        assert len(result.residual_history) == len(result)
+
+    def test_standardize_batched_aliases_raise_too(self):
+        # Both batched constructors share the result class; the
+        # tombstones must raise regardless of which kernel produced
+        # the object.
+        result = standardize_batched(STACK)
+        with pytest.raises(AttributeError, match=r"use \.matrix"):
             _ = result.matrices
-        # stacklevel=2: the warning is attributed to this file, not to
-        # the outcome module that raises it.
-        assert captured[0].filename == __file__
+        with pytest.raises(AttributeError, match=r"use \.residual_history"):
+            _ = result.residual_histories
+
+    def test_error_names_the_result_class(self):
+        result = sinkhorn_knopp_batched(STACK, row_target=1.0)
+        with pytest.raises(
+            AttributeError, match="BatchNormalizationResult"
+        ):
+            _ = result.matrices

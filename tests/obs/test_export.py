@@ -20,7 +20,8 @@ from repro.obs import (
 
 SAMPLE_LINE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?P<labels>\{.*\})? (?P<value>\S+)$'
+    r'(?P<labels>\{.*?\})? (?P<value>\S+)'
+    r'(?P<exemplar> # \{.*\} \S+( \S+)?)?$'
 )
 
 
@@ -61,6 +62,10 @@ def _parse_exposition(text: str) -> dict:
                 (match.group("name"), match.group("labels") or "",
                  match.group("value"))
             )
+            if match.group("exemplar"):
+                families[base].setdefault("exemplars", []).append(
+                    match.group("exemplar").strip()
+                )
     return families
 
 
@@ -150,6 +155,57 @@ class TestPrometheusFormat:
         assert families["repro_sinkhorn_iterations"]["type"] == "histogram"
 
 
+class TestExemplars:
+    def _registry_with_exemplar(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "ex_seconds", "Exemplar demo.", labelnames=("stage",),
+            buckets=(0.1, 1.0),
+        )
+        hist.observe(0.5, exemplar={"trace_id": "abc123"}, stage="run")
+        return registry
+
+    def test_exemplar_renders_on_the_observed_bucket(self):
+        text = render_prometheus(self._registry_with_exemplar())
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith("ex_seconds_bucket") and 'le="1"' in l
+        )
+        assert ' # {trace_id="abc123"} 0.5 ' in line
+
+    def test_exemplar_bearing_exposition_parses(self):
+        families = _parse_exposition(
+            render_prometheus(self._registry_with_exemplar())
+        )
+        assert families["ex_seconds"]["exemplars"]
+
+    def test_last_exemplar_per_bucket_wins(self):
+        registry = self._registry_with_exemplar()
+        hist = registry.histogram(
+            "ex_seconds", "Exemplar demo.", labelnames=("stage",),
+            buckets=(0.1, 1.0),
+        )
+        hist.observe(0.4, exemplar={"trace_id": "later99"}, stage="run")
+        text = render_prometheus(registry)
+        assert "later99" in text and "abc123" not in text
+
+    def test_snapshot_strips_exemplars(self):
+        # The bench pipeline diffs snapshots; exemplars are scrape-time
+        # decoration and must not leak into the stable payload shape.
+        registry = self._registry_with_exemplar()
+        snapshot = registry.snapshot()
+        for series in snapshot["ex_seconds"]["series"]:
+            assert "exemplars" not in series
+
+    def test_unobserved_buckets_carry_no_exemplar(self):
+        text = render_prometheus(self._registry_with_exemplar())
+        first = next(
+            l for l in text.splitlines()
+            if l.startswith("ex_seconds_bucket") and 'le="0.1"' in l
+        )
+        assert "#" not in first
+
+
 class TestMetricsServer:
     def test_scrape_roundtrip_on_ephemeral_port(self, registry):
         server = start_metrics_server(port=0, registry=registry)
@@ -232,7 +288,7 @@ class TestChromeTrace:
                 with span("demo.err"):
                     raise ValueError("boom")
         doc = chrome_trace(rec)
-        event = doc["traceEvents"][0]
+        event = next(e for e in doc["traceEvents"] if e["ph"] == "X")
         assert event["args"]["error"] == "ValueError"
 
     def test_unknown_record_types_are_skipped(self):
@@ -242,4 +298,54 @@ class TestChromeTrace:
             {"type": "future-thing", "payload": 1},
         ]
         doc = chrome_trace(records)
-        assert len(doc["traceEvents"]) == 1
+        assert [
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        ] == ["s"]
+
+    def test_process_metadata_events_name_the_lanes(self):
+        with recording() as rec:
+            with span("demo.step"):
+                pass
+        events = chrome_trace(rec)["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name",
+        }
+        process_meta = next(
+            e for e in metadata if e["name"] == "process_name"
+        )
+        # Metadata precedes the events it names, and the lane's pid is
+        # the one the span events carry.
+        assert events.index(process_meta) < events.index(
+            next(e for e in events if e["ph"] == "X")
+        )
+        span_event = next(e for e in events if e["ph"] == "X")
+        assert process_meta["pid"] == span_event["pid"]
+        assert process_meta["args"]["name"] == "repro"
+
+    def test_multi_process_records_get_stable_distinct_lanes(self):
+        def record(pid, process, name):
+            return {
+                "type": "span", "name": name, "start": 0.0,
+                "wall_s": 0.1, "cpu_s": 0.1, "depth": 0, "meta": {},
+                "samples": {}, "pid": pid, "process": process,
+            }
+
+        records = [
+            record(4001, "repro-serve", "serve.request"),
+            record(5002, "shard-worker-5002", "shard.worker"),
+            record(4001, "repro-serve", "serve.kernel"),
+        ]
+        events = chrome_trace(records)["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        # Raw pids map to sequential trace pids in first-seen order,
+        # and records from one process share a lane.
+        assert spans["serve.request"]["pid"] == 1
+        assert spans["serve.kernel"]["pid"] == 1
+        assert spans["shard.worker"]["pid"] == 2
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {1: "repro-serve", 2: "shard-worker-5002"}

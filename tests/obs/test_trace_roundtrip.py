@@ -39,18 +39,25 @@ class TestProfileToChromeTrace:
         events = doc["traceEvents"]
         assert events, "profile run produced no trace events"
         for event in events:
-            assert event["ph"] in ("X", "C")
+            assert event["ph"] in ("X", "C", "M")
+            if event["ph"] == "M":
+                continue  # process/thread-name metadata has no ts
             assert isinstance(event["ts"], (int, float))
             if event["ph"] == "X":
                 assert event["dur"] >= 0
 
+        # Single-process run: one named lane.
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name",
+        }
         # The profile pipeline's spans survive the round trip ...
         span_names = {e["name"] for e in events if e["ph"] == "X"}
         assert "measures.characterize" in span_names
         assert any(n.startswith("sinkhorn") for n in span_names)
         # ... and so do the counter_total records flushed at close.
         counter_names = {
-            e["name"] for e in events if e["cat"] == "counter_total"
+            e["name"] for e in events if e.get("cat") == "counter_total"
         }
         assert "scheduling.decisions" in counter_names
 
@@ -103,10 +110,11 @@ class TestExceptionPropagationPath:
         totals = {r["name"]: r["value"] for r in by_type["counter_total"]}
         assert totals["roundtrip.count"] == 2
 
-        # The converter accepts the error-path trace unchanged.
+        # The converter accepts the error-path trace unchanged (the two
+        # extra events are the lane's process/thread-name metadata).
         out = tmp_path / "trace.json"
         count = convert_trace_jsonl(jsonl, out)
-        assert count == len(records)
+        assert count == len(records) + 2
         doc = json.loads(out.read_text(encoding="utf-8"))
         err_event = next(
             e for e in doc["traceEvents"] if e["name"] == "roundtrip.outer"
